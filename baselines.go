@@ -1,0 +1,37 @@
+package neutrality
+
+import "neutrality/internal/tomo"
+
+// Baseline algorithms the paper positions itself against (Section 8).
+
+type (
+	// BoolTomographyResult is the outcome of Boolean network tomography.
+	BoolTomographyResult = tomo.BoolResult
+	// LossTomographyResult is the outcome of least-squares loss
+	// tomography.
+	LossTomographyResult = tomo.LossResult
+	// LinkPathProbs carries directly measured per-link per-path
+	// congestion probabilities (in-network visibility).
+	LinkPathProbs = tomo.LinkPathProbs
+	// FlaggedLink is a link flagged by direct probing.
+	FlaggedLink = tomo.Flagged
+)
+
+// BooleanTomography locates congested links per interval under the
+// neutral assumption (Nguyen–Thiran style). On a non-neutral network it
+// misattributes or fails to explain congestion — the paper's motivation.
+func BooleanTomography(n *Network, states [][]bool) *BoolTomographyResult {
+	return tomo.Boolean(n, states)
+}
+
+// LossTomography fits the neutral linear model y = A·x by least squares;
+// the residual is a network-level inconsistency signal.
+func LossTomography(n *Network, pathsets []Pathset, y []float64) *LossTomographyResult {
+	return tomo.LeastSquares(n, pathsets, y)
+}
+
+// DirectProbe flags links whose directly measured per-class congestion
+// probabilities diverge (NetPolice-style; requires in-network probes).
+func DirectProbe(n *Network, probs []LinkPathProbs, gapThreshold float64) []FlaggedLink {
+	return tomo.DirectProbe(n, probs, gapThreshold)
+}

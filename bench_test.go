@@ -1,0 +1,220 @@
+package neutrality_test
+
+// One benchmark per table and figure of the paper's evaluation (Section 6),
+// plus the ablations and baselines called out in DESIGN.md. Each bench runs
+// the corresponding experiment at the bench-friendly scale (10 Mbps, 90 s —
+// same load shape as the paper's 100 Mbps, 10 min) and prints the same
+// rows/series the paper reports. The full-scale versions are produced by
+// `go run ./cmd/experiments -full`.
+//
+// Reported metrics:
+//   - agreement_pct: fraction of experiments whose verdict matches the
+//     paper's label (Figure 8 sets).
+//   - fn_pct / fp_pct / granularity: the Section 6.4 quality metrics.
+//
+// Run with: go test -bench=. -benchmem
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"neutrality/internal/figures"
+)
+
+// printOnce deduplicates figure output across -benchtime iterations.
+var printOnce sync.Map
+
+func once(key string, f func() string) {
+	if _, loaded := printOnce.LoadOrStore(key, true); !loaded {
+		fmt.Println(f())
+	}
+}
+
+func benchFig8(b *testing.B, set int) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r, err := figures.Fig8(set, figures.Quick, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(r.Agreement)/float64(len(r.Rows))*100, "agreement_pct")
+		once(fmt.Sprintf("fig8-%d", set), r.String)
+		// Sets 1–3 are neutral: any disagreement is a false positive and
+		// fails the bench. Sets 4–8 must agree everywhere; set 9's R=0.5
+		// corner is the documented divergence, so it may disagree on at
+		// most that one experiment.
+		minAgreement := len(r.Rows)
+		if set == 9 {
+			minAgreement = len(r.Rows) - 1
+		}
+		if r.Agreement < minAgreement {
+			b.Fatalf("set %d agreement %d/%d below target:\n%s", set, r.Agreement, len(r.Rows), r)
+		}
+	}
+}
+
+// BenchmarkTable1Defaults prints the Table 1 parameter grid (the defaults
+// every other experiment inherits).
+func BenchmarkTable1Defaults(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := figures.Table1()
+		if len(s) == 0 {
+			b.Fatal("empty table")
+		}
+		once("table1", func() string { return s })
+	}
+}
+
+// BenchmarkTable3Workload prints the topology-B traffic mix.
+func BenchmarkTable3Workload(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := figures.Table3()
+		if len(s) == 0 {
+			b.Fatal("empty table")
+		}
+		once("table3", func() string { return s })
+	}
+}
+
+// Figure 8: one bench per experiment set (Table 2 sets 1–9).
+
+func BenchmarkFig8Set1(b *testing.B) { benchFig8(b, 1) }
+func BenchmarkFig8Set2(b *testing.B) { benchFig8(b, 2) }
+func BenchmarkFig8Set3(b *testing.B) { benchFig8(b, 3) }
+func BenchmarkFig8Set4(b *testing.B) { benchFig8(b, 4) }
+func BenchmarkFig8Set5(b *testing.B) { benchFig8(b, 5) }
+func BenchmarkFig8Set6(b *testing.B) { benchFig8(b, 6) }
+func BenchmarkFig8Set7(b *testing.B) { benchFig8(b, 7) }
+func BenchmarkFig8Set8(b *testing.B) { benchFig8(b, 8) }
+func BenchmarkFig8Set9(b *testing.B) { benchFig8(b, 9) }
+
+// BenchmarkFig10 regenerates both halves of Figure 10 (topology B:
+// ground-truth link boxplots and inferred sequence boxplots) and asserts
+// the Section 6.4 headline: zero false positives, zero false negatives.
+func BenchmarkFig10(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := figures.Fig10(figures.QuickB, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		once("fig10", r.String)
+		b.ReportMetric(r.Metrics.FalseNegativeRate*100, "fn_pct")
+		b.ReportMetric(r.Metrics.FalsePositiveRate*100, "fp_pct")
+		b.ReportMetric(r.Metrics.Granularity, "granularity")
+		b.ReportMetric(float64(r.Sequences), "sequences")
+		if r.Metrics.FalseNegativeRate != 0 || r.Metrics.FalsePositiveRate != 0 {
+			b.Fatalf("quality off target:\n%s", r)
+		}
+	}
+}
+
+// BenchmarkFig11 regenerates the queue-occupancy traces of a busy neutral
+// link vs a policing link and asserts the paper's point: both queues are
+// active — congestion alone does not reveal differentiation.
+func BenchmarkFig11(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := figures.Fig11(figures.QuickB, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		once("fig11", r.String)
+		if r.NeutralSummary.Max == 0 || r.PolicerSummary.Max == 0 {
+			b.Fatalf("expected both queues to be occupied:\n%s", r)
+		}
+	}
+}
+
+// Section 6.5 robustness sweeps.
+
+func BenchmarkLossThresholdSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := figures.LossThresholdSweep(figures.Quick, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		once("sweep-loss", r.String)
+		if !r.Stable {
+			b.Fatalf("verdict unstable across loss thresholds:\n%s", r)
+		}
+	}
+}
+
+func BenchmarkIntervalSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := figures.IntervalSweep(figures.Quick, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		once("sweep-interval", r.String)
+		if !r.Stable {
+			b.Fatalf("verdict unstable across intervals:\n%s", r)
+		}
+	}
+}
+
+// Ablations (design choices from DESIGN.md).
+
+func BenchmarkAblationNormalization(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := figures.AblationNormalization(figures.Quick, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		once("ablation-norm", r.String)
+		if !r.Pass {
+			b.Fatalf("normalization ablation failed:\n%s", r)
+		}
+	}
+}
+
+func BenchmarkAblationClustering(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := figures.AblationClustering(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		once("ablation-cluster", r.String)
+		if !r.Pass {
+			b.Fatalf("clustering ablation failed:\n%s", r)
+		}
+	}
+}
+
+func BenchmarkAblationPairObservations(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := figures.AblationPairObservations()
+		once("ablation-pairs", r.String)
+		if !r.Pass {
+			b.Fatalf("pair-observation ablation failed:\n%s", r)
+		}
+	}
+}
+
+func BenchmarkAblationDelayMetric(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := figures.AblationDelayMetric(figures.Quick, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		once("ablation-delay", r.String)
+		if !r.Pass {
+			b.Fatalf("delay-metric extension failed:\n%s", r)
+		}
+	}
+}
+
+// Baselines.
+
+func BenchmarkBaselineBooleanTomography(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := figures.BaselineComparison(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		once("baseline", r.String)
+		if !r.Pass {
+			b.Fatalf("baseline comparison failed:\n%s", r)
+		}
+	}
+}

@@ -1,0 +1,117 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation (Section 6). By default it runs at a reduced scale (10 Mbps,
+// 90 s — identical load shape, fewer packets); pass -full for the paper's
+// 100 Mbps / 10-minute operating point.
+//
+// Usage:
+//
+//	experiments [-full] [-seed N] [-only fig8,fig10,fig11,tables,sweeps,ablations]
+//
+// Output is the textual equivalent of each figure: one row per experiment
+// for Figure 8's nine graphs, five-number summaries per boxplot for
+// Figure 10, sparkline traces for Figure 11.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"neutrality/internal/figures"
+)
+
+func main() {
+	full := flag.Bool("full", false, "run at the paper's full scale (100 Mbps, 600 s; takes minutes)")
+	seed := flag.Int64("seed", 1, "base random seed")
+	only := flag.String("only", "", "comma-separated subset: tables,fig8,fig10,fig11,sweeps,ablations")
+	flag.Parse()
+
+	sc, scB := figures.Quick, figures.QuickB
+	if *full {
+		sc, scB = figures.Full, figures.Full
+	}
+	want := map[string]bool{}
+	if *only != "" {
+		for _, part := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(part)] = true
+		}
+	}
+	run := func(name string) bool { return len(want) == 0 || want[name] }
+
+	start := time.Now()
+	fmt.Printf("Network Neutrality Inference — evaluation reproduction (scale=%.0f%%, %gs runs, seed=%d)\n\n",
+		sc.Factor*100, sc.DurationSec, *seed)
+
+	if run("tables") {
+		fmt.Println(figures.Table1())
+		fmt.Println(figures.Table3())
+	}
+
+	if run("fig8") {
+		for set := 1; set <= 9; set++ {
+			r, err := figures.Fig8(set, sc, *seed)
+			if err != nil {
+				log.Fatalf("fig8 set %d: %v", set, err)
+			}
+			fmt.Println(r)
+		}
+	}
+
+	if run("fig10") {
+		r, err := figures.Fig10(scB, *seed)
+		if err != nil {
+			log.Fatalf("fig10: %v", err)
+		}
+		fmt.Println(r)
+	}
+
+	if run("fig11") {
+		r, err := figures.Fig11(scB, *seed)
+		if err != nil {
+			log.Fatalf("fig11: %v", err)
+		}
+		fmt.Println(r)
+	}
+
+	if run("sweeps") {
+		for _, f := range []func(figures.Scale, int64) (*figures.SweepResult, error){
+			figures.LossThresholdSweep,
+			figures.IntervalSweep,
+		} {
+			r, err := f(sc, *seed)
+			if err != nil {
+				log.Fatalf("sweep: %v", err)
+			}
+			fmt.Println(r)
+		}
+	}
+
+	if run("ablations") {
+		norm, err := figures.AblationNormalization(sc, *seed)
+		if err != nil {
+			log.Fatalf("ablation: %v", err)
+		}
+		fmt.Println(norm)
+		clus, err := figures.AblationClustering(*seed)
+		if err != nil {
+			log.Fatalf("ablation: %v", err)
+		}
+		fmt.Println(clus)
+		fmt.Println(figures.AblationPairObservations())
+		delay, err := figures.AblationDelayMetric(sc, *seed)
+		if err != nil {
+			log.Fatalf("ablation: %v", err)
+		}
+		fmt.Println(delay)
+		base, err := figures.BaselineComparison(*seed)
+		if err != nil {
+			log.Fatalf("baseline: %v", err)
+		}
+		fmt.Println(base)
+	}
+
+	fmt.Fprintf(os.Stderr, "total wall time: %v\n", time.Since(start).Round(time.Millisecond))
+}

@@ -1,0 +1,260 @@
+// Command neutrality is the CLI front end of the library: it emulates
+// workloads on the built-in topologies, runs the inference algorithm on
+// the resulting (or synthetic) observations, and prints the theory view of
+// a topology.
+//
+// Usage:
+//
+//	neutrality topo    -net figure1|figure2|figure4|figure5|a|b
+//	neutrality theory  -net ... [-nonneutral l1,l2]
+//	neutrality emulate -net a|b [-diff police|shape|none] [-rate 0.3]
+//	                   [-duration 90] [-scale 0.1] [-seed 1]
+//	neutrality infer   -net ... [-gap 0.5] [-intervals 6000] [-seed 1]
+//
+// `emulate` runs packet-level TCP emulation and then inference; `infer`
+// uses the fast synthetic substrate with a configurable violation gap.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"neutrality"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("neutrality: ")
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	switch cmd {
+	case "topo":
+		cmdTopo(args)
+	case "theory":
+		cmdTheory(args)
+	case "emulate":
+		cmdEmulate(args)
+	case "infer":
+		cmdInfer(args)
+	case "help", "-h", "--help":
+		usage()
+	default:
+		log.Fatalf("unknown command %q (try: topo, theory, emulate, infer)", cmd)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: neutrality <command> [flags]
+
+commands:
+  topo     print a built-in topology (figure1|figure2|figure4|figure5|a|b)
+  theory   observability and identifiability analysis of a topology
+  emulate  run packet-level TCP emulation + inference (topologies a|b)
+  infer    run inference on fast synthetic observations
+
+run 'neutrality <command> -h' for command flags`)
+	os.Exit(2)
+}
+
+// pick returns the requested built-in network plus, when known, its
+// differentiating links.
+func pick(name string) (*neutrality.Network, []neutrality.LinkID) {
+	switch strings.ToLower(name) {
+	case "figure1", "fig1":
+		n := neutrality.Figure1()
+		l, _ := n.LinkByName("l1")
+		return n, []neutrality.LinkID{l.ID}
+	case "figure2", "fig2":
+		n := neutrality.Figure2()
+		l, _ := n.LinkByName("l1")
+		return n, []neutrality.LinkID{l.ID}
+	case "figure4", "fig4":
+		n := neutrality.Figure4()
+		l1, _ := n.LinkByName("l1")
+		l2, _ := n.LinkByName("l2")
+		return n, []neutrality.LinkID{l1.ID, l2.ID}
+	case "figure5", "fig5":
+		n := neutrality.Figure5()
+		l, _ := n.LinkByName("l1")
+		return n, []neutrality.LinkID{l.ID}
+	case "a", "topoa":
+		t := neutrality.NewTopologyA()
+		return t.Net, []neutrality.LinkID{t.Shared}
+	case "b", "topob":
+		t := neutrality.NewTopologyB()
+		return t.InferenceNet, t.Policers
+	default:
+		log.Fatalf("unknown topology %q", name)
+		return nil, nil
+	}
+}
+
+func cmdTopo(args []string) {
+	fs := flag.NewFlagSet("topo", flag.ExitOnError)
+	netName := fs.String("net", "figure4", "topology name")
+	fs.Parse(args)
+	n, diff := pick(*netName)
+	fmt.Print(n.Describe())
+	names := make([]string, len(diff))
+	for i, l := range diff {
+		names[i] = n.Link(l).Name
+	}
+	fmt.Printf("differentiating links in the standard scenario: %s\n", strings.Join(names, ", "))
+}
+
+func cmdTheory(args []string) {
+	fs := flag.NewFlagSet("theory", flag.ExitOnError)
+	netName := fs.String("net", "figure4", "topology name")
+	nn := fs.String("nonneutral", "", "comma-separated link names to treat as non-neutral (default: scenario links)")
+	fs.Parse(args)
+	n, diff := pick(*netName)
+	if *nn != "" {
+		diff = nil
+		for _, name := range strings.Split(*nn, ",") {
+			l, ok := n.LinkByName(strings.TrimSpace(name))
+			if !ok {
+				log.Fatalf("no link %q", name)
+			}
+			diff = append(diff, l.ID)
+		}
+	}
+
+	ws := neutrality.ObservableStructural(n, diff)
+	if len(ws) == 0 {
+		fmt.Println("Theorem 1: violation NOT observable from external observations")
+	} else {
+		fmt.Println("Theorem 1: violation observable; witnesses:")
+		for _, w := range ws {
+			fmt.Printf("  %s (link %s, regulated class %d)\n", w.Name, n.Link(w.Link).Name, int(w.Class)+1)
+		}
+	}
+
+	fmt.Println("\nnetwork slices (Algorithm 1 candidates):")
+	for _, s := range neutrality.Slices(n) {
+		status := "identifiable"
+		if !s.Identifiable() {
+			status = "too few path pairs"
+		}
+		fmt.Printf("  %-20s pairs=%d  %s\n", s.SeqNames(), len(s.Pairs), status)
+	}
+}
+
+func cmdEmulate(args []string) {
+	fs := flag.NewFlagSet("emulate", flag.ExitOnError)
+	netName := fs.String("net", "a", "topology: a or b")
+	diffKind := fs.String("diff", "police", "differentiation on the standard links: police, shape, none")
+	rate := fs.Float64("rate", 0.3, "policing/shaping rate (fraction of capacity)")
+	duration := fs.Float64("duration", 90, "emulated seconds")
+	scale := fs.Float64("scale", 0.1, "capacity scale (1.0 = paper's 100 Mbps)")
+	seed := fs.Int64("seed", 1, "random seed")
+	outFile := fs.String("out", "", "write raw measurements to this CSV file")
+	fs.Parse(args)
+
+	switch strings.ToLower(*netName) {
+	case "a", "topoa":
+		p := neutrality.DefaultParamsA().Scale(*scale, *duration)
+		p.MeanFlowMb = [2]float64{20 * *scale, 20 * *scale}
+		p.Seed = *seed
+		switch *diffKind {
+		case "police":
+			p.Diff = neutrality.PoliceClass2(*rate)
+		case "shape":
+			p.Diff = neutrality.ShapeBothClasses(*rate)
+		case "none":
+		default:
+			log.Fatalf("unknown -diff %q", *diffKind)
+		}
+		e, a := p.Experiment("cli")
+		run, err := neutrality.RunExperiment(e)
+		if err != nil {
+			log.Fatal(err)
+		}
+		saveCSV(*outFile, run.Meas)
+		report(a.Net, run.Meas, []neutrality.LinkID{a.Shared})
+	case "b", "topob":
+		p := neutrality.DefaultParamsB().Scale(*scale, *duration)
+		p.PoliceRate = *rate
+		p.Seed = *seed
+		e, b := p.Experiment("cli")
+		run, err := neutrality.RunExperiment(e)
+		if err != nil {
+			log.Fatal(err)
+		}
+		saveCSV(*outFile, run.Meas)
+		report(b.InferenceNet, run.Meas, b.Policers)
+	default:
+		log.Fatalf("emulate supports topologies a and b, not %q", *netName)
+	}
+}
+
+func report(n *neutrality.Network, meas *neutrality.Measurements, truth []neutrality.LinkID) {
+	probs := neutrality.PathCongestionProb(meas, 0.01)
+	fmt.Println("per-path congestion probability:")
+	for i, pr := range probs {
+		fmt.Printf("  %-6s class=c%d  %5.1f%%\n", n.Path(neutrality.PathID(i)).Name, int(n.ClassOf(neutrality.PathID(i)))+1, pr*100)
+	}
+	res := neutrality.InferMeasured(n, meas, neutrality.DefaultMeasureOptions())
+	fmt.Print(neutrality.Report(res))
+	m := neutrality.Evaluate(res, truth)
+	fmt.Printf("vs ground truth: FN=%.0f%% FP=%.0f%% granularity=%.2f\n",
+		m.FalseNegativeRate*100, m.FalsePositiveRate*100, m.Granularity)
+}
+
+func saveCSV(path string, m *neutrality.Measurements) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	if err := neutrality.WriteMeasurementsCSV(f, m); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (%d intervals, %d paths)\n", path, m.Intervals(), m.NumPaths())
+}
+
+func cmdInfer(args []string) {
+	fs := flag.NewFlagSet("infer", flag.ExitOnError)
+	netName := fs.String("net", "figure4", "topology name")
+	gap := fs.Float64("gap", 0.5, "violation strength: extra −log P(cf) inflicted on class c2")
+	intervals := fs.Int("intervals", 6000, "measurement intervals to simulate")
+	seed := fs.Int64("seed", 1, "random seed")
+	inFile := fs.String("in", "", "read raw measurements from this CSV file instead of simulating")
+	fs.Parse(args)
+
+	n, diff := pick(*netName)
+	if *inFile != "" {
+		f, err := os.Open(*inFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		meas, err := neutrality.ReadMeasurementsCSV(f)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if meas.NumPaths() != n.NumPaths() {
+			log.Fatalf("measurements cover %d paths, topology %q has %d", meas.NumPaths(), *netName, n.NumPaths())
+		}
+		report(n, meas, diff)
+		return
+	}
+	perf := neutrality.NewPerf(n.NumLinks(), n.NumClasses())
+	for l := 0; l < n.NumLinks(); l++ {
+		perf.SetNeutral(neutrality.LinkID(l), 0.01)
+	}
+	for _, l := range diff {
+		perf.Set(l, neutrality.C1, 0.02)
+		perf.Set(l, neutrality.C2, 0.02+*gap)
+	}
+	states := neutrality.NewSampler(n, perf, *seed).SampleIntervals(*intervals)
+	meas := neutrality.SyntheticMeasurements(states, neutrality.DefaultSyntheticOptions())
+	report(n, meas, diff)
+}

@@ -1,0 +1,129 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestWellSeparated(t *testing.T) {
+	values := []float64{0.01, 0.02, 0.015, 0.9, 1.1, 0.95}
+	r := TwoMeans(values, 0)
+	if !r.Split {
+		t.Fatal("separated data not split")
+	}
+	for _, v := range []float64{0.01, 0.02, 0.015} {
+		if !r.Low(v) {
+			t.Errorf("%v should be low", v)
+		}
+	}
+	for _, v := range []float64{0.9, 1.1, 0.95} {
+		if r.Low(v) {
+			t.Errorf("%v should be high", v)
+		}
+	}
+	if r.LowCentroid > 0.05 || r.HighCentroid < 0.8 {
+		t.Fatalf("centroids %v / %v", r.LowCentroid, r.HighCentroid)
+	}
+}
+
+func TestUniformDataCollapses(t *testing.T) {
+	// All-neutral case: every unsolvability is small and similar; the gap
+	// guard must prevent a split, so nothing is flagged non-neutral.
+	values := []float64{0.01, 0.02, 0.03, 0.025, 0.005}
+	r := TwoMeans(values, 0)
+	if r.Split {
+		t.Fatalf("uniform data split: %+v", r)
+	}
+	for _, v := range values {
+		if !r.Low(v) {
+			t.Errorf("%v should be low after collapse", v)
+		}
+	}
+}
+
+func TestEmptyAndSingle(t *testing.T) {
+	if r := TwoMeans(nil, 0); r.Split {
+		t.Error("empty input split")
+	}
+	if r := TwoMeans([]float64{3}, 0); r.Split {
+		t.Error("single value split")
+	}
+	if !TwoMeans([]float64{3}, 0).Low(3) {
+		t.Error("single value should be low")
+	}
+}
+
+func TestTwoValues(t *testing.T) {
+	r := TwoMeans([]float64{0.0, 5.0}, 0)
+	if !r.Split || !r.Low(0) || r.Low(5) {
+		t.Fatalf("two-value split wrong: %+v", r)
+	}
+}
+
+func TestMinGapRespected(t *testing.T) {
+	values := []float64{0, 0.05} // gap below default 0.1
+	if r := TwoMeans(values, 0); r.Split {
+		t.Fatal("default gap should collapse 0.05 separation")
+	}
+	if r := TwoMeans(values, 0.01); !r.Split {
+		t.Fatal("explicit small gap should split 0.05 separation")
+	}
+}
+
+func TestThresholdBetweenClusters(t *testing.T) {
+	r := TwoMeans([]float64{1, 2, 10, 11}, 0)
+	if !r.Split {
+		t.Fatal("no split")
+	}
+	if r.Threshold < 2 || r.Threshold >= 10 {
+		t.Fatalf("threshold %v not between clusters", r.Threshold)
+	}
+}
+
+func TestClusterQuick(t *testing.T) {
+	// Property: with a forced bimodal construction, every low-mode value
+	// classifies low and every high-mode value classifies high.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		nLow, nHigh := 1+r.Intn(10), 1+r.Intn(10)
+		var values []float64
+		for i := 0; i < nLow; i++ {
+			values = append(values, r.Float64()*0.05)
+		}
+		for i := 0; i < nHigh; i++ {
+			values = append(values, 1+r.Float64()*0.5)
+		}
+		res := TwoMeans(values, 0)
+		if !res.Split {
+			return false
+		}
+		for i, v := range values {
+			if (i < nLow) != res.Low(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(21))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNoSplitMeansEverythingLow(t *testing.T) {
+	f := func(raw []float64) bool {
+		r := TwoMeans(raw, 0)
+		if r.Split {
+			return true
+		}
+		for _, v := range raw {
+			if !r.Low(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,185 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"neutrality/internal/graph"
+	"neutrality/internal/synth"
+	"neutrality/internal/topo"
+)
+
+func figure4Perf(n *graph.Network, nonNeutral ...string) graph.Perf {
+	perf := graph.NewPerf(n.NumLinks(), n.NumClasses())
+	for _, name := range nonNeutral {
+		l, ok := n.LinkByName(name)
+		if !ok {
+			panic("no link " + name)
+		}
+		perf.Set(l.ID, 0, 0.05)
+		perf.Set(l.ID, 1, 0.8)
+	}
+	return perf
+}
+
+func seqNames(res *Result) []string {
+	var out []string
+	for _, v := range res.NonNeutralSeqs() {
+		out = append(out, v.SeqNames())
+	}
+	return out
+}
+
+// TestFigure4ExactInference reproduces the paper's Section 5 walkthrough:
+// with l1 and l2 non-neutral, the algorithm outputs Σn̄ = {<l1>, <l1,l2>},
+// granularity 1.5, zero false positives and negatives.
+func TestFigure4ExactInference(t *testing.T) {
+	n := topo.Figure4()
+	perf := figure4Perf(n, "l1", "l2")
+	res := Infer(n, YFunc(synth.YFunc(n, perf)), Config{Mode: Exact})
+
+	got := seqNames(res)
+	if len(got) != 2 {
+		t.Fatalf("Σn̄ = %v, want {<l1>, <l1,l2>}", got)
+	}
+	want := map[string]bool{"<l1>": true, "<l1,l2>": true}
+	for _, s := range got {
+		if !want[s] {
+			t.Fatalf("unexpected sequence %s in %v", s, got)
+		}
+	}
+
+	l1, _ := n.LinkByName("l1")
+	l2, _ := n.LinkByName("l2")
+	m := Evaluate(res, []graph.LinkID{l1.ID, l2.ID})
+	if m.FalseNegativeRate != 0 || m.FalsePositiveRate != 0 {
+		t.Fatalf("metrics %+v", m)
+	}
+	if math.Abs(m.Granularity-1.5) > 1e-9 {
+		t.Fatalf("granularity = %v, want 1.5 (paper Section 5)", m.Granularity)
+	}
+	if m.Detected != 2 {
+		t.Fatalf("detected = %d", m.Detected)
+	}
+}
+
+// TestFigure4OnlyL1NonNeutral: with only l1 non-neutral, both slices are
+// flagged (<l1,l2> genuinely contains the non-neutral l1).
+func TestFigure4OnlyL1NonNeutral(t *testing.T) {
+	n := topo.Figure4()
+	perf := figure4Perf(n, "l1")
+	res := Infer(n, YFunc(synth.YFunc(n, perf)), Config{Mode: Exact})
+	l1, _ := n.LinkByName("l1")
+	m := Evaluate(res, []graph.LinkID{l1.ID})
+	if m.FalseNegativeRate != 0 {
+		t.Fatalf("FN rate %v", m.FalseNegativeRate)
+	}
+	if m.FalsePositiveRate != 0 {
+		t.Fatalf("FP rate %v (flagged sequences all contain l1)", m.FalsePositiveRate)
+	}
+}
+
+// TestNeutralNetworkNoFlags: exact mode on a fully neutral network flags
+// nothing.
+func TestNeutralNetworkNoFlags(t *testing.T) {
+	n := topo.Figure4()
+	perf := graph.NewPerf(n.NumLinks(), n.NumClasses())
+	perf.SetNeutral(0, 0.3)
+	perf.SetNeutral(1, 0.1)
+	res := Infer(n, YFunc(synth.YFunc(n, perf)), Config{Mode: Exact})
+	if res.NetworkNonNeutral() {
+		t.Fatalf("neutral network flagged: %v", seqNames(res))
+	}
+	m := Evaluate(res, nil)
+	if m.FalsePositiveRate != 0 || m.Granularity != 0 {
+		t.Fatalf("metrics %+v", m)
+	}
+}
+
+// TestClusteredInferenceOnSampledData drives the full practical pipeline:
+// sampled interval states -> packet counts -> Algorithm 2 -> Algorithm 1
+// with clustering.
+func TestClusteredInferenceOnSampledData(t *testing.T) {
+	n := topo.Figure4()
+	perf := figure4Perf(n, "l1", "l2")
+	sampler := synth.NewSampler(n, perf, 31)
+	states := sampler.SampleIntervals(6000)
+	meas := synth.ToMeasurements(states, synth.DefaultMeasurementOptions())
+
+	res := Infer(n, MeasurementObserver{Meas: meas, Opts: defaultMeasureOpts()}, DefaultConfig())
+	if !res.NetworkNonNeutral() {
+		t.Fatalf("violation missed:\n%s", Report(res))
+	}
+	l1, _ := n.LinkByName("l1")
+	l2, _ := n.LinkByName("l2")
+	m := Evaluate(res, []graph.LinkID{l1.ID, l2.ID})
+	if m.FalseNegativeRate != 0 || m.FalsePositiveRate != 0 {
+		t.Fatalf("metrics %+v\n%s", m, Report(res))
+	}
+}
+
+// TestClusteredNeutralNoFalsePositives: the same pipeline on a neutral
+// network (with non-trivial congestion) stays quiet.
+func TestClusteredNeutralNoFalsePositives(t *testing.T) {
+	n := topo.Figure4()
+	perf := graph.NewPerf(n.NumLinks(), n.NumClasses())
+	perf.SetNeutral(0, 0.25) // l1 congests everyone equally
+	perf.SetNeutral(3, 0.1)
+	sampler := synth.NewSampler(n, perf, 33)
+	states := sampler.SampleIntervals(6000)
+	meas := synth.ToMeasurements(states, synth.DefaultMeasurementOptions())
+
+	res := Infer(n, MeasurementObserver{Meas: meas, Opts: defaultMeasureOpts()}, DefaultConfig())
+	if res.NetworkNonNeutral() {
+		t.Fatalf("false positive:\n%s", Report(res))
+	}
+}
+
+// TestClassEstimates: estimate grouping drives Figure 10(b); pure pairs go
+// to their class, mixed pairs to the top-priority class.
+func TestClassEstimates(t *testing.T) {
+	n := topo.Figure4()
+	perf := figure4Perf(n, "l1")
+	res := Infer(n, YFunc(synth.YFunc(n, perf)), Config{Mode: Exact})
+	var v *Verdict
+	for _, c := range res.Candidates {
+		if c.SeqNames() == "<l1>" {
+			v = c
+		}
+	}
+	if v == nil {
+		t.Fatal("<l1> not a candidate")
+	}
+	groups := v.ClassEstimates(0)
+	// <l1>'s pairs: {p1,p4} mixed -> class 0; {p2,p4},{p3,p4} pure c2.
+	if len(groups[0]) != 1 || len(groups[1]) != 2 {
+		t.Fatalf("groups: %v", groups)
+	}
+	if math.Abs(groups[0][0]-0.05) > 1e-9 {
+		t.Errorf("c1 estimate %v, want 0.05", groups[0][0])
+	}
+	for _, e := range groups[1] {
+		if math.Abs(e-0.8) > 1e-9 {
+			t.Errorf("c2 estimate %v, want 0.8", e)
+		}
+	}
+}
+
+func TestReportMentionsVerdicts(t *testing.T) {
+	n := topo.Figure4()
+	perf := figure4Perf(n, "l1", "l2")
+	res := Infer(n, YFunc(synth.YFunc(n, perf)), Config{Mode: Exact})
+	rep := Report(res)
+	for _, want := range []string{"NON-NEUTRAL", "<l1>", "mode=exact"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q:\n%s", want, rep)
+		}
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if Clustered.String() != "clustered" || Exact.String() != "exact" {
+		t.Fatal("mode strings wrong")
+	}
+}

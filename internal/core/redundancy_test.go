@@ -1,0 +1,165 @@
+package core
+
+import (
+	"testing"
+
+	"neutrality/internal/graph"
+	"neutrality/internal/nslice"
+)
+
+// White-box tests of the redundancy post-pass (Section 5): a flagged
+// sequence is redundant iff other classified sequences — at least one of
+// them flagged — union exactly to it.
+
+func mkVerdict(n *graph.Network, nonNeutral bool, names ...string) *Verdict {
+	var ids []graph.LinkID
+	for _, name := range names {
+		l, ok := n.LinkByName(name)
+		if !ok {
+			panic("no link " + name)
+		}
+		ids = append(ids, l.ID)
+	}
+	return &Verdict{Slice: nslice.For(n, ids), NonNeutral: nonNeutral}
+}
+
+// chainNet builds a 4-link chain network so that arbitrary subsequences
+// can be named in tests.
+func chainNet() *graph.Network {
+	b := graph.NewBuilder()
+	s := b.Host("s")
+	m1 := b.Relay("m1")
+	m2 := b.Relay("m2")
+	m3 := b.Relay("m3")
+	d := b.Host("d")
+	b.Link("l1", s, m1)
+	b.Link("l2", m1, m2)
+	b.Link("l3", m2, m3)
+	b.Link("l4", m3, d)
+	b.Path("p", 0, "l1", "l2", "l3", "l4")
+	return b.MustBuild()
+}
+
+func TestRedundantByTwoFlagged(t *testing.T) {
+	// Paper's example: Σn̄ = {<l1,l2>, <l2,l3>, <l1,l2,l3>} makes the long
+	// one redundant.
+	n := chainNet()
+	res := &Result{Net: n, Candidates: []*Verdict{
+		mkVerdict(n, true, "l1", "l2"),
+		mkVerdict(n, true, "l2", "l3"),
+		mkVerdict(n, true, "l1", "l2", "l3"),
+	}}
+	markRedundant(res)
+	if res.Candidates[0].Redundant || res.Candidates[1].Redundant {
+		t.Fatal("short sequences marked redundant")
+	}
+	if !res.Candidates[2].Redundant {
+		t.Fatal("<l1,l2,l3> should be redundant")
+	}
+}
+
+func TestRedundantByFlaggedPlusNeutral(t *testing.T) {
+	// Section 6.4's scenario: <l18,l14> non-neutral + <l6,l3> neutral
+	// would make <l18,l14,l6,l3> redundant. Modeled on the chain.
+	n := chainNet()
+	res := &Result{Net: n, Candidates: []*Verdict{
+		mkVerdict(n, true, "l1", "l2"),
+		mkVerdict(n, false, "l3", "l4"),
+		mkVerdict(n, true, "l1", "l2", "l3", "l4"),
+	}}
+	markRedundant(res)
+	if !res.Candidates[2].Redundant {
+		t.Fatal("flagged+neutral cover should mark the union redundant")
+	}
+}
+
+func TestNotRedundantWithoutFlaggedPiece(t *testing.T) {
+	// All covering pieces neutral: the long flagged sequence carries new
+	// information and must stay.
+	n := chainNet()
+	res := &Result{Net: n, Candidates: []*Verdict{
+		mkVerdict(n, false, "l1", "l2"),
+		mkVerdict(n, false, "l3", "l4"),
+		mkVerdict(n, true, "l1", "l2", "l3", "l4"),
+	}}
+	markRedundant(res)
+	if res.Candidates[2].Redundant {
+		t.Fatal("union of neutral pieces must not make a flagged sequence redundant")
+	}
+}
+
+func TestNotRedundantWithIncompleteCover(t *testing.T) {
+	n := chainNet()
+	res := &Result{Net: n, Candidates: []*Verdict{
+		mkVerdict(n, true, "l1", "l2"),
+		mkVerdict(n, true, "l1", "l2", "l3"), // l3 uncovered by others
+	}}
+	markRedundant(res)
+	if res.Candidates[1].Redundant {
+		t.Fatal("incomplete cover must not mark redundancy")
+	}
+}
+
+func TestNeutralSequencesNeverMarked(t *testing.T) {
+	n := chainNet()
+	res := &Result{Net: n, Candidates: []*Verdict{
+		mkVerdict(n, true, "l1"),
+		mkVerdict(n, false, "l1"),
+	}}
+	markRedundant(res)
+	if res.Candidates[1].Redundant {
+		t.Fatal("neutral sequences are not subject to redundancy removal")
+	}
+}
+
+func TestOverlappingCoverAllowed(t *testing.T) {
+	// Pieces may overlap: <l1,l2> and <l2,l3> union to <l1,l2,l3>.
+	n := chainNet()
+	res := &Result{Net: n, Candidates: []*Verdict{
+		mkVerdict(n, true, "l1", "l2"),
+		mkVerdict(n, false, "l2", "l3"),
+		mkVerdict(n, true, "l1", "l2", "l3"),
+	}}
+	markRedundant(res)
+	if !res.Candidates[2].Redundant {
+		t.Fatal("overlapping flagged+neutral cover should mark redundancy")
+	}
+}
+
+func TestCoverable(t *testing.T) {
+	cases := []struct {
+		masks []uint64
+		nn    []bool
+		full  uint64
+		want  bool
+	}{
+		{[]uint64{0b011, 0b110}, []bool{true, true}, 0b111, true},
+		{[]uint64{0b011, 0b110}, []bool{false, false}, 0b111, false},
+		{[]uint64{0b011}, []bool{true}, 0b111, false},
+		{[]uint64{0b001, 0b010, 0b100}, []bool{false, false, true}, 0b111, true},
+		{nil, nil, 0b1, false},
+		{[]uint64{0b1}, []bool{true}, 0, false},
+	}
+	for i, c := range cases {
+		if got := coverable(c.masks, c.nn, c.full); got != c.want {
+			t.Errorf("case %d: coverable = %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestKeepRedundantConfig(t *testing.T) {
+	// With KeepRedundant, nothing is marked. Use the exact pipeline on a
+	// network with a redundant candidate — simplest is to verify the flag
+	// plumbs through markRedundant being skipped.
+	n := chainNet()
+	res := &Result{Net: n, Config: Config{KeepRedundant: true}, Candidates: []*Verdict{
+		mkVerdict(n, true, "l1", "l2"),
+		mkVerdict(n, true, "l2", "l3"),
+		mkVerdict(n, true, "l1", "l2", "l3"),
+	}}
+	// Infer would not call markRedundant; emulate that here by simply not
+	// calling it and asserting NonNeutralSeqs keeps all three.
+	if got := len(res.NonNeutralSeqs()); got != 3 {
+		t.Fatalf("NonNeutralSeqs = %d, want 3", got)
+	}
+}

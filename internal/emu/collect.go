@@ -1,0 +1,184 @@
+package emu
+
+import (
+	"math"
+
+	"neutrality/internal/graph"
+	"neutrality/internal/measure"
+)
+
+// Collector accumulates the three kinds of observations the evaluation
+// needs:
+//
+//   - per-path per-interval sent/lost packet counts — the external
+//     observations fed to Algorithm 2 (what end-hosts can measure);
+//   - per-link per-path per-interval arrival/drop counts — ground truth,
+//     "directly measured by the network", used only for reporting
+//     (Figure 10(a)) and for scoring the algorithm;
+//   - queue-occupancy traces for selected links (Figure 11).
+type Collector struct {
+	Interval Time
+	paths    int
+	links    int
+
+	sent [][]int // [interval][path]
+	lost [][]int
+
+	// Ground truth: key(interval, link, path) -> {arrived, dropped}.
+	gtArr map[int64][2]int
+
+	traces map[graph.LinkID]*QueueTrace
+	delay  *delayTracker
+}
+
+// QueueTrace is a sampled queue-occupancy time series.
+type QueueTrace struct {
+	Link     graph.LinkID
+	Times    []Time
+	Bytes    []int // main queue + shaper queues
+	MainOnly []int
+}
+
+// NewCollector creates a collector for the given network with the given
+// measurement interval; it registers itself in the network hooks.
+func NewCollector(n *Network, interval Time) *Collector {
+	c := &Collector{
+		Interval: interval,
+		paths:    n.Graph.NumPaths(),
+		links:    n.Graph.NumLinks(),
+		gtArr:    make(map[int64][2]int),
+		traces:   map[graph.LinkID]*QueueTrace{},
+	}
+	n.Hooks.DataSent = func(p *Packet) {
+		t := c.intervalOf(n.Sim.Now())
+		c.ensure(t)
+		c.sent[t][p.Path]++
+	}
+	n.Hooks.DataDropped = func(p *Packet, at *Link) {
+		t := c.intervalOf(n.Sim.Now())
+		c.ensure(t)
+		c.lost[t][p.Path]++
+		k := c.key(t, int(at.ID), int(p.Path))
+		e := c.gtArr[k]
+		e[1]++
+		c.gtArr[k] = e
+	}
+	n.Hooks.LinkArrival = func(p *Packet, at *Link) {
+		t := c.intervalOf(n.Sim.Now())
+		k := c.key(t, int(at.ID), int(p.Path))
+		e := c.gtArr[k]
+		e[0]++
+		c.gtArr[k] = e
+	}
+	return c
+}
+
+func (c *Collector) intervalOf(now Time) int { return int(now / c.Interval) }
+
+func (c *Collector) key(interval, link, path int) int64 {
+	return (int64(interval)*int64(c.links)+int64(link))*int64(c.paths) + int64(path)
+}
+
+func (c *Collector) ensure(t int) {
+	for len(c.sent) <= t {
+		c.sent = append(c.sent, make([]int, c.paths))
+		c.lost = append(c.lost, make([]int, c.paths))
+	}
+}
+
+// TraceQueue starts sampling the occupancy of link l every dt seconds.
+func (c *Collector) TraceQueue(n *Network, l graph.LinkID, dt Time) {
+	tr := &QueueTrace{Link: l}
+	c.traces[l] = tr
+	var sample func()
+	sample = func() {
+		lk := n.Link(l)
+		tr.Times = append(tr.Times, n.Sim.Now())
+		tr.Bytes = append(tr.Bytes, lk.QueueBytes()+lk.ShaperBytes())
+		tr.MainOnly = append(tr.MainOnly, lk.QueueBytes())
+		n.Sim.After(dt, sample)
+	}
+	n.Sim.After(dt, sample)
+}
+
+// Trace returns the queue trace of link l (nil if not traced).
+func (c *Collector) Trace(l graph.LinkID) *QueueTrace { return c.traces[l] }
+
+// Measurements exports the external observations, truncated to complete
+// intervals within the given duration, restricted to the given measured
+// paths (renumbered 0..len(paths)-1 in order). Pass nil to export every
+// path.
+func (c *Collector) Measurements(duration Time, paths []graph.PathID) *measure.Measurements {
+	T := int(duration / c.Interval)
+	if T > 0 {
+		c.ensure(T - 1) // pad trailing idle intervals with zeros
+	}
+	if paths == nil {
+		paths = make([]graph.PathID, c.paths)
+		for i := range paths {
+			paths[i] = graph.PathID(i)
+		}
+	}
+	m := measure.NewMeasurements(T, len(paths))
+	for t := 0; t < T; t++ {
+		for i, p := range paths {
+			sent, lost := c.sent[t][p], c.lost[t][p]
+			if lost > sent {
+				// A packet sent near an interval boundary can be dropped
+				// in the next interval; clamp so the loss is attributed
+				// to the interval that observed it.
+				lost = sent
+			}
+			m.Sent[t][i] = sent
+			m.Lost[t][i] = lost
+		}
+	}
+	return m
+}
+
+// LinkClassTruth summarizes ground truth for one link: the per-path
+// congestion probabilities, i.e. for each path through the link, the
+// fraction of intervals in which the link dropped at least lossThreshold of
+// the path's arriving packets. This is the data behind Figure 10(a).
+type LinkClassTruth struct {
+	Link graph.LinkID
+	// PerPath[p] is the congestion probability of the link w.r.t. path p
+	// (only paths that traverse the link are present).
+	PerPath map[graph.PathID]float64
+}
+
+// GroundTruth computes per-link per-path congestion probabilities over the
+// first T intervals of the run.
+func (c *Collector) GroundTruth(n *Network, duration Time, lossThreshold float64) []LinkClassTruth {
+	T := int(duration / c.Interval)
+	if T > len(c.sent) {
+		T = len(c.sent)
+	}
+	out := make([]LinkClassTruth, c.links)
+	for l := 0; l < c.links; l++ {
+		lt := LinkClassTruth{Link: graph.LinkID(l), PerPath: map[graph.PathID]float64{}}
+		for _, p := range n.Graph.PathsThrough(graph.LinkID(l)) {
+			congested, usable := 0, 0
+			for t := 0; t < T; t++ {
+				e := c.gtArr[c.key(t, l, int(p))]
+				// LinkArrival fires before the drop decision, so arrived
+				// already includes every packet later dropped here.
+				arrived, dropped := e[0], e[1]
+				if arrived == 0 {
+					continue
+				}
+				usable++
+				if float64(dropped)/float64(arrived) >= lossThreshold {
+					congested++
+				}
+			}
+			if usable > 0 {
+				lt.PerPath[p] = float64(congested) / float64(usable)
+			} else {
+				lt.PerPath[p] = math.NaN()
+			}
+		}
+		out[l] = lt
+	}
+	return out
+}

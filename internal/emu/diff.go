@@ -1,0 +1,204 @@
+package emu
+
+import (
+	"fmt"
+
+	"neutrality/internal/graph"
+)
+
+// DiffKind selects the traffic-differentiation mechanism of a link.
+type DiffKind int
+
+const (
+	// Police drops excess traffic of the regulated classes immediately
+	// (token bucket with no queue), as deployed on the paper's l5, l14,
+	// l20 in topology B and on topology A's shared link in sets 4–6.
+	Police DiffKind = iota
+	// Shape buffers excess traffic of each regulated class in a dedicated
+	// queue drained at the shaped rate (sets 7–9).
+	Shape
+)
+
+func (k DiffKind) String() string {
+	switch k {
+	case Police:
+		return "police"
+	case Shape:
+		return "shape"
+	default:
+		return fmt.Sprintf("DiffKind(%d)", int(k))
+	}
+}
+
+// Differentiation configures a link's per-class regulation. Classes absent
+// from Rate pass straight to the main queue.
+type Differentiation struct {
+	Kind DiffKind
+	// Rate maps a class to the fraction of link capacity it may use
+	// (e.g. 0.2 polices the class at 20 % of capacity). The paper's
+	// shaping experiments shape class 2 at R and class 1 at 1−R; that is
+	// expressed with two entries.
+	Rate map[graph.ClassID]float64
+	// BurstSec sizes the token bucket in seconds at the regulated rate
+	// (bucket bytes = rate × BurstSec / 8). Zero uses DefaultBurstSec.
+	BurstSec float64
+	// ShaperQueueBytes bounds each shaper queue; zero uses the link's
+	// main-queue limit.
+	ShaperQueueBytes int
+}
+
+// DefaultBurstSec is the default token-bucket depth (50 ms at the regulated
+// rate), comfortably above one MSS at the paper's rates.
+const DefaultBurstSec = 0.05
+
+func (l *Link) attachDiff(d *Differentiation) error {
+	burstSec := d.BurstSec
+	if burstSec <= 0 {
+		burstSec = DefaultBurstSec
+	}
+	for class, frac := range d.Rate {
+		if frac <= 0 || frac > 1 {
+			return fmt.Errorf("emu: link %s: class %d rate fraction %v out of (0,1]", l.Name, class, frac)
+		}
+		rate := l.Cap * frac // bits/s
+		bucket := rate * burstSec / 8
+		if bucket < 3100 { // at least two full-size packets
+			bucket = 3100
+		}
+		tb := &tokenBucket{rate: rate / 8, bucket: bucket, tokens: bucket}
+		switch d.Kind {
+		case Police:
+			if l.policer == nil {
+				l.policer = map[graph.ClassID]*tokenBucket{}
+			}
+			l.policer[class] = tb
+		case Shape:
+			if l.shaper == nil {
+				l.shaper = map[graph.ClassID]*shaperQueue{}
+			}
+			limit := d.ShaperQueueBytes
+			sq := &shaperQueue{tb: tb, link: l, qLimit: limit}
+			l.shaper[class] = sq
+		default:
+			return fmt.Errorf("emu: link %s: unknown differentiation kind %v", l.Name, d.Kind)
+		}
+	}
+	return nil
+}
+
+// tokenBucket is a byte-denominated token bucket.
+type tokenBucket struct {
+	rate   float64 // bytes/s
+	bucket float64 // bytes
+	tokens float64
+	last   Time
+}
+
+func (tb *tokenBucket) refill(now Time) {
+	if now > tb.last {
+		tb.tokens += (now - tb.last) * tb.rate
+		if tb.tokens > tb.bucket {
+			tb.tokens = tb.bucket
+		}
+		tb.last = now
+	}
+}
+
+// tokenEps absorbs floating-point rounding in token arithmetic so a
+// release scheduled for "exactly enough tokens" is honoured.
+const tokenEps = 1e-6
+
+// take consumes size bytes if available.
+func (tb *tokenBucket) take(now Time, size int) bool {
+	tb.refill(now)
+	if tb.tokens >= float64(size)-tokenEps {
+		tb.tokens -= float64(size)
+		if tb.tokens < 0 {
+			tb.tokens = 0
+		}
+		return true
+	}
+	return false
+}
+
+// wait returns the delay until size bytes of tokens will be available.
+func (tb *tokenBucket) wait(now Time, size int) Time {
+	tb.refill(now)
+	deficit := float64(size) - tb.tokens
+	if deficit <= 0 {
+		return 0
+	}
+	return deficit / tb.rate
+}
+
+// shaperQueue delays excess packets of one class until tokens accumulate,
+// then feeds them to the link's main queue.
+type shaperQueue struct {
+	tb     *tokenBucket
+	link   *Link
+	queue  []*Packet
+	qBytes int
+	qLimit int
+	armed  bool
+}
+
+// shaperQueueDrainSec sizes the default shaper queue: 200 ms of buffering
+// at the shaped rate (a typical shaper configuration). Sizing by the
+// shaped rate rather than the link's full bandwidth–delay product matters:
+// an over-provisioned shaper queue converts sustained overload into pure
+// delay, which a loss-frequency metric cannot observe.
+const shaperQueueDrainSec = 0.2
+
+func (s *shaperQueue) limit() int {
+	if s.qLimit > 0 {
+		return s.qLimit
+	}
+	l := int(s.tb.rate * shaperQueueDrainSec)
+	if l < 3*1500 {
+		l = 3 * 1500
+	}
+	if l > s.link.QLimit {
+		l = s.link.QLimit
+	}
+	return l
+}
+
+// submit runs a packet through the shaper.
+func (s *shaperQueue) submit(p *Packet) {
+	now := s.link.sim.Now()
+	if len(s.queue) == 0 && s.tb.take(now, p.Size) {
+		s.link.enqueue(p)
+		return
+	}
+	if s.qBytes+p.Size > s.limit() {
+		s.link.drop(p)
+		return
+	}
+	s.queue = append(s.queue, p)
+	s.qBytes += p.Size
+	s.arm()
+}
+
+// arm schedules the next release if not already scheduled.
+func (s *shaperQueue) arm() {
+	if s.armed || len(s.queue) == 0 {
+		return
+	}
+	s.armed = true
+	now := s.link.sim.Now()
+	d := s.tb.wait(now, s.queue[0].Size)
+	if d < 1e-6 {
+		d = 1e-6 // always advance the clock; avoids same-instant livelock
+	}
+	s.link.sim.After(d, func() {
+		s.armed = false
+		now := s.link.sim.Now()
+		for len(s.queue) > 0 && s.tb.take(now, s.queue[0].Size) {
+			p := s.queue[0]
+			s.queue = s.queue[1:]
+			s.qBytes -= p.Size
+			s.link.enqueue(p)
+		}
+		s.arm()
+	})
+}

@@ -1,0 +1,204 @@
+package emu
+
+import (
+	"math"
+	"testing"
+
+	"neutrality/internal/graph"
+)
+
+// diffNet builds a two-class, two-path network sharing one differentiating
+// link.
+func diffNet(t *testing.T, diff *Differentiation) (*Sim, *Network) {
+	t.Helper()
+	b := graph.NewBuilder()
+	s1 := b.Host("s1")
+	s2 := b.Host("s2")
+	m := b.Relay("m")
+	n := b.Relay("n")
+	d1 := b.Host("d1")
+	d2 := b.Host("d2")
+	b.Link("a1", s1, m)
+	b.Link("a2", s2, m)
+	b.Link("shared", m, n)
+	b.Link("e1", n, d1)
+	b.Link("e2", n, d2)
+	b.Path("p1", 0, "a1", "shared", "e1")
+	b.Path("p2", 1, "a2", "shared", "e2")
+	g := b.MustBuild()
+	cfg := map[graph.LinkID]LinkConfig{}
+	for i := 0; i < g.NumLinks(); i++ {
+		// Roomy queues so these tests isolate the differentiation
+		// mechanisms from drop-tail behaviour (covered in net_test.go).
+		cfg[graph.LinkID(i)] = LinkConfig{Capacity: 1e7, Delay: 0.001, QueueBytes: 1 << 20}
+	}
+	sh, _ := g.LinkByName("shared")
+	c := cfg[sh.ID]
+	c.Diff = diff
+	cfg[sh.ID] = c
+	sim := NewSim()
+	net, err := Build(sim, g, cfg, PathRTT{0: 0.05, 1: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sim, net
+}
+
+// blast sends n packets on the path at the given rate (pkts/s).
+func blast(sim *Sim, net *Network, path graph.PathID, class graph.ClassID, n int, rate float64) *int {
+	delivered := new(int)
+	for i := 0; i < n; i++ {
+		i := i
+		sim.At(float64(i)/rate, func() {
+			net.SendData(&Packet{Path: path, Class: class, Seq: i, Size: 1500,
+				Deliver: func(p *Packet) { *delivered++ }})
+		})
+	}
+	return delivered
+}
+
+// TestPolicerDropsExcess: class 1 policed at 20 % of 10 Mbps = 2 Mbps ≈
+// 166 pkt/s; sending at 800 pkt/s for 1 s should deliver roughly
+// 166 + burst, while class 0 at the same rate is untouched.
+func TestPolicerDropsExcess(t *testing.T) {
+	sim, net := diffNet(t, &Differentiation{
+		Kind: Police,
+		Rate: map[graph.ClassID]float64{1: 0.2},
+	})
+	d0 := blast(sim, net, 0, 0, 800, 400) // 4.8 Mbps, below capacity
+	d1 := blast(sim, net, 1, 1, 800, 800) // 9.6 Mbps offered, policed to 2
+	sim.Run(4)
+	if *d0 != 800 {
+		t.Fatalf("unpoliced class delivered %d/800", *d0)
+	}
+	// 2 Mbps = 166.7 pkt/s for 1 s plus ~8 packet burst (50 ms bucket).
+	if *d1 < 120 || *d1 > 260 {
+		t.Fatalf("policed class delivered %d, want ≈170±burst", *d1)
+	}
+}
+
+// TestShaperDelaysButDelivers: shaping buffers excess rather than dropping
+// it, so a modest overload arrives late but complete.
+func TestShaperDelaysButDelivers(t *testing.T) {
+	sim, net := diffNet(t, &Differentiation{
+		Kind: Shape,
+		Rate: map[graph.ClassID]float64{1: 0.5},
+	})
+	// 5 Mbps shaped rate ≈ 416 pkt/s. Send 300 packets at 600/s (0.5 s
+	// of input): all fit in the shaper queue and drain by ~0.75 s.
+	d1 := blast(sim, net, 1, 1, 300, 600)
+	sim.Run(5)
+	if *d1 != 300 {
+		t.Fatalf("shaped class delivered %d/300, want all (buffered, not dropped)", *d1)
+	}
+}
+
+// TestShaperRateEnforced: sustained input above the shaped rate drains at
+// the shaped rate.
+func TestShaperRateEnforced(t *testing.T) {
+	sim, net := diffNet(t, &Differentiation{
+		Kind:             Shape,
+		Rate:             map[graph.ClassID]float64{1: 0.2},
+		ShaperQueueBytes: 1 << 20, // roomy: this test isolates the rate, not the queue
+	})
+	var last float64
+	n := 200
+	delivered := 0
+	for i := 0; i < n; i++ {
+		i := i
+		sim.At(float64(i)/1000, func() {
+			net.SendData(&Packet{Path: 1, Class: 1, Seq: i, Size: 1500,
+				Deliver: func(p *Packet) { delivered++; last = sim.Now() }})
+		})
+	}
+	sim.Run(10)
+	if delivered != n {
+		t.Fatalf("delivered %d/%d", delivered, n)
+	}
+	// 2 Mbps = 250 B/ms -> 200 packets * 1500 B = 300 kB ≈ 1.2 s (minus
+	// the initial burst).
+	want := 200 * 1500 * 8 / 2e6
+	if last < want*0.7 || last > want*1.3 {
+		t.Fatalf("last delivery at %v, want ≈%v", last, want)
+	}
+}
+
+// TestShaperQueueOverflowDrops: the shaper queue is finite.
+func TestShaperQueueOverflowDrops(t *testing.T) {
+	sim, net := diffNet(t, &Differentiation{
+		Kind:             Shape,
+		Rate:             map[graph.ClassID]float64{1: 0.1},
+		ShaperQueueBytes: 15000, // 10 packets
+	})
+	dropped := 0
+	net.Hooks.DataDropped = func(p *Packet, at *Link) { dropped++ }
+	d1 := blast(sim, net, 1, 1, 400, 4000) // far above 1 Mbps
+	sim.Run(10)
+	if dropped == 0 {
+		t.Fatal("overloaded bounded shaper never dropped")
+	}
+	if *d1+dropped != 400 {
+		t.Fatalf("delivered %d + dropped %d != 400", *d1, dropped)
+	}
+}
+
+// TestPolicerBurstTolerance: a burst within the bucket passes untouched.
+func TestPolicerBurstTolerance(t *testing.T) {
+	sim, net := diffNet(t, &Differentiation{
+		Kind:     Police,
+		Rate:     map[graph.ClassID]float64{1: 0.2},
+		BurstSec: 0.5, // 2 Mbps × 0.5 s = 125 kB ≈ 83 packets
+	})
+	d1 := blast(sim, net, 1, 1, 50, 100000) // instantaneous 50-packet burst
+	sim.Run(2)
+	if *d1 != 50 {
+		t.Fatalf("burst within bucket delivered %d/50", *d1)
+	}
+}
+
+func TestDifferentiationValidation(t *testing.T) {
+	b := graph.NewBuilder()
+	s := b.Host("s")
+	d := b.Host("d")
+	b.Link("l", s, d)
+	b.Path("p", 0, "l")
+	g := b.MustBuild()
+	l, _ := g.LinkByName("l")
+	sim := NewSim()
+	_, err := Build(sim, g, map[graph.LinkID]LinkConfig{
+		l.ID: {Capacity: 1e6, Diff: &Differentiation{Kind: Police, Rate: map[graph.ClassID]float64{0: 1.5}}},
+	}, PathRTT{0: 0.05})
+	if err == nil {
+		t.Fatal("rate > 1 accepted")
+	}
+}
+
+func TestDiffKindString(t *testing.T) {
+	if Police.String() != "police" || Shape.String() != "shape" {
+		t.Fatal("kind strings wrong")
+	}
+	if DiffKind(9).String() == "" {
+		t.Fatal("unknown kind should still render")
+	}
+}
+
+func TestShaperBytesAccounting(t *testing.T) {
+	sim, net := diffNet(t, &Differentiation{
+		Kind: Shape,
+		Rate: map[graph.ClassID]float64{1: 0.1},
+	})
+	blast(sim, net, 1, 1, 100, 100000)
+	sim.Run(0.01) // shaper should be holding most packets
+	sh, _ := net.Graph.LinkByName("shared")
+	l := net.Link(sh.ID)
+	if l.ShaperBytes() == 0 {
+		t.Fatal("shaper queue empty during overload")
+	}
+	sim.Run(60)
+	if l.ShaperBytes() != 0 {
+		t.Fatalf("shaper queue not drained: %d bytes", l.ShaperBytes())
+	}
+	if math.Abs(float64(l.QueueBytes())) != 0 {
+		t.Fatalf("main queue not drained: %d", l.QueueBytes())
+	}
+}

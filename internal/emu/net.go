@@ -1,0 +1,299 @@
+package emu
+
+import (
+	"fmt"
+
+	"neutrality/internal/graph"
+)
+
+// Packet is one simulated packet. Data packets traverse the forward links
+// of their path and are subject to queueing, differentiation, and loss;
+// ACKs return over an uncongested reverse channel modeled as a fixed delay
+// (the standard emulation simplification for forward-path studies: the
+// paper congests only forward links).
+type Packet struct {
+	Path  graph.PathID
+	Class graph.ClassID
+	// Seq is the TCP segment sequence (in segments, not bytes).
+	Seq int
+	// Ack is the cumulative acknowledgement carried by an ACK packet.
+	Ack int
+	// Size is the wire size in bytes.
+	Size int
+	// IsAck marks reverse-direction packets.
+	IsAck bool
+	// Retx marks retransmissions (excluded from RTT sampling).
+	Retx bool
+	// SentAt is the time the packet (this copy) was sent.
+	SentAt Time
+	// Deliver is invoked on arrival at the destination end-host.
+	Deliver func(*Packet)
+
+	hop int // current hop index while in flight
+}
+
+// LinkConfig describes one emulated link.
+type LinkConfig struct {
+	// Capacity in bits per second.
+	Capacity float64
+	// Delay is the one-way propagation delay in seconds.
+	Delay Time
+	// QueueBytes is the drop-tail queue limit; 0 derives it from the
+	// bandwidth–delay product when the network is built (capacity × the
+	// maximum RTT of the paths traversing the link, per Section 6.1).
+	QueueBytes int
+	// Diff optionally attaches a traffic-differentiation mechanism.
+	Diff *Differentiation
+}
+
+// Link is the runtime state of an emulated link.
+type Link struct {
+	ID     graph.LinkID
+	Name   string
+	Cap    float64 // bits/s
+	Delay  Time
+	QLimit int // bytes
+
+	sim *Sim
+	net *Network
+
+	queue   []*Packet
+	qBytes  int
+	busy    bool
+	policer map[graph.ClassID]*tokenBucket
+	shaper  map[graph.ClassID]*shaperQueue
+
+	// Stats.
+	Forwarded uint64
+	Dropped   uint64
+}
+
+// QueueBytes returns the current main-queue occupancy in bytes (excluding
+// any shaper queues).
+func (l *Link) QueueBytes() int { return l.qBytes }
+
+// ShaperBytes returns the bytes currently buffered in shaper queues.
+func (l *Link) ShaperBytes() int {
+	total := 0
+	for _, s := range l.shaper {
+		total += s.qBytes
+	}
+	return total
+}
+
+// pathRoute is the forward route and reverse-delay of one path.
+type pathRoute struct {
+	links    []*Link
+	ackDelay Time
+	rtt      Time
+}
+
+// Hooks receive measurement events from the network. Nil hooks are skipped.
+type Hooks struct {
+	// DataSent fires when a data packet enters the network at its source.
+	DataSent func(p *Packet)
+	// DataDropped fires when a data packet is dropped anywhere (queue
+	// overflow or policer).
+	DataDropped func(p *Packet, at *Link)
+	// LinkArrival fires when a data packet arrives at a link (ground-truth
+	// per-link accounting).
+	LinkArrival func(p *Packet, at *Link)
+	// Delivered fires when a data packet reaches its destination host.
+	Delivered func(p *Packet)
+}
+
+// Network is the emulated network: the graph's links instantiated with
+// capacities, delays, queues, and differentiation, plus per-path routes.
+type Network struct {
+	Sim   *Sim
+	Graph *graph.Network
+	Hooks Hooks
+
+	links  []*Link
+	routes []pathRoute
+}
+
+// PathRTT records the base round-trip time assigned to each path: forward
+// propagation is spread across the path's links and the ACK return channel
+// carries the other half.
+type PathRTT map[graph.PathID]Time
+
+// Build instantiates the emulated network. linkCfg must cover every link of
+// g; rtts must cover every path.
+func Build(sim *Sim, g *graph.Network, linkCfg map[graph.LinkID]LinkConfig, rtts PathRTT) (*Network, error) {
+	n := &Network{Sim: sim, Graph: g}
+	n.links = make([]*Link, g.NumLinks())
+
+	// Forward propagation delay: half the RTT spread evenly over the
+	// path's links. When links are shared by paths with different RTTs the
+	// first configuration wins for the link delay; per-path residual delay
+	// is folded into the ACK channel so each path sees exactly its RTT.
+	for i := 0; i < g.NumLinks(); i++ {
+		id := graph.LinkID(i)
+		cfg, ok := linkCfg[id]
+		if !ok {
+			return nil, fmt.Errorf("emu: no config for link %s", g.Link(id).Name)
+		}
+		if cfg.Capacity <= 0 {
+			return nil, fmt.Errorf("emu: link %s has non-positive capacity", g.Link(id).Name)
+		}
+		l := &Link{
+			ID:     id,
+			Name:   g.Link(id).Name,
+			Cap:    cfg.Capacity,
+			Delay:  cfg.Delay,
+			QLimit: cfg.QueueBytes,
+			sim:    sim,
+			net:    n,
+		}
+		if cfg.Diff != nil {
+			if err := l.attachDiff(cfg.Diff); err != nil {
+				return nil, err
+			}
+		}
+		n.links[i] = l
+	}
+
+	n.routes = make([]pathRoute, g.NumPaths())
+	for p := 0; p < g.NumPaths(); p++ {
+		pid := graph.PathID(p)
+		rtt, ok := rtts[pid]
+		if !ok {
+			return nil, fmt.Errorf("emu: no RTT for path %s", g.Path(pid).Name)
+		}
+		route := pathRoute{rtt: rtt}
+		fwd := Time(0)
+		for _, lid := range g.Path(pid).Links {
+			l := n.links[lid]
+			route.links = append(route.links, l)
+			fwd += l.Delay
+		}
+		route.ackDelay = rtt - fwd
+		if route.ackDelay < 0 {
+			return nil, fmt.Errorf("emu: path %s RTT %.4gs smaller than forward propagation %.4gs", g.Path(pid).Name, rtt, fwd)
+		}
+		n.routes[p] = route
+	}
+
+	// Derive BDP queue limits where unset: capacity × max path RTT.
+	for i, l := range n.links {
+		if l.QLimit > 0 {
+			continue
+		}
+		maxRTT := Time(0)
+		for _, pid := range g.PathsThrough(graph.LinkID(i)) {
+			if r := n.routes[pid].rtt; r > maxRTT {
+				maxRTT = r
+			}
+		}
+		if maxRTT == 0 {
+			maxRTT = 0.1
+		}
+		l.QLimit = int(l.Cap / 8 * maxRTT)
+		if l.QLimit < 3000 {
+			l.QLimit = 3000 // always room for a couple of packets
+		}
+	}
+	return n, nil
+}
+
+// Link returns the runtime link with the given ID.
+func (n *Network) Link(id graph.LinkID) *Link { return n.links[id] }
+
+// RTT returns the base round-trip time of a path.
+func (n *Network) RTT(p graph.PathID) Time { return n.routes[p].rtt }
+
+// SendData injects a data packet at the source of its path.
+func (n *Network) SendData(p *Packet) {
+	p.hop = 0
+	p.SentAt = n.Sim.Now()
+	if h := n.Hooks.DataSent; h != nil {
+		h(p)
+	}
+	n.arrive(p)
+}
+
+// SendAck returns an acknowledgement to the path's source after the
+// reverse-channel delay. ACKs are not subject to loss.
+func (n *Network) SendAck(p *Packet) {
+	route := n.routes[p.Path]
+	delay := route.ackDelay
+	if delay <= 0 {
+		delay = 1e-6
+	}
+	pkt := p
+	n.Sim.After(delay, func() { pkt.Deliver(pkt) })
+}
+
+// arrive processes a data packet arriving at its current hop.
+func (n *Network) arrive(p *Packet) {
+	route := n.routes[p.Path]
+	if p.hop >= len(route.links) {
+		if h := n.Hooks.Delivered; h != nil {
+			h(p)
+		}
+		p.Deliver(p)
+		return
+	}
+	l := route.links[p.hop]
+	if h := n.Hooks.LinkArrival; h != nil {
+		h(p, l)
+	}
+	l.receive(p)
+}
+
+// receive runs the link's differentiation stage and then enqueues.
+func (l *Link) receive(p *Packet) {
+	if tb, ok := l.policer[p.Class]; ok {
+		if !tb.take(l.sim.Now(), p.Size) {
+			l.drop(p)
+			return
+		}
+	}
+	if sq, ok := l.shaper[p.Class]; ok {
+		sq.submit(p)
+		return
+	}
+	l.enqueue(p)
+}
+
+// enqueue places the packet in the main drop-tail queue.
+func (l *Link) enqueue(p *Packet) {
+	if l.qBytes+p.Size > l.QLimit {
+		l.drop(p)
+		return
+	}
+	l.queue = append(l.queue, p)
+	l.qBytes += p.Size
+	if !l.busy {
+		l.transmitNext()
+	}
+}
+
+func (l *Link) transmitNext() {
+	if len(l.queue) == 0 {
+		l.busy = false
+		return
+	}
+	l.busy = true
+	p := l.queue[0]
+	l.queue = l.queue[1:]
+	l.qBytes -= p.Size
+	txTime := float64(p.Size*8) / l.Cap
+	l.sim.After(txTime, func() {
+		l.Forwarded++
+		// Propagation happens in parallel with the next transmission.
+		l.sim.After(l.Delay, func() {
+			p.hop++
+			l.net.arrive(p)
+		})
+		l.transmitNext()
+	})
+}
+
+func (l *Link) drop(p *Packet) {
+	l.Dropped++
+	if h := l.net.Hooks.DataDropped; h != nil {
+		h(p, l)
+	}
+}

@@ -1,0 +1,173 @@
+package emu
+
+import (
+	"math"
+	"testing"
+
+	"neutrality/internal/graph"
+)
+
+// twoHop builds a minimal host->relay->host network with one path.
+func twoHop(t *testing.T, cfg1, cfg2 LinkConfig, rtt float64) (*Sim, *Network) {
+	t.Helper()
+	b := graph.NewBuilder()
+	s := b.Host("s")
+	m := b.Relay("m")
+	d := b.Host("d")
+	b.Link("la", s, m)
+	b.Link("lb", m, d)
+	b.Path("p", 0, "la", "lb")
+	g := b.MustBuild()
+	la, _ := g.LinkByName("la")
+	lb, _ := g.LinkByName("lb")
+	sim := NewSim()
+	net, err := Build(sim, g, map[graph.LinkID]LinkConfig{la.ID: cfg1, lb.ID: cfg2}, PathRTT{0: rtt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sim, net
+}
+
+func TestDeliveryLatency(t *testing.T) {
+	// 1500-byte packet over two 1 Mbps links with 10 ms propagation each:
+	// tx 12 ms per hop + 10 ms prop per hop = 44 ms.
+	cfg := LinkConfig{Capacity: 1e6, Delay: 0.01}
+	sim, net := twoHop(t, cfg, cfg, 0.1)
+	var deliveredAt float64
+	pkt := &Packet{Path: 0, Size: 1500, Deliver: func(p *Packet) { deliveredAt = sim.Now() }}
+	net.SendData(pkt)
+	sim.Run(1)
+	want := 2*(1500*8/1e6) + 2*0.01
+	if math.Abs(deliveredAt-want) > 1e-9 {
+		t.Fatalf("delivered at %v, want %v", deliveredAt, want)
+	}
+}
+
+func TestThroughputMatchesCapacity(t *testing.T) {
+	// Blast 1000 packets into a 10 Mbps link; the last should arrive at
+	// ~ 1000 * 1500*8/10e6 = 1.2 s.
+	cfg := LinkConfig{Capacity: 10e6, Delay: 0, QueueBytes: 1 << 30}
+	sim, net := twoHop(t, cfg, LinkConfig{Capacity: 1e9, Delay: 0}, 0.1)
+	delivered := 0
+	var last float64
+	for i := 0; i < 1000; i++ {
+		net.SendData(&Packet{Path: 0, Seq: i, Size: 1500, Deliver: func(p *Packet) {
+			delivered++
+			last = sim.Now()
+		}})
+	}
+	sim.Run(10)
+	if delivered != 1000 {
+		t.Fatalf("delivered %d", delivered)
+	}
+	want := 1000 * 1500 * 8 / 10e6
+	if math.Abs(last-want) > 0.01 {
+		t.Fatalf("last delivery %v, want ~%v", last, want)
+	}
+}
+
+func TestQueueOverflowDrops(t *testing.T) {
+	// Queue of 3000 bytes = 2 packets; inject 10 back-to-back: 1 in
+	// service + 2 queued survive, 7 drop.
+	cfg := LinkConfig{Capacity: 1e6, Delay: 0, QueueBytes: 3000}
+	sim, net := twoHop(t, cfg, LinkConfig{Capacity: 1e9, Delay: 0, QueueBytes: 1 << 20}, 0.1)
+	delivered, dropped := 0, 0
+	net.Hooks.DataDropped = func(p *Packet, at *Link) { dropped++ }
+	for i := 0; i < 10; i++ {
+		net.SendData(&Packet{Path: 0, Seq: i, Size: 1500, Deliver: func(p *Packet) { delivered++ }})
+	}
+	sim.Run(10)
+	if delivered != 3 || dropped != 7 {
+		t.Fatalf("delivered %d dropped %d, want 3/7", delivered, dropped)
+	}
+}
+
+func TestFIFOOrder(t *testing.T) {
+	cfg := LinkConfig{Capacity: 1e6, Delay: 0.001, QueueBytes: 1 << 20}
+	sim, net := twoHop(t, cfg, cfg, 0.1)
+	var got []int
+	for i := 0; i < 20; i++ {
+		i := i
+		net.SendData(&Packet{Path: 0, Seq: i, Size: 1500, Deliver: func(p *Packet) { got = append(got, i) }})
+	}
+	sim.Run(10)
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("out of order: %v", got)
+		}
+	}
+}
+
+func TestAckChannelDelay(t *testing.T) {
+	cfg := LinkConfig{Capacity: 1e9, Delay: 0.001}
+	sim, net := twoHop(t, cfg, cfg, 0.050)
+	var at float64
+	net.SendAck(&Packet{Path: 0, IsAck: true, Size: 40, Deliver: func(p *Packet) { at = sim.Now() }})
+	sim.Run(1)
+	want := 0.050 - 0.002 // RTT minus forward propagation
+	if math.Abs(at-want) > 1e-9 {
+		t.Fatalf("ack at %v, want %v", at, want)
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	b := graph.NewBuilder()
+	s := b.Host("s")
+	d := b.Host("d")
+	b.Link("l", s, d)
+	b.Path("p", 0, "l")
+	g := b.MustBuild()
+	l, _ := g.LinkByName("l")
+	sim := NewSim()
+
+	if _, err := Build(sim, g, map[graph.LinkID]LinkConfig{}, PathRTT{0: 0.05}); err == nil {
+		t.Fatal("missing link config accepted")
+	}
+	if _, err := Build(sim, g, map[graph.LinkID]LinkConfig{l.ID: {Capacity: 0}}, PathRTT{0: 0.05}); err == nil {
+		t.Fatal("zero capacity accepted")
+	}
+	if _, err := Build(sim, g, map[graph.LinkID]LinkConfig{l.ID: {Capacity: 1e6}}, PathRTT{}); err == nil {
+		t.Fatal("missing RTT accepted")
+	}
+	if _, err := Build(sim, g, map[graph.LinkID]LinkConfig{l.ID: {Capacity: 1e6, Delay: 1}}, PathRTT{0: 0.05}); err == nil {
+		t.Fatal("RTT below forward propagation accepted")
+	}
+}
+
+func TestBDPQueueDerivation(t *testing.T) {
+	// 10 Mbps × 100 ms RTT = 125000 bytes.
+	cfg := LinkConfig{Capacity: 10e6, Delay: 0.001}
+	_, net := twoHop(t, cfg, cfg, 0.1)
+	la, _ := net.Graph.LinkByName("la")
+	if got := net.Link(la.ID).QLimit; got != 125000 {
+		t.Fatalf("queue limit %d, want 125000", got)
+	}
+}
+
+func TestHooksFire(t *testing.T) {
+	cfg := LinkConfig{Capacity: 1e6, Delay: 0, QueueBytes: 1 << 20}
+	sim, net := twoHop(t, cfg, cfg, 0.1)
+	var sent, arrivals, delivered int
+	net.Hooks.DataSent = func(p *Packet) { sent++ }
+	net.Hooks.LinkArrival = func(p *Packet, at *Link) { arrivals++ }
+	net.Hooks.Delivered = func(p *Packet) { delivered++ }
+	net.SendData(&Packet{Path: 0, Size: 1500, Deliver: func(p *Packet) {}})
+	sim.Run(1)
+	if sent != 1 || arrivals != 2 || delivered != 1 {
+		t.Fatalf("sent=%d arrivals=%d delivered=%d", sent, arrivals, delivered)
+	}
+}
+
+func TestLinkStats(t *testing.T) {
+	cfg := LinkConfig{Capacity: 1e6, Delay: 0, QueueBytes: 3000}
+	sim, net := twoHop(t, cfg, LinkConfig{Capacity: 1e9, Delay: 0, QueueBytes: 1 << 20}, 0.1)
+	for i := 0; i < 10; i++ {
+		net.SendData(&Packet{Path: 0, Size: 1500, Deliver: func(p *Packet) {}})
+	}
+	sim.Run(10)
+	la, _ := net.Graph.LinkByName("la")
+	l := net.Link(la.ID)
+	if l.Forwarded != 3 || l.Dropped != 7 {
+		t.Fatalf("forwarded=%d dropped=%d", l.Forwarded, l.Dropped)
+	}
+}

@@ -1,0 +1,128 @@
+package emu
+
+import (
+	"testing"
+)
+
+func TestEventOrdering(t *testing.T) {
+	s := NewSim()
+	var order []int
+	s.At(2, func() { order = append(order, 2) })
+	s.At(1, func() { order = append(order, 1) })
+	s.At(3, func() { order = append(order, 3) })
+	s.Run(10)
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	if s.Now() != 10 {
+		t.Fatalf("now = %v, want 10", s.Now())
+	}
+}
+
+func TestSimultaneousEventsFIFO(t *testing.T) {
+	s := NewSim()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(1, func() { order = append(order, i) })
+	}
+	s.Run(2)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("simultaneous events out of schedule order: %v", order)
+		}
+	}
+}
+
+func TestCancelledEventSkipped(t *testing.T) {
+	s := NewSim()
+	fired := false
+	tm := s.At(1, func() { fired = true })
+	tm.Cancel()
+	s.Run(2)
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	// Cancel is idempotent and safe on nil.
+	tm.Cancel()
+	var nilT *Timer
+	nilT.Cancel()
+}
+
+func TestRunStopsAtDeadline(t *testing.T) {
+	s := NewSim()
+	fired := []float64{}
+	s.At(1, func() { fired = append(fired, 1) })
+	s.At(5, func() { fired = append(fired, 5) })
+	s.Run(2)
+	if len(fired) != 1 {
+		t.Fatalf("fired %v", fired)
+	}
+	if s.Now() != 2 {
+		t.Fatalf("now = %v", s.Now())
+	}
+	s.Run(10)
+	if len(fired) != 2 {
+		t.Fatalf("fired %v after resume", fired)
+	}
+}
+
+func TestEventsScheduledDuringRun(t *testing.T) {
+	s := NewSim()
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count < 5 {
+			s.After(1, tick)
+		}
+	}
+	s.After(1, tick)
+	s.Run(100)
+	if count != 5 {
+		t.Fatalf("count = %d", count)
+	}
+	if s.Processed != 5 {
+		t.Fatalf("processed = %d", s.Processed)
+	}
+}
+
+func TestPastSchedulingPanics(t *testing.T) {
+	s := NewSim()
+	s.At(5, func() {})
+	s.Run(5)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic scheduling into the past")
+		}
+	}()
+	s.At(1, func() {})
+}
+
+func TestTokenBucket(t *testing.T) {
+	tb := &tokenBucket{rate: 1000, bucket: 5000, tokens: 5000}
+	// Burst: 5000 bytes available immediately.
+	if !tb.take(0, 3000) || !tb.take(0, 2000) {
+		t.Fatal("burst not granted")
+	}
+	if tb.take(0, 1) {
+		t.Fatal("empty bucket granted tokens")
+	}
+	// After 2 s, 2000 bytes accumulated.
+	if !tb.take(2, 2000) {
+		t.Fatal("refill not granted")
+	}
+	if tb.take(2, 1) {
+		t.Fatal("over-refill")
+	}
+	// Bucket caps at its depth.
+	if got := func() bool { tb.refill(100); return tb.tokens == 5000 }(); !got {
+		t.Fatalf("bucket did not cap: %v", tb.tokens)
+	}
+	// wait() computes the deficit delay.
+	tb.tokens = 0
+	tb.last = 100
+	if w := tb.wait(100, 1000); w != 1 {
+		t.Fatalf("wait = %v, want 1s", w)
+	}
+}

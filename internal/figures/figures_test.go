@@ -1,0 +1,101 @@
+package figures
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTable1Content(t *testing.T) {
+	s := Table1()
+	for _, want := range []string{"Bottleneck capacity", "*100", "Loss threshold", "*1, 5, 10", "CUBIC"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Table 1 missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestTable3Content(t *testing.T) {
+	s := Table3()
+	for _, want := range []string{"Dark gray", "Light gray", "White", "10Gb", "1 x 1Mb"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Table 3 missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestAblationPairObservations(t *testing.T) {
+	r := AblationPairObservations()
+	if !r.Pass {
+		t.Fatalf("pair-observation ablation should pass:\n%s", r)
+	}
+	if len(r.Rows) != 2 {
+		t.Fatalf("rows: %v", r.Rows)
+	}
+}
+
+func TestAblationClustering(t *testing.T) {
+	r, err := AblationClustering(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Pass {
+		t.Fatalf("clustering ablation should pass:\n%s", r)
+	}
+}
+
+func TestBaselineComparison(t *testing.T) {
+	r, err := BaselineComparison(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Pass {
+		t.Fatalf("baseline comparison should pass:\n%s", r)
+	}
+}
+
+// TestFig8SetSmall runs the cheapest Figure 8 set (set 3: two experiments)
+// at a tiny scale to exercise the full harness path in tests.
+func TestFig8SetSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("emulation harness test")
+	}
+	r, err := Fig8(3, Quick, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 2 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	if r.Agreement != 2 {
+		t.Fatalf("neutral CCA sweep disagreed with paper:\n%s", r)
+	}
+	if !strings.Contains(r.String(), "agreement with paper: 2/2") {
+		t.Fatalf("render wrong:\n%s", r)
+	}
+}
+
+// TestFig10Render checks the boxplot rendering on a reduced topology-B run.
+func TestFig10Render(t *testing.T) {
+	if testing.Short() {
+		t.Skip("emulation harness test")
+	}
+	r, err := Fig10(Scale{Factor: 0.3, DurationSec: 120}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := r.String()
+	for _, want := range []string{"Fig 10(a)", "Fig 10(b)", "* l5", "granularity"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Fig 10 output missing %q", want)
+		}
+	}
+	if r.Sequences < 10 {
+		t.Fatalf("only %d sequences", r.Sequences)
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	if got := sparkline(nil, 10); got != "(no trace)" {
+		t.Fatalf("nil trace: %q", got)
+	}
+}

@@ -1,0 +1,156 @@
+package figures
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"neutrality/internal/core"
+	"neutrality/internal/lab"
+	"neutrality/internal/measure"
+	"neutrality/internal/topo"
+)
+
+// Table1 renders the parameter grid of the paper's Table 1 with the
+// defaults this reproduction uses (defaults marked like the paper's bold).
+func Table1() string {
+	d := lab.DefaultParamsA()
+	var sb strings.Builder
+	sb.WriteString("Table 1: experiment parameters (defaults marked *)\n")
+	row := func(name, values string) { fmt.Fprintf(&sb, "  %-34s %s\n", name, values) }
+	row("Bottleneck capacity (Mbps)", fmt.Sprintf("*%g", d.CapacityBps/1e6))
+	row("RTT (ms)", "*50, 80, 120, 200")
+	row("Policing/shaping rate (%)", "20, *30, 40, 50")
+	row("Congestion-control algorithm", "*CUBIC, NewReno")
+	row("Parallel TCP flows per path", fmt.Sprintf("1, *%d, 15, 20, 70", d.FlowsPerPath))
+	row("Mean TCP flow size (Mb)", fmt.Sprintf("1, *%g, 40, 10000", d.MeanFlowMb[0]))
+	row("Mean inter-flow gap (s)", fmt.Sprintf("*%g", d.GapMeanSec))
+	row("Loss threshold (%)", "*1, 5, 10")
+	row("Measurement interval (ms)", fmt.Sprintf("*%g, 200, 500", d.IntervalSec*1000))
+	return sb.String()
+}
+
+// Table3 renders the topology-B traffic characteristics.
+func Table3() string {
+	d := lab.DefaultParamsB()
+	var sb strings.Builder
+	sb.WriteString("Table 3: traffic characteristics for topology B\n")
+	fmt.Fprintf(&sb, "  %-18s %s\n", "End-host group", "Number and size of parallel TCP flows per path")
+	fmt.Fprintf(&sb, "  %-18s %s\n", "Dark gray", sizesRow(d.DarkSizesMb))
+	fmt.Fprintf(&sb, "  %-18s %s\n", "Light gray", sizesRow(d.LightSizesMb))
+	fmt.Fprintf(&sb, "  %-18s %s\n", "White", sizesRow(d.WhiteSizesMb))
+	return sb.String()
+}
+
+func sizesRow(sizes []float64) string {
+	parts := make([]string, len(sizes))
+	for i, mb := range sizes {
+		if mb >= 1000 {
+			parts[i] = fmt.Sprintf("1 x %gGb", mb/1000)
+		} else {
+			parts[i] = fmt.Sprintf("1 x %gMb", mb)
+		}
+	}
+	return strings.Join(parts, " + ")
+}
+
+// SweepRow is one configuration of a Section 6.5 robustness sweep.
+type SweepRow struct {
+	Label         string
+	Verdict       bool
+	Unsolvability float64
+}
+
+// SweepResult is a robustness sweep over measurement-processing knobs on a
+// fixed (policed) topology-A run.
+type SweepResult struct {
+	Title string
+	Rows  []SweepRow
+	// Stable is true when every configuration reaches the same verdict.
+	Stable bool
+}
+
+// LossThresholdSweep re-analyzes one policed run under the paper's loss
+// thresholds {1, 5, 10} % (Section 6.5: "no significant change").
+func LossThresholdSweep(sc Scale, seed int64) (*SweepResult, error) {
+	run, a, err := policedRun(sc, seed)
+	if err != nil {
+		return nil, err
+	}
+	out := &SweepResult{Title: "Section 6.5: loss-threshold sweep (policing at 30%)", Stable: true}
+	for _, thr := range []float64{0.01, 0.05, 0.10} {
+		opts := measure.DefaultOptions()
+		opts.LossThreshold = thr
+		res := core.Infer(a.Net, core.MeasurementObserver{Meas: run.Meas, Opts: opts}, core.DefaultConfig())
+		row := SweepRow{Label: fmt.Sprintf("%g%%", thr*100), Verdict: res.NetworkNonNeutral()}
+		if len(res.Candidates) > 0 {
+			row.Unsolvability = res.Candidates[0].Unsolvability
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	for _, r := range out.Rows {
+		if r.Verdict != out.Rows[0].Verdict {
+			out.Stable = false
+		}
+	}
+	return out, nil
+}
+
+// IntervalSweep re-runs the policed experiment under measurement intervals
+// {100, 200, 500} ms.
+func IntervalSweep(sc Scale, seed int64) (*SweepResult, error) {
+	out := &SweepResult{Title: "Section 6.5: measurement-interval sweep (policing at 30%)", Stable: true}
+	for _, iv := range []float64{0.1, 0.2, 0.5} {
+		p := policedParams(sc, seed)
+		p.IntervalSec = iv
+		e, a := p.Experiment(fmt.Sprintf("interval-%gms", iv*1000))
+		run, err := lab.Run(e)
+		if err != nil {
+			return nil, err
+		}
+		res := core.Infer(a.Net, core.MeasurementObserver{Meas: run.Meas, Opts: measure.DefaultOptions()}, core.DefaultConfig())
+		row := SweepRow{Label: fmt.Sprintf("%gms", iv*1000), Verdict: res.NetworkNonNeutral()}
+		if len(res.Candidates) > 0 {
+			row.Unsolvability = res.Candidates[0].Unsolvability
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	for _, r := range out.Rows {
+		if r.Verdict != out.Rows[0].Verdict {
+			out.Stable = false
+		}
+	}
+	return out, nil
+}
+
+func policedParams(sc Scale, seed int64) lab.ParamsA {
+	p := lab.DefaultParamsA().Scale(sc.Factor, sc.DurationSec)
+	p.MeanFlowMb = [2]float64{2 * sc.Factor * 10, 2 * sc.Factor * 10} // 20 Mb at paper scale
+	p.Diff = lab.PoliceClass2(0.3)
+	p.Seed = seed
+	return p
+}
+
+func policedRun(sc Scale, seed int64) (*lab.Result, *topo.TopologyA, error) {
+	p := policedParams(sc, seed)
+	e, a := p.Experiment("sweep-base")
+	run, err := lab.Run(e)
+	return run, a, err
+}
+
+// String renders the sweep.
+func (r *SweepResult) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", r.Title)
+	for _, row := range r.Rows {
+		v := "neutral"
+		if row.Verdict {
+			v = "NON-NEUTRAL"
+		}
+		fmt.Fprintf(&sb, "  %-8s unsolvability=%.4f verdict=%s\n", row.Label, row.Unsolvability, v)
+	}
+	fmt.Fprintf(&sb, "  verdict stable across configurations: %v\n", r.Stable)
+	return sb.String()
+}
+
+func mathExp(x float64) float64 { return math.Exp(x) }

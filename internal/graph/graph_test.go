@@ -1,0 +1,233 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+// fig1 builds the paper's Figure 1 network: l1..l4, p1=(l1,l2),
+// p2=(l1,l3), p3=(l3,l4), classes {p1,p3} and {p2}.
+func fig1(t *testing.T) *Network {
+	t.Helper()
+	b := NewBuilder()
+	s := b.Host("s")
+	m := b.Host("m")
+	n := b.Host("n")
+	a := b.Host("a")
+	d := b.Host("d")
+	b.Link("l1", s, m)
+	b.Link("l2", m, a)
+	b.Link("l3", m, n)
+	b.Link("l4", n, d)
+	b.Path("p1", 0, "l1", "l2")
+	b.Path("p2", 1, "l1", "l3")
+	b.Path("p3", 0, "l3", "l4")
+	n2, err := b.Build()
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	return n2
+}
+
+func TestBuilderCounts(t *testing.T) {
+	n := fig1(t)
+	if n.NumNodes() != 5 || n.NumLinks() != 4 || n.NumPaths() != 3 || n.NumClasses() != 2 {
+		t.Fatalf("got %s", n)
+	}
+}
+
+func TestBuilderReusesNodes(t *testing.T) {
+	b := NewBuilder()
+	a := b.Host("a")
+	a2 := b.Host("a")
+	if a != a2 {
+		t.Fatalf("Host(a) returned distinct IDs %d, %d", a, a2)
+	}
+}
+
+func TestBuilderDuplicateLink(t *testing.T) {
+	b := NewBuilder()
+	s, d := b.Host("s"), b.Host("d")
+	b.Link("l1", s, d)
+	b.Link("l1", s, d)
+	if _, err := b.Build(); err == nil {
+		t.Fatal("duplicate link name accepted")
+	}
+}
+
+func TestBuilderUnknownLinkInPath(t *testing.T) {
+	b := NewBuilder()
+	s, d := b.Host("s"), b.Host("d")
+	b.Link("l1", s, d)
+	b.Path("p", 0, "does-not-exist")
+	if _, err := b.Build(); err == nil {
+		t.Fatal("unknown link accepted")
+	}
+}
+
+func TestBuilderDisconnectedPath(t *testing.T) {
+	b := NewBuilder()
+	s, m, d := b.Host("s"), b.Relay("m"), b.Host("d")
+	x, y := b.Host("x"), b.Host("y")
+	b.Link("l1", s, m)
+	b.Link("l2", m, d)
+	b.Link("l3", x, y)
+	b.Path("p", 0, "l1", "l3") // l1 ends at m, l3 starts at x
+	if _, err := b.Build(); err == nil {
+		t.Fatal("disconnected path accepted")
+	}
+}
+
+func TestBuilderPathMustEndAtHosts(t *testing.T) {
+	b := NewBuilder()
+	s, m, d := b.Host("s"), b.Relay("m"), b.Relay("d")
+	b.Link("l1", s, m)
+	b.Link("l2", m, d)
+	b.Path("p", 0, "l1", "l2") // ends at relay d
+	if _, err := b.Build(); err == nil {
+		t.Fatal("path ending at relay accepted")
+	}
+}
+
+func TestBuilderLoopRejected(t *testing.T) {
+	b := NewBuilder()
+	s, m, n := b.Host("s"), b.Relay("m"), b.Relay("n")
+	b.Link("l1", s, m)
+	b.Link("l2", m, n)
+	b.Link("l3", n, m)
+	b.Link("l4", m, s)
+	b.Path("p", 0, "l1", "l2", "l3", "l4")
+	if _, err := b.Build(); err == nil {
+		t.Fatal("looping path accepted")
+	}
+}
+
+func TestBuilderNonContiguousClasses(t *testing.T) {
+	b := NewBuilder()
+	s, d := b.Host("s"), b.Host("d")
+	b.Link("l1", s, d)
+	b.Path("p", 2, "l1") // class 2 but classes 0,1 unused
+	if _, err := b.Build(); err == nil {
+		t.Fatal("non-contiguous classes accepted")
+	}
+}
+
+func TestPathsThrough(t *testing.T) {
+	n := fig1(t)
+	l1, _ := n.LinkByName("l1")
+	l3, _ := n.LinkByName("l3")
+	l4, _ := n.LinkByName("l4")
+	if got := n.PathsThrough(l1.ID); len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Fatalf("Paths(l1) = %v, want [0 1]", got)
+	}
+	if got := n.PathsThrough(l3.ID); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("Paths(l3) = %v, want [1 2]", got)
+	}
+	if got := n.PathsThrough(l4.ID); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("Paths(l4) = %v, want [2]", got)
+	}
+}
+
+func TestDistinguishable(t *testing.T) {
+	n := fig1(t)
+	l1, _ := n.LinkByName("l1")
+	l2, _ := n.LinkByName("l2")
+	l3, _ := n.LinkByName("l3")
+	if !n.Distinguishable(l1.ID, l3.ID) {
+		t.Error("l1 and l3 should be distinguishable")
+	}
+	if !n.Distinguishable(l1.ID, l2.ID) {
+		t.Error("l1 and l2 should be distinguishable")
+	}
+	// A link is never distinguishable from itself.
+	if n.Distinguishable(l1.ID, l1.ID) {
+		t.Error("l1 distinguishable from itself")
+	}
+}
+
+func TestIndistinguishableChain(t *testing.T) {
+	// Two links in series traversed by the same single path are
+	// indistinguishable.
+	b := NewBuilder()
+	s, m, d := b.Host("s"), b.Relay("m"), b.Host("d")
+	la := b.Link("la", s, m)
+	lb := b.Link("lb", m, d)
+	b.PathIDs("p", 0, la, lb)
+	n := b.MustBuild()
+	if n.Distinguishable(la, lb) {
+		t.Error("serial links with identical path sets reported distinguishable")
+	}
+}
+
+func TestSharedLinks(t *testing.T) {
+	n := fig1(t)
+	l1, _ := n.LinkByName("l1")
+	l3, _ := n.LinkByName("l3")
+	if got := n.SharedLinks(0, 1); len(got) != 1 || got[0] != l1.ID {
+		t.Fatalf("shared(p1,p2) = %v, want [l1]", got)
+	}
+	if got := n.SharedLinks(1, 2); len(got) != 1 || got[0] != l3.ID {
+		t.Fatalf("shared(p2,p3) = %v, want [l3]", got)
+	}
+	if got := n.SharedLinks(0, 2); got != nil {
+		t.Fatalf("shared(p1,p3) = %v, want none", got)
+	}
+}
+
+func TestPathsThroughSeq(t *testing.T) {
+	n := fig1(t)
+	l1, _ := n.LinkByName("l1")
+	l2, _ := n.LinkByName("l2")
+	if got := n.PathsThroughSeq([]LinkID{l1.ID, l2.ID}); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("Paths(<l1,l2>) = %v, want [p1]", got)
+	}
+	if got := n.PathsThroughSeq(nil); got != nil {
+		t.Fatalf("Paths(<>) = %v, want nil", got)
+	}
+}
+
+func TestClassMembers(t *testing.T) {
+	n := fig1(t)
+	if got := n.ClassMembers(0); len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Fatalf("class 0 = %v", got)
+	}
+	if got := n.ClassMembers(1); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("class 1 = %v", got)
+	}
+}
+
+func TestDescribeMentionsEverything(t *testing.T) {
+	n := fig1(t)
+	d := n.Describe()
+	for _, want := range []string{"l1", "l4", "p1", "p3", "class=1"} {
+		if !strings.Contains(d, want) {
+			t.Errorf("Describe missing %q:\n%s", want, d)
+		}
+	}
+}
+
+func TestLinkSetOps(t *testing.T) {
+	a := NewLinkSet(1, 2, 3)
+	b := NewLinkSet(3, 4)
+	if got := a.Union(b); got.Len() != 4 {
+		t.Errorf("union len = %d", got.Len())
+	}
+	if got := a.Intersect(b); got.Len() != 1 || !got.Contains(3) {
+		t.Errorf("intersect = %v", got.Sorted())
+	}
+	if got := a.Minus(b); got.Len() != 2 || got.Contains(3) {
+		t.Errorf("minus = %v", got.Sorted())
+	}
+	if !a.Equal(NewLinkSet(3, 2, 1)) {
+		t.Error("sets with same members not equal")
+	}
+	if a.Equal(b) {
+		t.Error("different sets equal")
+	}
+	s := a.Sorted()
+	for i := 1; i < len(s); i++ {
+		if s[i-1] >= s[i] {
+			t.Fatalf("Sorted not ascending: %v", s)
+		}
+	}
+}

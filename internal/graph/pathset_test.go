@@ -1,0 +1,165 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewPathsetCanonical(t *testing.T) {
+	ps := NewPathset(3, 1, 2, 1, 3)
+	if len(ps) != 3 || ps[0] != 1 || ps[1] != 2 || ps[2] != 3 {
+		t.Fatalf("got %v", ps)
+	}
+	if ps.Key() != "1,2,3" {
+		t.Fatalf("key %q", ps.Key())
+	}
+}
+
+func TestPathsetCanonicalQuick(t *testing.T) {
+	// Property: NewPathset is idempotent, sorted, and duplicate-free for
+	// any input.
+	f := func(raw []uint8) bool {
+		in := make([]PathID, len(raw))
+		for i, v := range raw {
+			in[i] = PathID(v % 16)
+		}
+		ps := NewPathset(in...)
+		for i := 1; i < len(ps); i++ {
+			if ps[i-1] >= ps[i] {
+				return false
+			}
+		}
+		again := NewPathset(ps...)
+		return again.Equal(ps)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(1))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPathsetContainsEqual(t *testing.T) {
+	ps := NewPathset(2, 4)
+	if !ps.Contains(2) || !ps.Contains(4) || ps.Contains(3) {
+		t.Fatalf("membership wrong for %v", ps)
+	}
+	if !ps.Equal(NewPathset(4, 2)) {
+		t.Error("order-insensitive equality failed")
+	}
+	if ps.Equal(NewPathset(2)) {
+		t.Error("different lengths reported equal")
+	}
+}
+
+func TestLinksOfPathset(t *testing.T) {
+	n := fig1(t)
+	l1, _ := n.LinkByName("l1")
+	l2, _ := n.LinkByName("l2")
+	l3, _ := n.LinkByName("l3")
+	got := n.Links(NewPathset(0, 1)) // p1 ∪ p2 = {l1,l2,l3}
+	want := NewLinkSet(l1.ID, l2.ID, l3.ID)
+	if !got.Equal(want) {
+		t.Fatalf("Links({p1,p2}) = %v", got.Sorted())
+	}
+}
+
+func TestEntirelyInClass(t *testing.T) {
+	n := fig1(t)
+	if !n.EntirelyInClass(NewPathset(0, 2), 0) {
+		t.Error("{p1,p3} should be entirely in class 0")
+	}
+	if n.EntirelyInClass(NewPathset(0, 1), 0) {
+		t.Error("{p1,p2} is not entirely in class 0")
+	}
+}
+
+func TestPowerSetPathsets(t *testing.T) {
+	n := fig1(t)
+	all := n.PowerSetPathsets()
+	if len(all) != 7 { // 2^3 - 1
+		t.Fatalf("got %d pathsets, want 7", len(all))
+	}
+	seen := map[string]bool{}
+	for _, ps := range all {
+		if seen[ps.Key()] {
+			t.Fatalf("duplicate pathset %v", ps)
+		}
+		seen[ps.Key()] = true
+	}
+	if !seen["0,1,2"] || !seen["0"] {
+		t.Fatalf("power set missing members: %v", seen)
+	}
+}
+
+func TestPowerSetGuard(t *testing.T) {
+	b := NewBuilder()
+	s, d := b.Host("s"), b.Host("d")
+	l := b.Link("l", s, d)
+	for i := 0; i < 21; i++ {
+		b.PathIDs("p", 0, l)
+	}
+	n := b.MustBuild()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("PowerSetPathsets did not panic at |P|>20")
+		}
+	}()
+	n.PowerSetPathsets()
+}
+
+func TestPerfTable(t *testing.T) {
+	p := NewPerf(3, 2)
+	p.SetNeutral(0, 0.5)
+	p.Set(1, 0, 0.1)
+	p.Set(1, 1, 0.9)
+	if !p.IsNeutral(0, 1e-12) || !p.IsNeutral(2, 1e-12) {
+		t.Error("neutral links misreported")
+	}
+	if p.IsNeutral(1, 1e-12) {
+		t.Error("non-neutral link reported neutral")
+	}
+	if got := p.NonNeutralLinks(1e-12); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("NonNeutralLinks = %v", got)
+	}
+	if got := p.TopPriorityClass(1); got != 0 {
+		t.Fatalf("top class = %d, want 0", got)
+	}
+	p.Set(1, 0, 2.0)
+	if got := p.TopPriorityClass(1); got != 1 {
+		t.Fatalf("top class = %d, want 1", got)
+	}
+}
+
+func TestPerfSeqPerf(t *testing.T) {
+	p := NewPerf(3, 2)
+	p.Set(0, 0, 0.1)
+	p.Set(0, 1, 0.2)
+	p.Set(2, 0, 0.3)
+	p.Set(2, 1, 0.4)
+	got := p.SeqPerf([]LinkID{0, 2})
+	if got[0] != 0.4 || got[1] != 0.6000000000000001 {
+		t.Fatalf("SeqPerf = %v", got)
+	}
+}
+
+func TestPerfClone(t *testing.T) {
+	p := NewPerf(2, 2)
+	p.Set(0, 0, 1)
+	q := p.Clone()
+	q.Set(0, 0, 5)
+	if p[0][0] != 1 {
+		t.Fatal("Clone aliases the original")
+	}
+}
+
+func TestPerfIsNeutralTolerance(t *testing.T) {
+	p := NewPerf(1, 2)
+	p.Set(0, 0, 1.0)
+	p.Set(0, 1, 1.0+1e-13)
+	if !p.IsNeutral(0, 1e-12) {
+		t.Error("difference below tolerance should count as neutral")
+	}
+	if p.IsNeutral(0, 1e-14) {
+		t.Error("difference above tolerance should count as non-neutral")
+	}
+}

@@ -1,0 +1,117 @@
+package lab
+
+import (
+	"testing"
+
+	"neutrality/internal/core"
+	"neutrality/internal/emu"
+	"neutrality/internal/graph"
+	"neutrality/internal/measure"
+	"neutrality/internal/topo"
+)
+
+// deepShaper builds a topology-A experiment where class c2 is shaped with
+// a very deep queue: sustained overload turns into queueing delay instead
+// of loss — the differentiation the loss-frequency metric cannot see.
+func deepShaperParams() ParamsA {
+	p := DefaultParamsA().Scale(0.1, 90)
+	p.MeanFlowMb = [2]float64{100, 100} // persistent flows
+	p.Diff = &emu.Differentiation{
+		Kind:             emu.Shape,
+		Rate:             map[graph.ClassID]float64{topo.C2: 0.3},
+		ShaperQueueBytes: 4 << 20, // ~2800 packets: pure bufferbloat
+	}
+	return p
+}
+
+// TestDelayMetricSeesBufferedDifferentiation is the Section 7 latency
+// extension at work: with a deep shaper queue, class-2 traffic is delayed
+// rather than dropped, so the loss view is actively misleading (the
+// unshaped class competes in the main drop-tail queue and loses *more*),
+// while the latency view exposes exactly the shaped class.
+func TestDelayMetricSeesBufferedDifferentiation(t *testing.T) {
+	p := deepShaperParams()
+	e, a := p.Experiment("deep-shaper")
+	e.DelayFactor = 1
+	run, err := Run(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Loss view: class-2 packets are delayed, not dropped. The loss
+	// metric must NOT show the shaped class as the clear loser.
+	lossProbs := measure.PathCongestionProb(run.Meas, 0.01)
+	t.Logf("loss-based congestion: %v", lossProbs)
+	lossC1 := (lossProbs[0] + lossProbs[1]) / 2
+	lossC2 := (lossProbs[2] + lossProbs[3]) / 2
+	if lossC2 > 2*lossC1 {
+		t.Fatalf("scenario broken: loss metric already exposes the shaper (c1=%v c2=%v)", lossC1, lossC2)
+	}
+
+	// Delay view: class-2 paths are late in most intervals.
+	lateProbs := measure.PathCongestionProb(run.DelayMeas, 0.01)
+	t.Logf("delay-based congestion: %v", lateProbs)
+	c1 := (lateProbs[0] + lateProbs[1]) / 2
+	c2 := (lateProbs[2] + lateProbs[3]) / 2
+	if c2 < 2*c1 || c2 < 0.3 {
+		t.Fatalf("delay metric should expose the shaped class: c1=%v c2=%v", c1, c2)
+	}
+
+	// The standard inference pipeline over the delay observations flags
+	// the shared link.
+	res := core.Infer(a.Net, core.MeasurementObserver{Meas: run.DelayMeas, Opts: measure.DefaultOptions()}, core.DefaultConfig())
+	if !res.NetworkNonNeutral() {
+		t.Fatalf("delay-based inference missed the buffered shaper:\n%s", core.Report(res))
+	}
+	flagged := res.NonNeutralSeqs()
+	if len(flagged) != 1 || flagged[0].Slice.Seq[0] != a.Shared {
+		t.Fatalf("expected <l5>:\n%s", core.Report(res))
+	}
+}
+
+// TestDelayMetricNeutralStaysQuiet: the latency pipeline does not invent
+// violations on a neutral (but loaded) dumbbell.
+func TestDelayMetricNeutralStaysQuiet(t *testing.T) {
+	p := DefaultParamsA().Scale(0.1, 90)
+	p.MeanFlowMb = [2]float64{4, 4}
+	e, a := p.Experiment("delay-neutral")
+	e.DelayFactor = 1
+	run, err := Run(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := core.Infer(a.Net, core.MeasurementObserver{Meas: run.DelayMeas, Opts: measure.DefaultOptions()}, core.DefaultConfig())
+	if res.NetworkNonNeutral() {
+		t.Fatalf("delay-based false positive:\n%s", core.Report(res))
+	}
+}
+
+// TestDelayTrackingValidation: configuration errors are reported.
+func TestDelayTrackingValidation(t *testing.T) {
+	b := graph.NewBuilder()
+	s := b.Host("s")
+	d := b.Host("d")
+	b.Link("l", s, d)
+	b.Path("p", 0, "l")
+	g := b.MustBuild()
+	sim := emu.NewSim()
+	l, _ := g.LinkByName("l")
+	net, err := emu.Build(sim, g, map[graph.LinkID]emu.LinkConfig{l.ID: {Capacity: 1e6, Delay: 0.001}}, emu.PathRTT{0: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := emu.NewCollector(net, 0.1)
+	if err := col.EnableDelayTracking(net, 0); err == nil {
+		t.Fatal("factor 0 accepted")
+	}
+	if _, err := col.DelayMeasurements(1, nil); err == nil {
+		t.Fatal("export without tracking accepted")
+	}
+	if err := col.EnableDelayTracking(net, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := col.EnableDelayTracking(net, 3); err == nil {
+		t.Fatal("double enable accepted")
+	}
+	_ = topo.C1
+}

@@ -1,0 +1,273 @@
+package lab
+
+import (
+	"testing"
+
+	"neutrality/internal/core"
+	"neutrality/internal/graph"
+	"neutrality/internal/measure"
+	"neutrality/internal/topo"
+)
+
+// quickParams returns a scaled-down topology-A configuration: 10 Mbps
+// bottleneck, 90 s run — enough intervals (900) for stable congestion
+// probabilities while keeping the test fast.
+func quickParams() ParamsA {
+	p := DefaultParamsA()
+	return p.Scale(0.1, 90)
+}
+
+func runSpec(t *testing.T, p ParamsA, name string) (*Result, *topo.TopologyA) {
+	t.Helper()
+	e, a := p.Experiment(name)
+	res, err := Run(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, a
+}
+
+func inferVerdict(t *testing.T, res *Result, a *topo.TopologyA) *core.Result {
+	t.Helper()
+	obs := core.MeasurementObserver{Meas: res.Meas, Opts: measure.DefaultOptions()}
+	return core.Infer(a.Net, obs, core.DefaultConfig())
+}
+
+// TestNeutralDumbbell: experiment-set-1 style run (no differentiation,
+// heavily asymmetric flow sizes across classes) must not trigger a
+// violation verdict.
+func TestNeutralDumbbell(t *testing.T) {
+	p := quickParams()
+	p.MeanFlowMb = [2]float64{0.1, 100} // 1 Mb vs 1 Gb at scale 0.1
+	res, a := runSpec(t, p, "neutral-asymmetric")
+	infer := inferVerdict(t, res, a)
+	if infer.NetworkNonNeutral() {
+		t.Fatalf("false positive on neutral dumbbell:\n%s", core.Report(infer))
+	}
+}
+
+// TestPolicedDumbbell: a policing shared link must be detected and
+// localized to <l5>.
+func TestPolicedDumbbell(t *testing.T) {
+	p := quickParams()
+	p.MeanFlowMb = [2]float64{100, 100} // persistent flows both classes
+	p.Diff = PoliceClass2(0.3)
+	res, a := runSpec(t, p, "policed")
+	infer := inferVerdict(t, res, a)
+	if !infer.NetworkNonNeutral() {
+		t.Fatalf("policing missed:\n%s", core.Report(infer))
+	}
+	flagged := infer.NonNeutralSeqs()
+	if len(flagged) != 1 || len(flagged[0].Slice.Seq) != 1 || flagged[0].Slice.Seq[0] != a.Shared {
+		t.Fatalf("flagged %v, want exactly <l5>", core.Report(infer))
+	}
+	m := core.Evaluate(infer, []coreLinkID{a.Shared})
+	if m.FalseNegativeRate != 0 || m.FalsePositiveRate != 0 || m.Granularity != 1 {
+		t.Fatalf("metrics %+v", m)
+	}
+}
+
+// TestShapedDumbbell: shaping (buffering, not dropping) is also detected,
+// because sustained overload still forces shaper-queue drops and loss
+// events concentrate on the shaped class.
+func TestShapedDumbbell(t *testing.T) {
+	p := quickParams()
+	p.MeanFlowMb = [2]float64{100, 100}
+	p.Diff = ShapeBothClasses(0.3)
+	res, a := runSpec(t, p, "shaped")
+	infer := inferVerdict(t, res, a)
+	if !infer.NetworkNonNeutral() {
+		t.Fatalf("shaping missed:\n%s", core.Report(infer))
+	}
+}
+
+// TestShaping50PercentDetectedAsJointDifferentiation documents the one
+// deliberate divergence from the paper's Figure 8(i): at shaping rate
+// R = 0.5 both classes receive the same marginal treatment (equal
+// congestion probabilities — asserted below), and the paper classifies the
+// link as neutral. Our algorithm still flags it, because the link serves
+// each class from a dedicated queue: same-class path pairs congest
+// together while cross-class pairs congest independently, and the pair
+// estimates of System 4 expose exactly that joint difference. The paper's
+// own Section 7 ("correlated performance classes", type (b) links)
+// anticipates separate-queue links needing parallel virtual links — under
+// that extended model the R = 0.5 link is genuinely distinguishable from a
+// single-queue neutral link. See DESIGN.md.
+func TestShaping50PercentDetectedAsJointDifferentiation(t *testing.T) {
+	p := quickParams()
+	p.MeanFlowMb = [2]float64{100, 100}
+	p.Diff = ShapeBothClasses(0.5)
+	res, a := runSpec(t, p, "shaped-50")
+
+	// Marginals are equal (the paper's observation)…
+	probs := measure.PathCongestionProb(res.Meas, 0.01)
+	c1 := (probs[0] + probs[1]) / 2
+	c2 := (probs[2] + probs[3]) / 2
+	ratio := c2 / c1
+	if ratio < 0.6 || ratio > 1.6 {
+		t.Fatalf("marginals should be equal at R=0.5: c1=%v c2=%v", c1, c2)
+	}
+	// …but the joint structure differs, and the algorithm sees it.
+	infer := inferVerdict(t, res, a)
+	if !infer.NetworkNonNeutral() {
+		t.Fatalf("separate-queue equal shaping not flagged:\n%s", core.Report(infer))
+	}
+}
+
+// TestCongestionProbabilityShape: in the policing run, class-2 paths must
+// be congested far more often than class-1 paths (the Fig. 8(d–f) shape).
+func TestCongestionProbabilityShape(t *testing.T) {
+	p := quickParams()
+	p.MeanFlowMb = [2]float64{2, 2} // 20 Mb at full scale: moderate load
+	p.Diff = PoliceClass2(0.3)
+	res, _ := runSpec(t, p, "policed-shape")
+	probs := measure.PathCongestionProb(res.Meas, 0.01)
+	c1 := (probs[0] + probs[1]) / 2
+	c2 := (probs[2] + probs[3]) / 2
+	if c2 < 2*c1 || c2 < 0.05 {
+		t.Fatalf("congestion probabilities c1=%v c2=%v; want c2 >> c1", c1, c2)
+	}
+}
+
+// TestNeutralCongestionUniform: without differentiation, all four paths
+// see similar congestion (the Fig. 8(a–c) shape).
+func TestNeutralCongestionUniform(t *testing.T) {
+	p := quickParams()
+	p.MeanFlowMb = [2]float64{40, 40} // enough load to congest l5
+	res, _ := runSpec(t, p, "neutral-uniform")
+	probs := measure.PathCongestionProb(res.Meas, 0.01)
+	lo, hi := probs[0], probs[0]
+	for _, v := range probs {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if hi > 3*lo+0.05 {
+		t.Fatalf("uneven congestion on neutral link: %v", probs)
+	}
+}
+
+// TestDeterministicRuns: identical seeds give identical measurements.
+func TestDeterministicRuns(t *testing.T) {
+	p := quickParams()
+	p.DurationSec = 30
+	p.Diff = PoliceClass2(0.3)
+	r1, _ := runSpec(t, p, "det-1")
+	r2, _ := runSpec(t, p, "det-2")
+	if r1.Meas.Intervals() != r2.Meas.Intervals() {
+		t.Fatal("interval counts differ")
+	}
+	for ti := 0; ti < r1.Meas.Intervals(); ti++ {
+		for pi := range r1.Meas.Sent[ti] {
+			if r1.Meas.Sent[ti][pi] != r2.Meas.Sent[ti][pi] || r1.Meas.Lost[ti][pi] != r2.Meas.Lost[ti][pi] {
+				t.Fatalf("divergence at interval %d path %d", ti, pi)
+			}
+		}
+	}
+}
+
+// TestTableTwoSpecs: structural checks of the experiment-set definitions.
+func TestTableTwoSpecs(t *testing.T) {
+	counts := map[int]int{1: 4, 2: 4, 3: 2, 4: 4, 5: 4, 6: 4, 7: 4, 8: 4, 9: 4}
+	total := 0
+	for set, want := range counts {
+		specs, err := TableTwo(set)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(specs) != want {
+			t.Fatalf("set %d has %d specs, want %d", set, len(specs), want)
+		}
+		total += len(specs)
+		for _, s := range specs {
+			neutralSet := set <= 3
+			if neutralSet && (s.Params.Diff != nil || s.NonNeutral) {
+				t.Fatalf("set %d spec %q should be neutral", set, s.Label)
+			}
+			if !neutralSet && s.Params.Diff == nil {
+				t.Fatalf("set %d spec %q missing differentiation", set, s.Label)
+			}
+		}
+	}
+	if total != 34 {
+		t.Fatalf("Table 2 total %d experiments", total)
+	}
+	// Set 9's 50 % experiment is the only differentiating spec expected
+	// to look neutral.
+	specs, _ := TableTwo(9)
+	if specs[0].NonNeutral || !specs[1].NonNeutral {
+		t.Fatal("set 9 NonNeutral annotations wrong")
+	}
+	if _, err := TableTwo(10); err == nil {
+		t.Fatal("set 10 accepted")
+	}
+}
+
+// TestWarmupTrimsIntervals: warmup shortens the exported measurements.
+func TestWarmupTrimsIntervals(t *testing.T) {
+	p := quickParams()
+	p.DurationSec = 30
+	e, _ := p.Experiment("warmup")
+	e.Warmup = 10
+	res, err := Run(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Meas.Intervals(); got != 200 {
+		t.Fatalf("intervals = %d, want 200 (30 s − 10 s at 100 ms)", got)
+	}
+}
+
+// TestQueueTraceRecorded: Figure 11 machinery.
+func TestQueueTraceRecorded(t *testing.T) {
+	p := quickParams()
+	p.DurationSec = 30
+	p.MeanFlowMb = [2]float64{100, 100}
+	e, a := p.Experiment("trace")
+	e.TraceLinks = []coreLinkID{a.Shared}
+	res, err := Run(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := res.Collector.Trace(a.Shared)
+	if tr == nil || len(tr.Times) < 25 {
+		t.Fatalf("trace missing or short: %+v", tr)
+	}
+	nonZero := 0
+	for _, b := range tr.Bytes {
+		if b > 0 {
+			nonZero++
+		}
+	}
+	if nonZero == 0 {
+		t.Fatal("bottleneck queue never occupied under persistent load")
+	}
+}
+
+// TestGroundTruthSeparatesClasses: the collector's per-link per-path
+// congestion probabilities (Fig. 10(a) machinery) show the policer's gap.
+func TestGroundTruthSeparatesClasses(t *testing.T) {
+	p := quickParams()
+	p.MeanFlowMb = [2]float64{2, 2} // 20 Mb at full scale: moderate load
+	p.Diff = PoliceClass2(0.3)
+	res, a := runSpec(t, p, "gt")
+	gt := res.GroundTruth(0.01)
+	shared := gt[a.Shared]
+	c1 := (shared.PerPath[a.Paths[0]] + shared.PerPath[a.Paths[1]]) / 2
+	c2 := (shared.PerPath[a.Paths[2]] + shared.PerPath[a.Paths[3]]) / 2
+	if c2 < 2*c1 || c2 < 0.05 {
+		t.Fatalf("ground truth gap missing: c1=%v c2=%v", c1, c2)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(&Experiment{Name: "no-duration"}); err == nil {
+		t.Fatal("zero duration accepted")
+	}
+}
+
+// coreLinkID aliases the graph link ID for test brevity.
+type coreLinkID = graph.LinkID

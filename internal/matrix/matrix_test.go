@@ -1,0 +1,213 @@
+package matrix
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRankBasics(t *testing.T) {
+	cases := []struct {
+		name string
+		m    *Matrix
+		want int
+	}{
+		{"identity3", FromRows([][]float64{{1, 0, 0}, {0, 1, 0}, {0, 0, 1}}), 3},
+		{"zero", New(3, 3), 0},
+		{"dependent rows", FromRows([][]float64{{1, 2}, {2, 4}}), 1},
+		{"tall full rank", FromRows([][]float64{{1, 0}, {0, 1}, {1, 1}}), 2},
+		{"wide", FromRows([][]float64{{1, 2, 3}, {4, 5, 6}}), 2},
+		{"single", FromRows([][]float64{{5}}), 1},
+	}
+	for _, c := range cases {
+		if got := c.m.Rank(0); got != c.want {
+			t.Errorf("%s: rank = %d, want %d", c.name, got, c.want)
+		}
+	}
+}
+
+func TestRankNearSingular(t *testing.T) {
+	m := FromRows([][]float64{{1, 1}, {1, 1 + 1e-13}})
+	if got := m.Rank(0); got != 1 {
+		t.Errorf("near-singular rank = %d, want 1 at default tolerance", got)
+	}
+	if got := m.Rank(1e-15); got != 2 {
+		t.Errorf("tight-tolerance rank = %d, want 2", got)
+	}
+}
+
+func TestConsistent(t *testing.T) {
+	// x1 + x2 = 3, x1 = 1 -> consistent.
+	a := FromRows([][]float64{{1, 1}, {1, 0}})
+	if !Consistent(a, []float64{3, 1}, 0) {
+		t.Error("solvable system reported inconsistent")
+	}
+	// x1 = 1, x1 = 2 -> inconsistent.
+	b := FromRows([][]float64{{1}, {1}})
+	if Consistent(b, []float64{1, 2}, 0) {
+		t.Error("contradictory system reported consistent")
+	}
+	// Underdetermined systems are consistent.
+	c := FromRows([][]float64{{1, 1, 1}})
+	if !Consistent(c, []float64{5}, 0) {
+		t.Error("underdetermined system reported inconsistent")
+	}
+}
+
+func TestConsistencyOfGeneratedSystems(t *testing.T) {
+	// Property: for any A and x, the system A·y = A·x is consistent.
+	rng := rand.New(rand.NewSource(42))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		rows, cols := 1+r.Intn(6), 1+r.Intn(6)
+		a := New(rows, cols)
+		for i := range a.Data {
+			a.Data[i] = float64(r.Intn(3)) // 0/1/2 like routing matrices
+		}
+		x := make([]float64, cols)
+		for i := range x {
+			x[i] = r.Float64() * 10
+		}
+		return Consistent(a, a.MulVec(x), 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFullColumnRank(t *testing.T) {
+	if !FromRows([][]float64{{1, 0}, {0, 1}, {1, 1}}).FullColumnRank(0) {
+		t.Error("independent columns not detected")
+	}
+	if FromRows([][]float64{{1, 1}, {2, 2}}).FullColumnRank(0) {
+		t.Error("dependent columns reported full rank")
+	}
+}
+
+func TestLeastSquaresExact(t *testing.T) {
+	a := FromRows([][]float64{{1, 0}, {0, 1}, {1, 1}})
+	want := []float64{2, 3}
+	b := a.MulVec(want)
+	x, res := LeastSquares(a, b)
+	if res > 1e-9 {
+		t.Fatalf("residual %g for consistent system", res)
+	}
+	for i := range want {
+		if math.Abs(x[i]-want[i]) > 1e-9 {
+			t.Fatalf("x = %v, want %v", x, want)
+		}
+	}
+}
+
+func TestLeastSquaresOverdetermined(t *testing.T) {
+	// x = 1 and x = 3: least-squares solution x = 2, residual sqrt(2).
+	a := FromRows([][]float64{{1}, {1}})
+	x, res := LeastSquares(a, []float64{1, 3})
+	if math.Abs(x[0]-2) > 1e-9 {
+		t.Fatalf("x = %v, want 2", x)
+	}
+	if math.Abs(res-math.Sqrt2) > 1e-9 {
+		t.Fatalf("residual = %g, want sqrt(2)", res)
+	}
+}
+
+func TestLeastSquaresRankDeficient(t *testing.T) {
+	// Columns are dependent; any solution with x1+x2=4 minimizes. The
+	// basic solution pins free variables to zero.
+	a := FromRows([][]float64{{1, 1}, {1, 1}})
+	x, res := LeastSquares(a, []float64{4, 4})
+	if res > 1e-9 {
+		t.Fatalf("residual %g", res)
+	}
+	if got := a.MulVec(x); math.Abs(got[0]-4) > 1e-9 {
+		t.Fatalf("A·x = %v", got)
+	}
+}
+
+func TestLeastSquaresRandomQuick(t *testing.T) {
+	// Property: the returned residual matches ||A·x − b|| recomputed.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		rows, cols := 1+r.Intn(8), 1+r.Intn(5)
+		a := New(rows, cols)
+		for i := range a.Data {
+			a.Data[i] = r.NormFloat64()
+		}
+		b := make([]float64, rows)
+		for i := range b {
+			b[i] = r.NormFloat64()
+		}
+		x, res := LeastSquares(a, b)
+		return math.Abs(ResidualNorm(a, x, b)-res) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(7))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLeastSquaresIsMinimum(t *testing.T) {
+	// Property: perturbing the least-squares solution never reduces the
+	// residual (local optimality along random directions).
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		rows, cols := 2+r.Intn(6), 1+r.Intn(4)
+		a := New(rows, cols)
+		for i := range a.Data {
+			a.Data[i] = r.NormFloat64()
+		}
+		b := make([]float64, rows)
+		for i := range b {
+			b[i] = r.NormFloat64()
+		}
+		x, res := LeastSquares(a, b)
+		for trial := 0; trial < 5; trial++ {
+			y := append([]float64(nil), x...)
+			for i := range y {
+				y[i] += r.NormFloat64() * 0.1
+			}
+			if ResidualNorm(a, y, b) < res-1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(9))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAppendColumn(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	ab := a.AppendColumn([]float64{5, 6})
+	if ab.Rows != 2 || ab.Cols != 3 || ab.At(0, 2) != 5 || ab.At(1, 2) != 6 || ab.At(1, 1) != 4 {
+		t.Fatalf("AppendColumn wrong: %v", ab)
+	}
+}
+
+func TestMulVecMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on dimension mismatch")
+		}
+	}()
+	New(2, 2).MulVec([]float64{1})
+}
+
+func TestCloneIndependent(t *testing.T) {
+	a := FromRows([][]float64{{1}})
+	b := a.Clone()
+	b.Set(0, 0, 9)
+	if a.At(0, 0) != 1 {
+		t.Fatal("Clone aliases data")
+	}
+}
+
+func TestRowCopy(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	r := a.Row(1)
+	r[0] = 99
+	if a.At(1, 0) != 3 {
+		t.Fatal("Row aliases data")
+	}
+}

@@ -1,0 +1,152 @@
+package matrix
+
+import "math"
+
+// NNLS solves min ||A·x − b||₂ subject to x >= 0 by the Lawson–Hanson
+// active-set method, returning the solution and the residual norm.
+//
+// Non-negativity is essential to the paper's notion of solvability: the
+// unknowns are performance numbers x = −log P(congestion-free) ∈ [0, ∞),
+// so a system like Figure 5's — solvable over the reals only with negative
+// link performance — must count as unsolvable. (Theorem 1's proof over
+// Θ = P* is sign-free, but the small systems in the paper's worked
+// examples rely on x >= 0.)
+func NNLS(a *Matrix, b []float64) (x []float64, residual float64) {
+	if len(b) != a.Rows {
+		panic("matrix: NNLS length mismatch")
+	}
+	m, n := a.Rows, a.Cols
+	x = make([]float64, n)
+	passive := make([]bool, n) // true = in passive (unconstrained) set P
+
+	scale := a.maxAbs()
+	if scale == 0 {
+		return x, norm(b)
+	}
+	tol := 1e-10 * scale * float64(maxInt(m, n))
+
+	w := make([]float64, n)
+	resid := append([]float64(nil), b...) // b − A·x, with x = 0 initially
+
+	computeW := func() {
+		for j := 0; j < n; j++ {
+			s := 0.0
+			for i := 0; i < m; i++ {
+				s += a.At(i, j) * resid[i]
+			}
+			w[j] = s
+		}
+	}
+	computeResid := func() {
+		y := a.MulVec(x)
+		for i := range resid {
+			resid[i] = b[i] - y[i]
+		}
+	}
+
+	for iter := 0; iter < 3*n+10; iter++ {
+		computeW()
+		// Pick the most violated constraint.
+		best, bestW := -1, tol
+		for j := 0; j < n; j++ {
+			if !passive[j] && w[j] > bestW {
+				best, bestW = j, w[j]
+			}
+		}
+		if best < 0 {
+			break
+		}
+		passive[best] = true
+
+		for inner := 0; inner < 3*n+10; inner++ {
+			// Solve the unconstrained LS over the passive columns.
+			var cols []int
+			for j := 0; j < n; j++ {
+				if passive[j] {
+					cols = append(cols, j)
+				}
+			}
+			sub := New(m, len(cols))
+			for i := 0; i < m; i++ {
+				for k, j := range cols {
+					sub.Set(i, k, a.At(i, j))
+				}
+			}
+			zc, _ := LeastSquares(sub, b)
+			z := make([]float64, n)
+			for k, j := range cols {
+				z[j] = zc[k]
+			}
+			// Feasible?
+			minZ := math.Inf(1)
+			for _, j := range cols {
+				if z[j] < minZ {
+					minZ = z[j]
+				}
+			}
+			if minZ > tol {
+				copy(x, z)
+				break
+			}
+			// Step toward z, stopping at the first variable hitting zero.
+			alpha := math.Inf(1)
+			for _, j := range cols {
+				if z[j] <= tol {
+					if d := x[j] - z[j]; d > 0 {
+						if r := x[j] / d; r < alpha {
+							alpha = r
+						}
+					}
+				}
+			}
+			if math.IsInf(alpha, 1) {
+				alpha = 0
+			}
+			for j := 0; j < n; j++ {
+				if passive[j] {
+					x[j] += alpha * (z[j] - x[j])
+					if x[j] <= tol {
+						x[j] = 0
+						passive[j] = false
+					}
+				}
+			}
+		}
+		computeResid()
+	}
+	computeResid()
+	return x, norm(resid)
+}
+
+// ConsistentNonneg reports whether A·x = b admits a solution with x >= 0,
+// up to tolerance tol on the residual norm (tol <= 0 uses a scale-aware
+// default). This is the paper's operative notion of "System 3/4 has a
+// solution".
+func ConsistentNonneg(a *Matrix, b []float64, tol float64) bool {
+	if tol <= 0 {
+		s := math.Max(a.maxAbs(), 1)
+		for _, v := range b {
+			if x := math.Abs(v); x > s {
+				s = x
+			}
+		}
+		tol = 1e-7 * s
+	}
+	_, res := NNLS(a, b)
+	return res <= tol
+}
+
+func norm(v []float64) float64 {
+	s := 0.0
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

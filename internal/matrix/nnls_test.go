@@ -1,0 +1,113 @@
+package matrix
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNNLSExactNonnegSystem(t *testing.T) {
+	a := FromRows([][]float64{{1, 0}, {0, 1}, {1, 1}})
+	want := []float64{2, 3}
+	x, res := NNLS(a, a.MulVec(want))
+	if res > 1e-8 {
+		t.Fatalf("residual %g", res)
+	}
+	for i := range want {
+		if math.Abs(x[i]-want[i]) > 1e-8 {
+			t.Fatalf("x = %v, want %v", x, want)
+		}
+	}
+}
+
+func TestNNLSClampsNegative(t *testing.T) {
+	// Unconstrained solution is x = -1; NNLS must return x = 0 with
+	// residual ||b||.
+	a := FromRows([][]float64{{1}})
+	x, res := NNLS(a, []float64{-1})
+	if x[0] != 0 {
+		t.Fatalf("x = %v, want 0", x)
+	}
+	if math.Abs(res-1) > 1e-12 {
+		t.Fatalf("residual = %v, want 1", res)
+	}
+}
+
+// TestNNLSFigure5System is the exact system from the paper's observable
+// violation #2: solvable over the reals, unsolvable over x >= 0.
+func TestNNLSFigure5System(t *testing.T) {
+	log2 := math.Log(2)
+	a := FromRows([][]float64{
+		{1, 1, 0, 0}, // {p1}: x1+x2
+		{1, 0, 1, 0}, // {p2}: x1+x3
+		{1, 0, 0, 1}, // {p3}: x1+x4
+		{1, 0, 1, 1}, // {p2,p3}: x1+x3+x4
+	})
+	b := []float64{0, log2, log2, log2}
+	if !Consistent(a, b, 0) {
+		t.Fatal("system should be solvable over the reals")
+	}
+	if ConsistentNonneg(a, b, 0) {
+		t.Fatal("system should be unsolvable over x >= 0")
+	}
+}
+
+func TestNNLSNonnegConsistencyQuick(t *testing.T) {
+	// Property: any observation generated from a non-negative x is
+	// non-negatively consistent.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		rows, cols := 1+r.Intn(6), 1+r.Intn(6)
+		a := New(rows, cols)
+		for i := range a.Data {
+			a.Data[i] = float64(r.Intn(2))
+		}
+		x := make([]float64, cols)
+		for i := range x {
+			x[i] = r.Float64() * 5
+		}
+		return ConsistentNonneg(a, a.MulVec(x), 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(11))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNNLSResidualNeverWorseThanZero(t *testing.T) {
+	// Property: NNLS residual <= ||b|| (x=0 is always feasible) and the
+	// returned x is non-negative.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		rows, cols := 1+r.Intn(6), 1+r.Intn(6)
+		a := New(rows, cols)
+		for i := range a.Data {
+			a.Data[i] = r.NormFloat64()
+		}
+		b := make([]float64, rows)
+		for i := range b {
+			b[i] = r.NormFloat64()
+		}
+		x, res := NNLS(a, b)
+		for _, v := range x {
+			if v < 0 {
+				return false
+			}
+		}
+		return res <= norm(b)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(13))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNNLSZeroMatrix(t *testing.T) {
+	a := New(2, 2)
+	x, res := NNLS(a, []float64{1, 1})
+	if x[0] != 0 || x[1] != 0 {
+		t.Fatalf("x = %v", x)
+	}
+	if math.Abs(res-math.Sqrt2) > 1e-12 {
+		t.Fatalf("res = %v", res)
+	}
+}

@@ -1,0 +1,88 @@
+package measure
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// CSV serialization of raw measurements, so observations collected by an
+// external measurement platform (or exported from one run) can be fed back
+// into the inference pipeline.
+//
+// Format: a header line `interval,path0_sent,path0_lost,path1_sent,...`
+// followed by one row per interval. Interval indices must be contiguous
+// from 0.
+
+// WriteCSV serializes the measurements.
+func (m *Measurements) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	paths := m.NumPaths()
+	fmt.Fprint(bw, "interval")
+	for p := 0; p < paths; p++ {
+		fmt.Fprintf(bw, ",path%d_sent,path%d_lost", p, p)
+	}
+	fmt.Fprintln(bw)
+	for t := 0; t < m.Intervals(); t++ {
+		fmt.Fprint(bw, t)
+		for p := 0; p < paths; p++ {
+			fmt.Fprintf(bw, ",%d,%d", m.Sent[t][p], m.Lost[t][p])
+		}
+		fmt.Fprintln(bw)
+	}
+	return bw.Flush()
+}
+
+// ReadCSV parses measurements written by WriteCSV (or produced externally
+// in the same format) and validates them.
+func ReadCSV(r io.Reader) (*Measurements, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("measure: empty input")
+	}
+	header := strings.Split(strings.TrimSpace(sc.Text()), ",")
+	if len(header) < 3 || header[0] != "interval" || (len(header)-1)%2 != 0 {
+		return nil, fmt.Errorf("measure: malformed header %q", sc.Text())
+	}
+	paths := (len(header) - 1) / 2
+
+	m := &Measurements{}
+	line := 1
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		fields := strings.Split(text, ",")
+		if len(fields) != 1+2*paths {
+			return nil, fmt.Errorf("measure: line %d: %d fields, want %d", line, len(fields), 1+2*paths)
+		}
+		idx, err := strconv.Atoi(fields[0])
+		if err != nil || idx != len(m.Sent) {
+			return nil, fmt.Errorf("measure: line %d: interval %q out of order", line, fields[0])
+		}
+		sent := make([]int, paths)
+		lost := make([]int, paths)
+		for p := 0; p < paths; p++ {
+			s, err1 := strconv.Atoi(fields[1+2*p])
+			l, err2 := strconv.Atoi(fields[2+2*p])
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("measure: line %d: bad counts for path %d", line, p)
+			}
+			sent[p], lost[p] = s, l
+		}
+		m.Sent = append(m.Sent, sent)
+		m.Lost = append(m.Lost, lost)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}

@@ -1,0 +1,64 @@
+package measure
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	m := NewMeasurements(3, 2)
+	m.Sent[0] = []int{100, 50}
+	m.Lost[0] = []int{1, 0}
+	m.Sent[1] = []int{90, 60}
+	m.Lost[1] = []int{0, 2}
+	m.Sent[2] = []int{0, 0}
+	m.Lost[2] = []int{0, 0}
+
+	var buf bytes.Buffer
+	if err := m.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Intervals() != 3 || back.NumPaths() != 2 {
+		t.Fatalf("shape %dx%d", back.Intervals(), back.NumPaths())
+	}
+	for ti := 0; ti < 3; ti++ {
+		for p := 0; p < 2; p++ {
+			if back.Sent[ti][p] != m.Sent[ti][p] || back.Lost[ti][p] != m.Lost[ti][p] {
+				t.Fatalf("mismatch at %d/%d", ti, p)
+			}
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":           "",
+		"bad header":      "time,x\n",
+		"odd columns":     "interval,path0_sent\n",
+		"wrong field cnt": "interval,path0_sent,path0_lost\n0,1\n",
+		"out of order":    "interval,path0_sent,path0_lost\n1,5,0\n",
+		"bad number":      "interval,path0_sent,path0_lost\n0,x,0\n",
+		"lost>sent":       "interval,path0_sent,path0_lost\n0,1,2\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadCSV(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestReadCSVSkipsBlankLines(t *testing.T) {
+	in := "interval,path0_sent,path0_lost\n0,10,1\n\n1,20,2\n"
+	m, err := ReadCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Intervals() != 2 || m.Sent[1][0] != 20 {
+		t.Fatalf("parsed %+v", m)
+	}
+}

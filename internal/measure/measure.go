@@ -1,0 +1,269 @@
+// Package measure implements the paper's measurement processing (Section
+// 6.2 and Algorithm 2 in the appendix).
+//
+// Raw input is, per measurement interval t and path p, the number of
+// packets sent M[t][p] and the number of those lost L[t][p]. To compare
+// similarly sized traffic aggregates (and so avoid mistaking TCP dynamics
+// for differentiation), Algorithm 2 normalizes each interval: every path is
+// discounted to the minimum per-path packet count m by keeping m randomly
+// chosen packets — the surviving loss count is a hypergeometric draw. A
+// path is congestion-free in an interval when its (discounted) loss
+// fraction is below the loss threshold; a pathset is congestion-free when
+// all member paths are. The performance number of a pathset is
+// y = −log P(congestion-free).
+package measure
+
+import (
+	"fmt"
+	"math"
+
+	"neutrality/internal/graph"
+	"neutrality/internal/stats"
+)
+
+// Measurements holds raw per-interval per-path packet counts.
+type Measurements struct {
+	// Sent[t][p] is the number of packets path p sent in interval t;
+	// Lost[t][p] is how many of those were lost. len(Sent) == len(Lost)
+	// == Intervals(); len(Sent[t]) == number of paths.
+	Sent, Lost [][]int
+}
+
+// NewMeasurements allocates a zeroed measurement table.
+func NewMeasurements(intervals, paths int) *Measurements {
+	m := &Measurements{
+		Sent: make([][]int, intervals),
+		Lost: make([][]int, intervals),
+	}
+	for t := range m.Sent {
+		m.Sent[t] = make([]int, paths)
+		m.Lost[t] = make([]int, paths)
+	}
+	return m
+}
+
+// Intervals returns the number of measurement intervals T.
+func (m *Measurements) Intervals() int { return len(m.Sent) }
+
+// NumPaths returns the number of paths covered.
+func (m *Measurements) NumPaths() int {
+	if len(m.Sent) == 0 {
+		return 0
+	}
+	return len(m.Sent[0])
+}
+
+// Add accumulates counts for interval t and path p.
+func (m *Measurements) Add(t int, p graph.PathID, sent, lost int) {
+	m.Sent[t][p] += sent
+	m.Lost[t][p] += lost
+}
+
+// Validate checks internal consistency.
+func (m *Measurements) Validate() error {
+	if len(m.Sent) != len(m.Lost) {
+		return fmt.Errorf("measure: %d sent intervals vs %d lost intervals", len(m.Sent), len(m.Lost))
+	}
+	for t := range m.Sent {
+		if len(m.Sent[t]) != len(m.Lost[t]) {
+			return fmt.Errorf("measure: interval %d: %d sent paths vs %d lost paths", t, len(m.Sent[t]), len(m.Lost[t]))
+		}
+		for p := range m.Sent[t] {
+			if m.Lost[t][p] > m.Sent[t][p] {
+				return fmt.Errorf("measure: interval %d path %d: lost %d > sent %d", t, m.Lost[t][p], m.Sent[t][p], m.Sent[t][p])
+			}
+			if m.Sent[t][p] < 0 || m.Lost[t][p] < 0 {
+				return fmt.Errorf("measure: interval %d path %d: negative count", t, p)
+			}
+		}
+	}
+	return nil
+}
+
+// Options configures Algorithm 2.
+type Options struct {
+	// LossThreshold is the loss fraction below which a path counts as
+	// congestion-free in an interval (paper default 0.01).
+	LossThreshold float64
+	// Normalize enables the paper's per-interval discounting to equal
+	// aggregate sizes. Disabling it is the ablation knob.
+	Normalize bool
+	// Seed drives the hypergeometric discount sampling.
+	Seed int64
+	// Smoothing is the additive (Laplace-style) count used when converting
+	// a congestion-free fraction to −log P, so that a pathset observed
+	// congestion-free in all T intervals yields a finite y. P̂ =
+	// (count + Smoothing) / (T + Smoothing). Zero disables smoothing
+	// (y may be +Inf when P̂ = 0).
+	Smoothing float64
+}
+
+// DefaultOptions mirror the paper: 1 % loss threshold, normalization on.
+func DefaultOptions() Options {
+	return Options{LossThreshold: 0.01, Normalize: true, Seed: 1, Smoothing: 0.5}
+}
+
+// PathsetPerf is the processed performance of one pathset.
+type PathsetPerf struct {
+	Pathset graph.Pathset
+	// Prob is P(θ): the fraction of usable intervals in which every member
+	// path was congestion-free.
+	Prob float64
+	// Y is the performance number −log P̂ (smoothed).
+	Y float64
+	// CongestionProb is 1 − Prob, the quantity Figure 8 plots.
+	CongestionProb float64
+	// Intervals is the number of usable intervals (those where every
+	// member path sent at least one packet).
+	Intervals int
+}
+
+// Processor computes pathset performance numbers from raw measurements for
+// a fixed set of paths (typically Paths(τ) of one slice). It normalizes
+// once across those paths and then serves any pathset over them.
+type Processor struct {
+	meas  *Measurements
+	paths []graph.PathID
+	opts  Options
+
+	// cf[t][i] is the congestion-free indicator of paths[i] in interval t;
+	// usable[t] is false when some path sent nothing in interval t.
+	cf     [][]bool
+	usable []bool
+}
+
+// NewProcessor runs the per-path half of Algorithm 2 (normalization +
+// congestion-free indicators) over the given paths.
+//
+// Deviation from the paper's pseudocode: intervals in which some path of
+// the group sent zero packets are skipped rather than marked congested —
+// Algorithm 2's literal `m = 0` case would classify an idle interval as
+// congestion for every path, poisoning P(θ) with application silence
+// rather than network behaviour.
+func NewProcessor(meas *Measurements, paths []graph.PathID, opts Options) *Processor {
+	rng := stats.NewRand(opts.Seed)
+	T := meas.Intervals()
+	p := &Processor{
+		meas:   meas,
+		paths:  append([]graph.PathID(nil), paths...),
+		opts:   opts,
+		cf:     make([][]bool, T),
+		usable: make([]bool, T),
+	}
+	for t := 0; t < T; t++ {
+		p.cf[t] = make([]bool, len(p.paths))
+		m := math.MaxInt
+		for _, pid := range p.paths {
+			if s := meas.Sent[t][pid]; s < m {
+				m = s
+			}
+		}
+		if m <= 0 || m == math.MaxInt {
+			continue
+		}
+		p.usable[t] = true
+		for i, pid := range p.paths {
+			sent, lost := meas.Sent[t][pid], meas.Lost[t][pid]
+			effSent, effLost := sent, lost
+			if opts.Normalize && sent > m {
+				effLost = rng.Hypergeometric(sent, lost, m)
+				effSent = m
+			}
+			frac := float64(effLost) / float64(effSent)
+			p.cf[t][i] = frac < opts.LossThreshold
+		}
+	}
+	return p
+}
+
+// UsableIntervals returns how many intervals carry information.
+func (p *Processor) UsableIntervals() int {
+	n := 0
+	for _, u := range p.usable {
+		if u {
+			n++
+		}
+	}
+	return n
+}
+
+// Perf computes the performance of one pathset over the processor's paths.
+// It panics if the pathset contains a path outside the processor's group.
+func (p *Processor) Perf(ps graph.Pathset) PathsetPerf {
+	idx := make([]int, len(ps))
+	for k, pid := range ps {
+		found := -1
+		for i, q := range p.paths {
+			if q == pid {
+				found = i
+				break
+			}
+		}
+		if found < 0 {
+			panic(fmt.Sprintf("measure: pathset path %d not covered by processor", pid))
+		}
+		idx[k] = found
+	}
+	good, total := 0, 0
+	for t := range p.cf {
+		if !p.usable[t] {
+			continue
+		}
+		total++
+		all := true
+		for _, i := range idx {
+			if !p.cf[t][i] {
+				all = false
+				break
+			}
+		}
+		if all {
+			good++
+		}
+	}
+	pp := PathsetPerf{Pathset: ps, Intervals: total}
+	if total == 0 {
+		pp.Prob, pp.CongestionProb, pp.Y = 1, 0, 0
+		return pp
+	}
+	pp.Prob = float64(good) / float64(total)
+	pp.CongestionProb = 1 - pp.Prob
+	sm := p.opts.Smoothing
+	ph := (float64(good) + sm) / (float64(total) + sm)
+	if ph <= 0 {
+		pp.Y = math.Inf(1)
+	} else {
+		pp.Y = -math.Log(ph)
+	}
+	return pp
+}
+
+// YFunc adapts the processor to the y-lookup signature the slice systems
+// consume.
+func (p *Processor) YFunc() func(graph.Pathset) float64 {
+	return func(ps graph.Pathset) float64 { return p.Perf(ps).Y }
+}
+
+// PathCongestionProb returns, for each path of the network, the fraction of
+// its own non-idle intervals in which it was congested (no cross-path
+// normalization). This is what Figure 8 plots per path.
+func PathCongestionProb(meas *Measurements, lossThreshold float64) []float64 {
+	out := make([]float64, meas.NumPaths())
+	for pid := range out {
+		congested, total := 0, 0
+		for t := 0; t < meas.Intervals(); t++ {
+			sent := meas.Sent[t][pid]
+			if sent == 0 {
+				continue
+			}
+			total++
+			if float64(meas.Lost[t][pid])/float64(sent) >= lossThreshold {
+				congested++
+			}
+		}
+		if total > 0 {
+			out[pid] = float64(congested) / float64(total)
+		}
+	}
+	return out
+}

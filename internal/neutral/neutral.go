@@ -1,0 +1,210 @@
+// Package neutral implements Section 3 of the paper: the equivalent neutral
+// network G⁺ and the Theorem 1 observability condition.
+//
+// From the end-hosts' point of view, a non-neutral network with |Ln| neutral
+// links, |Ln̄| non-neutral links, and |C| performance classes is equivalent
+// to a neutral network with |Ln| + |Ln̄|·|C| links: each non-neutral link l
+// maps to one virtual link modeling its common queue (performance x(n*),
+// traversed by Paths(l)) plus, for every lower-priority class n, a virtual
+// link modeling l's regulation of that class (performance x(n) − x(n*),
+// traversed by Paths(l) ∩ c_n).
+//
+// Theorem 1: the network's neutrality violation is observable iff at least
+// one virtual link of G⁺ is distinguishable from every link of G.
+package neutral
+
+import (
+	"fmt"
+	"sort"
+
+	"neutrality/internal/graph"
+	"neutrality/internal/matrix"
+)
+
+// VirtualLink is a link of the equivalent neutral network G⁺.
+type VirtualLink struct {
+	// Name is a human-readable identifier, e.g. "l1+(2)" or "l3+".
+	Name string
+	// Orig is the original link this virtual link derives from.
+	Orig graph.LinkID
+	// Class is the performance class this virtual link regulates, or -1
+	// for the common-queue / neutral-link case (the paper's l⁺(n*) and
+	// l⁺ respectively).
+	Class graph.ClassID
+	// Paths is Paths(l⁺): the sorted paths that traverse the virtual link.
+	Paths []graph.PathID
+	// Perf is the virtual link's (neutral) performance number: x(n*) for
+	// the common queue, x(n) − x(n*) for a regulation link, x for a
+	// neutral link.
+	Perf float64
+}
+
+// Equivalent is the neutral equivalent G⁺ of a (possibly non-neutral)
+// network under given ground-truth performance numbers.
+type Equivalent struct {
+	Net     *graph.Network
+	Virtual []VirtualLink
+}
+
+// Tol is the tolerance under which two performance numbers count as equal
+// when deciding link neutrality.
+const Tol = 1e-12
+
+// Build constructs the neutral equivalent of network n under performance
+// table perf (Section 3.2). Links whose performance numbers agree across
+// classes (within Tol) map to a single virtual link.
+func Build(n *graph.Network, perf graph.Perf) *Equivalent {
+	if len(perf) != n.NumLinks() {
+		panic(fmt.Sprintf("neutral: perf has %d links, network has %d", len(perf), n.NumLinks()))
+	}
+	eq := &Equivalent{Net: n}
+	for l := 0; l < n.NumLinks(); l++ {
+		lid := graph.LinkID(l)
+		name := n.Link(lid).Name
+		if perf.IsNeutral(lid, Tol) {
+			eq.Virtual = append(eq.Virtual, VirtualLink{
+				Name:  name + "+",
+				Orig:  lid,
+				Class: -1,
+				Paths: append([]graph.PathID(nil), n.PathsThrough(lid)...),
+				Perf:  perf[l][0],
+			})
+			continue
+		}
+		top := perf.TopPriorityClass(lid)
+		// Common queue l⁺(n*).
+		eq.Virtual = append(eq.Virtual, VirtualLink{
+			Name:  fmt.Sprintf("%s+(%d)", name, int(top)+1),
+			Orig:  lid,
+			Class: -1,
+			Paths: append([]graph.PathID(nil), n.PathsThrough(lid)...),
+			Perf:  perf[l][top],
+		})
+		// Regulation links l⁺(n) for every other class.
+		for c := 0; c < n.NumClasses(); c++ {
+			if graph.ClassID(c) == top {
+				continue
+			}
+			eq.Virtual = append(eq.Virtual, VirtualLink{
+				Name:  fmt.Sprintf("%s+(%d)", name, c+1),
+				Orig:  lid,
+				Class: graph.ClassID(c),
+				Paths: intersectClass(n, n.PathsThrough(lid), graph.ClassID(c)),
+				Perf:  perf[l][c] - perf[l][top],
+			})
+		}
+	}
+	return eq
+}
+
+func intersectClass(n *graph.Network, paths []graph.PathID, c graph.ClassID) []graph.PathID {
+	var out []graph.PathID
+	for _, p := range paths {
+		if n.ClassOf(p) == c {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// PerfVector returns x⁺: the virtual links' performance numbers in order.
+func (eq *Equivalent) PerfVector() []float64 {
+	out := make([]float64, len(eq.Virtual))
+	for i, v := range eq.Virtual {
+		out[i] = v.Perf
+	}
+	return out
+}
+
+// RoutingMatrix builds A⁺(Θ): rows are pathsets, columns are virtual links;
+// entry 1 iff some path of the pathset traverses the virtual link. The
+// paper observes that A⁺ is identical across all neutral equivalents of a
+// network, because Paths(l⁺) is fixed by the construction.
+func (eq *Equivalent) RoutingMatrix(pathsets []graph.Pathset) *matrix.Matrix {
+	m := matrix.New(len(pathsets), len(eq.Virtual))
+	for i, ps := range pathsets {
+		member := make(map[graph.PathID]bool, len(ps))
+		for _, p := range ps {
+			member[p] = true
+		}
+		for j, v := range eq.Virtual {
+			for _, p := range v.Paths {
+				if member[p] {
+					m.Set(i, j, 1)
+					break
+				}
+			}
+		}
+	}
+	return m
+}
+
+// Observations computes the external observations y_θ = A⁺(Θ)·x⁺ the
+// network produces for the given pathsets. This is the paper's model of
+// what end-hosts measure: the neutral equivalent produces the same external
+// observations as the original non-neutral network.
+func (eq *Equivalent) Observations(pathsets []graph.Pathset) []float64 {
+	return eq.RoutingMatrix(pathsets).MulVec(eq.PerfVector())
+}
+
+// pathsKey canonicalizes a path list for set comparison.
+func pathsKey(paths []graph.PathID) string {
+	cp := append([]graph.PathID(nil), paths...)
+	sort.Slice(cp, func(i, j int) bool { return cp[i] < cp[j] })
+	key := ""
+	for _, p := range cp {
+		key += fmt.Sprint(int(p)) + ","
+	}
+	return key
+}
+
+// Witness describes a virtual link satisfying Theorem 1's condition.
+type Witness struct {
+	Link  graph.LinkID  // the non-neutral original link
+	Class graph.ClassID // the regulated class whose virtual link is the witness
+	Name  string        // virtual link name
+}
+
+// Observable applies Theorem 1 to network n with ground-truth performance
+// perf: the neutrality violation is observable iff some virtual link of the
+// neutral equivalent (with non-zero performance, per the theorem's proof)
+// is distinguishable from every link of the original network. It returns
+// the witnesses found (empty means not observable, or the network is
+// neutral).
+func Observable(n *graph.Network, perf graph.Perf) []Witness {
+	eq := Build(n, perf)
+	orig := make(map[string]bool, n.NumLinks())
+	for l := 0; l < n.NumLinks(); l++ {
+		orig[pathsKey(n.PathsThrough(graph.LinkID(l)))] = true
+	}
+	var out []Witness
+	for _, v := range eq.Virtual {
+		if v.Class < 0 {
+			continue // common queue / neutral: Paths equals the original link's
+		}
+		if v.Perf > -Tol && v.Perf < Tol {
+			continue // x(n) == x(n*): nothing to observe for this class
+		}
+		if len(v.Paths) == 0 {
+			continue // no path of this class traverses the link
+		}
+		if !orig[pathsKey(v.Paths)] {
+			out = append(out, Witness{Link: v.Orig, Class: v.Class, Name: v.Name})
+		}
+	}
+	return out
+}
+
+// ObservableStructural answers the design-time question "if the given links
+// were non-neutral (with any class treated differently), could we ever
+// observe it?" — i.e. Theorem 1 with all class gaps assumed non-zero. It
+// depends only on the topology, paths, and class structure.
+func ObservableStructural(n *graph.Network, nonNeutral []graph.LinkID) []Witness {
+	perf := graph.NewPerf(n.NumLinks(), n.NumClasses())
+	for _, l := range nonNeutral {
+		for c := 0; c < n.NumClasses(); c++ {
+			perf.Set(l, graph.ClassID(c), float64(c)+1) // distinct numbers per class
+		}
+	}
+	return Observable(n, perf)
+}

@@ -1,0 +1,287 @@
+package nslice
+
+import (
+	"math"
+	"testing"
+
+	"neutrality/internal/graph"
+	"neutrality/internal/synth"
+	"neutrality/internal/topo"
+)
+
+func findSlice(t *testing.T, slices []*Slice, n *graph.Network, names ...string) *Slice {
+	t.Helper()
+	want := graph.NewLinkSet()
+	for _, name := range names {
+		l, ok := n.LinkByName(name)
+		if !ok {
+			t.Fatalf("no link %q", name)
+		}
+		want.Add(l.ID)
+	}
+	for _, s := range slices {
+		if graph.NewLinkSet(s.Seq...).Equal(want) {
+			return s
+		}
+	}
+	return nil
+}
+
+// TestFigure4Slices reproduces Section 4.1's construction: the slice for
+// τ=<l1> has exactly the pairs {p1,p4},{p2,p4},{p3,p4}; no path pair
+// shares exactly <l2>.
+func TestFigure4Slices(t *testing.T) {
+	n := topo.Figure4()
+	slices := Enumerate(n)
+	if len(slices) != 2 {
+		t.Fatalf("got %d slices, want 2 (<l1> and <l1,l2>)", len(slices))
+	}
+	sl1 := findSlice(t, slices, n, "l1")
+	if sl1 == nil {
+		t.Fatal("slice <l1> missing")
+	}
+	if len(sl1.Pairs) != 3 {
+		t.Fatalf("<l1> has %d pairs, want 3", len(sl1.Pairs))
+	}
+	for _, pr := range sl1.Pairs {
+		if pr.J != 3 { // every pair involves p4
+			t.Errorf("pair %+v does not involve p4", pr)
+		}
+	}
+	if got := sl1.NumPathsets(); got != 7 {
+		t.Fatalf("|Θ_<l1>| = %d, want 7 (4 singletons + 3 pairs)", got)
+	}
+	if !sl1.Identifiable() {
+		t.Error("<l1> should be admissible")
+	}
+
+	sl12 := findSlice(t, slices, n, "l1", "l2")
+	if sl12 == nil || len(sl12.Pairs) != 3 {
+		t.Fatalf("<l1,l2> slice wrong: %+v", sl12)
+	}
+
+	// For: explicit <l2> has no pairs (non-identifiable, like the paper's
+	// Figure 4 discussion).
+	l2, _ := n.LinkByName("l2")
+	sl2 := For(n, []graph.LinkID{l2.ID})
+	if len(sl2.Pairs) != 0 || sl2.Identifiable() {
+		t.Fatalf("<l2> should have no path pairs, got %+v", sl2.Pairs)
+	}
+}
+
+// TestFigure6System verifies the System 4 structure for τ=<l1>: 7
+// equations (Figure 6(b)), unknowns x_τ plus one x_σ per path, every row
+// containing x_τ.
+func TestFigure6System(t *testing.T) {
+	n := topo.Figure4()
+	l1, _ := n.LinkByName("l1")
+	s := For(n, []graph.LinkID{l1.ID})
+	m := s.System()
+	if m.Rows != 7 || m.Cols != 5 {
+		t.Fatalf("system is %dx%d, want 7x5", m.Rows, m.Cols)
+	}
+	for i := 0; i < m.Rows; i++ {
+		if m.At(i, 0) != 1 {
+			t.Errorf("row %d misses x_tau", i)
+		}
+	}
+	// Singleton rows have exactly 2 ones; pair rows exactly 3.
+	for i := 0; i < 4; i++ {
+		if rowSum(m.Row(i)) != 2 {
+			t.Errorf("singleton row %d = %v", i, m.Row(i))
+		}
+	}
+	for i := 4; i < 7; i++ {
+		if rowSum(m.Row(i)) != 3 {
+			t.Errorf("pair row %d = %v", i, m.Row(i))
+		}
+	}
+	cols := s.LogicalColumns()
+	if len(cols) != 5 || cols[0] != "x_tau" {
+		t.Fatalf("columns = %v", cols)
+	}
+}
+
+func rowSum(r []float64) int {
+	s := 0.0
+	for _, v := range r {
+		s += v
+	}
+	return int(s)
+}
+
+// TestPairEstimateClosedForm: x̂_τ = y_i + y_j − y_ij recovers the exact
+// τ performance in a neutral network.
+func TestPairEstimateClosedForm(t *testing.T) {
+	n := topo.Figure4()
+	perf := graph.NewPerf(n.NumLinks(), n.NumClasses())
+	perf.SetNeutral(0, 0.3) // l1
+	perf.SetNeutral(1, 0.1) // l2
+	perf.SetNeutral(3, 0.2) // l4
+	y := synth.YFunc(n, perf)
+	l1, _ := n.LinkByName("l1")
+	s := For(n, []graph.LinkID{l1.ID})
+	for _, e := range s.PairEstimates(y) {
+		if math.Abs(e.X-0.3) > 1e-9 {
+			t.Errorf("pair %+v estimates %v, want 0.3", e.Pair, e.X)
+		}
+	}
+	if u := Unsolvability(s.PairEstimates(y)); u > 1e-9 {
+		t.Errorf("neutral unsolvability = %v", u)
+	}
+	if !s.ConsistentExact(y, 0) {
+		t.Error("neutral System 4 reported unsolvable")
+	}
+}
+
+// TestNonNeutralEstimatesDiverge: with l1 non-neutral, the mixed pair
+// {p1,p4} estimates x̂(c1) while the pure-c2 pairs estimate x̂(c2)
+// (Lemma 3's proof, equations 18 and 20).
+func TestNonNeutralEstimatesDiverge(t *testing.T) {
+	n := topo.Figure4()
+	perf := graph.NewPerf(n.NumLinks(), n.NumClasses())
+	l1, _ := n.LinkByName("l1")
+	perf.Set(l1.ID, 0, 0.05)
+	perf.Set(l1.ID, 1, 0.60)
+	y := synth.YFunc(n, perf)
+	s := For(n, []graph.LinkID{l1.ID})
+	ests := s.PairEstimates(y)
+	for _, e := range ests {
+		var want float64
+		if e.SameClass && e.Class == 1 {
+			want = 0.60
+		} else {
+			want = 0.05 // mixed pairs estimate the top-priority class
+		}
+		if math.Abs(e.X-want) > 1e-9 {
+			t.Errorf("pair %+v: estimate %v, want %v", e.Pair, e.X, want)
+		}
+	}
+	if u := Unsolvability(ests); math.Abs(u-0.55) > 1e-9 {
+		t.Errorf("unsolvability = %v, want 0.55", u)
+	}
+	if s.ConsistentExact(y, 0) {
+		t.Error("non-neutral System 4 reported solvable")
+	}
+}
+
+// TestLemma3Witness: <l1> in Figure 4 satisfies Lemma 3 (pure-c2 pair
+// {p2,p4} plus mixed pair {p1,p4}); a slice whose pairs are all in one
+// class does not.
+func TestLemma3Witness(t *testing.T) {
+	n := topo.Figure4()
+	l1, _ := n.LinkByName("l1")
+	s := For(n, []graph.LinkID{l1.ID})
+	w, ok := s.Lemma3(0)
+	if !ok {
+		t.Fatal("Lemma 3 condition not found for <l1>")
+	}
+	if w.LowerClass != 1 {
+		t.Fatalf("witness class = %d", w.LowerClass)
+	}
+	// The <l1,l2> slice: pairs {p1,p2},{p1,p3} mixed, {p2,p3} pure c2 —
+	// also satisfies Lemma 3.
+	l2, _ := n.LinkByName("l2")
+	s12 := For(n, []graph.LinkID{l1.ID, l2.ID})
+	if _, ok := s12.Lemma3(0); !ok {
+		t.Fatal("Lemma 3 condition not found for <l1,l2>")
+	}
+}
+
+// TestLemma3NoWitnessWhenHomogeneous: if every pair is mixed, Lemma 3's
+// condition fails (and indeed the estimates agree).
+func TestLemma3NoWitnessWhenHomogeneous(t *testing.T) {
+	// Two-class network where the shared link's pairs are all mixed:
+	// s->m shared by one c1 and one c2 path only.
+	b := graph.NewBuilder()
+	s := b.Host("s")
+	m := b.Relay("m")
+	a := b.Host("a")
+	c := b.Host("c")
+	d := b.Host("d")
+	e := b.Host("e")
+	b.Link("shared", s, m)
+	b.Link("o1", m, a)
+	b.Link("o2", m, c)
+	b.Link("o3", m, d)
+	b.Link("o4", m, e)
+	b.Path("q1", 0, "shared", "o1")
+	b.Path("q2", 1, "shared", "o2")
+	b.Path("q3", 0, "shared", "o3")
+	b.Path("q4", 1, "shared", "o4")
+	n := b.MustBuild()
+	sh, _ := n.LinkByName("shared")
+	sl := For(n, []graph.LinkID{sh.ID})
+	// Pairs: (q1,q2) mixed, (q1,q3) pure c1, (q1,q4) mixed, (q2,q3)
+	// mixed, (q2,q4) pure c2, (q3,q4) mixed -> witness exists here.
+	if _, ok := sl.Lemma3(0); !ok {
+		t.Fatal("expected witness with pure-c2 pair present")
+	}
+
+	// Now a topology where c2 has a single path: no pure-c2 pair.
+	b2 := graph.NewBuilder()
+	s2 := b2.Host("s")
+	m2 := b2.Relay("m")
+	a2 := b2.Host("a")
+	c2 := b2.Host("c")
+	d2 := b2.Host("d")
+	b2.Link("shared", s2, m2)
+	b2.Link("o1", m2, a2)
+	b2.Link("o2", m2, c2)
+	b2.Link("o3", m2, d2)
+	b2.Path("q1", 0, "shared", "o1")
+	b2.Path("q2", 0, "shared", "o2")
+	b2.Path("q3", 1, "shared", "o3")
+	n2 := b2.MustBuild()
+	sh2, _ := n2.LinkByName("shared")
+	sl2 := For(n2, []graph.LinkID{sh2.ID})
+	if _, ok := sl2.Lemma3(0); ok {
+		t.Fatal("no pure-c2 pair exists; Lemma 3 witness should be absent")
+	}
+}
+
+// TestEnumerateTopologyA: the dumbbell's only slice is <l5> with all six
+// path pairs.
+func TestEnumerateTopologyA(t *testing.T) {
+	a := topo.NewTopologyA()
+	slices := Enumerate(a.Net)
+	if len(slices) != 1 {
+		t.Fatalf("topology A has %d slices, want 1", len(slices))
+	}
+	s := slices[0]
+	if len(s.Seq) != 1 || s.Seq[0] != a.Shared {
+		t.Fatalf("slice = %s", s.SeqNames())
+	}
+	if len(s.Pairs) != 6 || len(s.Paths) != 4 {
+		t.Fatalf("pairs=%d paths=%d", len(s.Pairs), len(s.Paths))
+	}
+	if _, ok := s.Lemma3(0); !ok {
+		t.Fatal("dumbbell shared link should satisfy Lemma 3")
+	}
+}
+
+func TestUnsolvabilityEdgeCases(t *testing.T) {
+	if u := Unsolvability(nil); u != 0 {
+		t.Errorf("empty = %v", u)
+	}
+	if u := Unsolvability([]PairEstimate{{X: 3}}); u != 0 {
+		t.Errorf("single = %v", u)
+	}
+	u := Unsolvability([]PairEstimate{{X: 1}, {X: 4}, {X: 2}})
+	if u != 3 {
+		t.Errorf("spread = %v, want 3", u)
+	}
+}
+
+func TestKeyAndNames(t *testing.T) {
+	n := topo.Figure4()
+	l1, _ := n.LinkByName("l1")
+	l2, _ := n.LinkByName("l2")
+	s := For(n, []graph.LinkID{l2.ID, l1.ID})
+	if Key(s.Seq) != "0,1" {
+		t.Errorf("key = %q", Key(s.Seq))
+	}
+	if s.SeqNames() != "<l1,l2>" {
+		t.Errorf("names = %q", s.SeqNames())
+	}
+}

@@ -1,0 +1,53 @@
+// Package routing builds generalized routing matrices (Section 2.3 of the
+// paper): given a set of pathsets Θ and the network's links, the matrix
+// A(Θ) has A[i][k] = 1 iff at least one path of pathset θ_i traverses link
+// l_k. In a neutral network the external observations satisfy
+// y = A(Θ)·x, and that linear relationship is the object the whole
+// inference machinery interrogates.
+package routing
+
+import (
+	"neutrality/internal/graph"
+	"neutrality/internal/matrix"
+)
+
+// Matrix builds the generalized routing matrix A(Θ) for the given pathsets
+// over all |L| links of the network.
+func Matrix(n *graph.Network, pathsets []graph.Pathset) *matrix.Matrix {
+	m := matrix.New(len(pathsets), n.NumLinks())
+	for i, ps := range pathsets {
+		links := n.Links(ps)
+		for _, l := range links.Sorted() {
+			m.Set(i, int(l), 1)
+		}
+	}
+	return m
+}
+
+// MatrixForLinks builds A(Θ) restricted to an explicit link column ordering.
+// Column j of the result corresponds to cols[j]; links outside cols are
+// ignored. Used for slice systems, whose unknowns are logical links.
+func MatrixForLinks(n *graph.Network, pathsets []graph.Pathset, cols []graph.LinkID) *matrix.Matrix {
+	idx := make(map[graph.LinkID]int, len(cols))
+	for j, l := range cols {
+		idx[l] = j
+	}
+	m := matrix.New(len(pathsets), len(cols))
+	for i, ps := range pathsets {
+		links := n.Links(ps)
+		for _, l := range links.Sorted() {
+			if j, ok := idx[l]; ok {
+				m.Set(i, j, 1)
+			}
+		}
+	}
+	return m
+}
+
+// Observations evaluates the neutral-model predictions y_i = Σ_{l∈Links(θ_i)} x_l
+// for ground-truth neutral link performance x (one value per link). This is
+// the right-hand side System 3 would have in a truly neutral network; tests
+// use it to verify consistency.
+func Observations(n *graph.Network, pathsets []graph.Pathset, x []float64) []float64 {
+	return Matrix(n, pathsets).MulVec(x)
+}

@@ -1,0 +1,109 @@
+package routing
+
+import (
+	"testing"
+
+	"neutrality/internal/graph"
+	"neutrality/internal/matrix"
+)
+
+// fig1 rebuilds the paper's Figure 1 network.
+func fig1(t *testing.T) *graph.Network {
+	t.Helper()
+	b := graph.NewBuilder()
+	s := b.Host("s")
+	m := b.Host("m")
+	n := b.Host("n")
+	a := b.Host("a")
+	d := b.Host("d")
+	b.Link("l1", s, m)
+	b.Link("l2", m, a)
+	b.Link("l3", m, n)
+	b.Link("l4", n, d)
+	b.Path("p1", 0, "l1", "l2")
+	b.Path("p2", 1, "l1", "l3")
+	b.Path("p3", 0, "l3", "l4")
+	return b.MustBuild()
+}
+
+// TestFigure1RoutingMatrix checks A(Θ) against the paper's Figure 1(b),
+// row for row.
+func TestFigure1RoutingMatrix(t *testing.T) {
+	n := fig1(t)
+	pathsets := []graph.Pathset{
+		graph.NewPathset(0),       // {p1}
+		graph.NewPathset(1),       // {p2}
+		graph.NewPathset(2),       // {p3}
+		graph.NewPathset(0, 1),    // {p1,p2}
+		graph.NewPathset(0, 2),    // {p1,p3}
+		graph.NewPathset(1, 2),    // {p2,p3}
+		graph.NewPathset(0, 1, 2), // {p1,p2,p3}
+	}
+	want := [][]float64{
+		{1, 1, 0, 0},
+		{1, 0, 1, 0},
+		{0, 0, 1, 1},
+		{1, 1, 1, 0},
+		{1, 1, 1, 1},
+		{1, 0, 1, 1},
+		{1, 1, 1, 1},
+	}
+	a := Matrix(n, pathsets)
+	if a.Rows != 7 || a.Cols != 4 {
+		t.Fatalf("shape %dx%d", a.Rows, a.Cols)
+	}
+	for i := range want {
+		for j := range want[i] {
+			if a.At(i, j) != want[i][j] {
+				t.Errorf("A[%d][%d] = %v, want %v", i, j, a.At(i, j), want[i][j])
+			}
+		}
+	}
+}
+
+func TestObservationsMatchNeutralModel(t *testing.T) {
+	n := fig1(t)
+	x := []float64{0.1, 0.2, 0.3, 0.4} // neutral link perf
+	pathsets := []graph.Pathset{
+		graph.NewPathset(0),
+		graph.NewPathset(1),
+		graph.NewPathset(0, 1),
+	}
+	y := Observations(n, pathsets, x)
+	// y1 = x1+x2, y2 = x1+x3, y3 = x1+x2+x3 (Section 2.3's example).
+	want := []float64{0.1 + 0.2, 0.1 + 0.3, 0.1 + 0.2 + 0.3}
+	for i := range want {
+		if diff := y[i] - want[i]; diff > 1e-12 || diff < -1e-12 {
+			t.Errorf("y[%d] = %v, want %v", i, y[i], want[i])
+		}
+	}
+}
+
+// TestNeutralSystemAlwaysConsistent is Lemma 1's contrapositive: in a
+// neutral network, System 3 built from any pathsets is consistent.
+func TestNeutralSystemAlwaysConsistent(t *testing.T) {
+	n := fig1(t)
+	x := []float64{0.5, 0.1, 0.7, 0.2}
+	all := n.PowerSetPathsets()
+	a := Matrix(n, all)
+	y := Observations(n, all, x)
+	if !matrix.Consistent(a, y, 0) {
+		t.Fatal("neutral observations yielded an inconsistent system")
+	}
+}
+
+func TestMatrixForLinks(t *testing.T) {
+	n := fig1(t)
+	l1, _ := n.LinkByName("l1")
+	l3, _ := n.LinkByName("l3")
+	a := MatrixForLinks(n, []graph.Pathset{graph.NewPathset(1)}, []graph.LinkID{l3.ID, l1.ID})
+	// p2 = (l1,l3); column order is [l3, l1].
+	if a.At(0, 0) != 1 || a.At(0, 1) != 1 {
+		t.Fatalf("row = %v", a.Row(0))
+	}
+	a2 := MatrixForLinks(n, []graph.Pathset{graph.NewPathset(2)}, []graph.LinkID{l1.ID})
+	// p3 does not traverse l1.
+	if a2.At(0, 0) != 0 {
+		t.Fatalf("p3 should not hit l1")
+	}
+}

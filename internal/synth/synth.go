@@ -1,0 +1,205 @@
+// Package synth generates external observations directly from ground-truth
+// link performance numbers, without running the packet emulator. It serves
+// two purposes:
+//
+//  1. Exact observations (Observations) — computed through the equivalent
+//     neutral network — let the theory tests exercise observability and
+//     identifiability with noise-free inputs.
+//  2. Sampled observations (Sampler) — per-interval Bernoulli link states —
+//     let property tests drive the full Algorithm 1 + Algorithm 2 pipeline
+//     at scales the emulator would make slow, with controllable noise.
+//
+// The generative model matches the paper's equivalent-neutral-network
+// semantics (Section 3.2): each link's common queue congests all of its
+// traffic with probability 1−exp(−x(n*)); independently, the link's
+// regulation of each lower-priority class n congests class-n traffic with
+// probability 1−exp(−(x(n)−x(n*))). Marginally, class-n traffic on the
+// link is congestion-free with probability exp(−x(n)), and the correlated-
+// classes assumption (#3) holds: congestion of the top class implies
+// congestion of every class.
+package synth
+
+import (
+	"math"
+
+	"neutrality/internal/graph"
+	"neutrality/internal/measure"
+	"neutrality/internal/neutral"
+	"neutrality/internal/stats"
+)
+
+// Observations returns the exact performance number y_θ of each given
+// pathset under ground truth perf, via the equivalent neutral network.
+func Observations(n *graph.Network, perf graph.Perf, pathsets []graph.Pathset) []float64 {
+	return neutral.Build(n, perf).Observations(pathsets)
+}
+
+// YFunc returns a lookup closure over exact observations, suitable for the
+// slice systems. It computes each pathset on demand.
+func YFunc(n *graph.Network, perf graph.Perf) func(graph.Pathset) float64 {
+	eq := neutral.Build(n, perf)
+	cache := map[string]float64{}
+	return func(ps graph.Pathset) float64 {
+		k := ps.Key()
+		if y, ok := cache[k]; ok {
+			return y
+		}
+		y := eq.Observations([]graph.Pathset{ps})[0]
+		cache[k] = y
+		return y
+	}
+}
+
+// Sampler draws per-interval congestion states for every path.
+type Sampler struct {
+	net *graph.Network
+	eq  *neutral.Equivalent
+	rng *stats.Rand
+	// congestProb[v] is the Bernoulli parameter of virtual link v.
+	congestProb []float64
+	// members[v] is the member bitmap of virtual link v over paths.
+	members [][]bool
+}
+
+// NewSampler builds a sampler for network n with ground truth perf.
+func NewSampler(n *graph.Network, perf graph.Perf, seed int64) *Sampler {
+	eq := neutral.Build(n, perf)
+	s := &Sampler{
+		net:         n,
+		eq:          eq,
+		rng:         stats.NewRand(seed),
+		congestProb: make([]float64, len(eq.Virtual)),
+		members:     make([][]bool, len(eq.Virtual)),
+	}
+	for i, v := range eq.Virtual {
+		x := v.Perf
+		if x < 0 {
+			x = 0 // negative regulation would mean the "lower" class is favoured; clamp
+		}
+		s.congestProb[i] = 1 - math.Exp(-x)
+		bm := make([]bool, n.NumPaths())
+		for _, p := range v.Paths {
+			bm[p] = true
+		}
+		s.members[i] = bm
+	}
+	return s
+}
+
+// Interval draws one interval: congested[p] reports whether path p was
+// congested (some virtual link it traverses fired).
+func (s *Sampler) Interval() []bool {
+	congested := make([]bool, s.net.NumPaths())
+	for i, prob := range s.congestProb {
+		if prob <= 0 {
+			continue
+		}
+		if s.rng.Float64() < prob {
+			for p, in := range s.members[i] {
+				if in {
+					congested[p] = true
+				}
+			}
+		}
+	}
+	return congested
+}
+
+// SampleIntervals draws T intervals; result[t][p] is path p's congestion
+// indicator in interval t.
+func (s *Sampler) SampleIntervals(T int) [][]bool {
+	out := make([][]bool, T)
+	for t := range out {
+		out[t] = s.Interval()
+	}
+	return out
+}
+
+// MeasurementOptions shape the conversion of interval states into raw
+// packet counts consumable by Algorithm 2.
+type MeasurementOptions struct {
+	// PacketsPerInterval is the nominal per-path send count per interval.
+	PacketsPerInterval int
+	// PacketJitter adds ±jitter uniform variation to the send count, to
+	// exercise Algorithm 2's normalization.
+	PacketJitter int
+	// CongestedLossFrac is the loss fraction applied in congested
+	// intervals (must be >= the detection threshold to be visible).
+	CongestedLossFrac float64
+	// BaselineLossFrac is the loss fraction in congestion-free intervals.
+	BaselineLossFrac float64
+	Seed             int64
+}
+
+// DefaultMeasurementOptions mirrors a 100 ms interval on a fast path.
+func DefaultMeasurementOptions() MeasurementOptions {
+	return MeasurementOptions{
+		PacketsPerInterval: 500,
+		PacketJitter:       100,
+		CongestedLossFrac:  0.05,
+		BaselineLossFrac:   0.001,
+		Seed:               7,
+	}
+}
+
+// ToMeasurements converts interval congestion states into raw packet
+// counts: congested path-intervals lose CongestedLossFrac of their packets,
+// others BaselineLossFrac.
+func ToMeasurements(states [][]bool, opts MeasurementOptions) *measure.Measurements {
+	rng := stats.NewRand(opts.Seed)
+	T := len(states)
+	if T == 0 {
+		return measure.NewMeasurements(0, 0)
+	}
+	P := len(states[0])
+	m := measure.NewMeasurements(T, P)
+	for t := 0; t < T; t++ {
+		for p := 0; p < P; p++ {
+			sent := opts.PacketsPerInterval
+			if opts.PacketJitter > 0 {
+				sent += rng.Intn(2*opts.PacketJitter+1) - opts.PacketJitter
+			}
+			if sent < 1 {
+				sent = 1
+			}
+			frac := opts.BaselineLossFrac
+			if states[t][p] {
+				frac = opts.CongestedLossFrac
+			}
+			lost := int(math.Round(frac * float64(sent)))
+			if lost > sent {
+				lost = sent
+			}
+			m.Sent[t][p] = sent
+			m.Lost[t][p] = lost
+		}
+	}
+	return m
+}
+
+// EmpiricalYFunc estimates pathset performance numbers directly from
+// interval states (bypassing packet counts): y = −log of the smoothed
+// fraction of intervals where all member paths were congestion-free.
+func EmpiricalYFunc(states [][]bool, smoothing float64) func(graph.Pathset) float64 {
+	T := len(states)
+	return func(ps graph.Pathset) float64 {
+		good := 0
+		for t := 0; t < T; t++ {
+			all := true
+			for _, p := range ps {
+				if states[t][p] {
+					all = false
+					break
+				}
+			}
+			if all {
+				good++
+			}
+		}
+		ph := (float64(good) + smoothing) / (float64(T) + smoothing)
+		if ph <= 0 {
+			return math.Inf(1)
+		}
+		return -math.Log(ph)
+	}
+}

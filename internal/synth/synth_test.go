@@ -1,0 +1,152 @@
+package synth
+
+import (
+	"math"
+	"testing"
+
+	"neutrality/internal/graph"
+	"neutrality/internal/topo"
+)
+
+// TestSamplerMarginals: for every path p, the empirical congestion-free
+// frequency approaches exp(−y_p), where y_p is the exact observation.
+func TestSamplerMarginals(t *testing.T) {
+	n := topo.Figure4()
+	perf := graph.NewPerf(n.NumLinks(), n.NumClasses())
+	l1, _ := n.LinkByName("l1")
+	l3, _ := n.LinkByName("l3")
+	perf.Set(l1.ID, 0, 0.1)
+	perf.Set(l1.ID, 1, 0.7)
+	perf.SetNeutral(l3.ID, 0.2)
+
+	exact := Observations(n, perf, n.SingletonPathsets())
+	s := NewSampler(n, perf, 42)
+	const T = 200000
+	free := make([]int, n.NumPaths())
+	for i := 0; i < T; i++ {
+		st := s.Interval()
+		for p, c := range st {
+			if !c {
+				free[p]++
+			}
+		}
+	}
+	for p := 0; p < n.NumPaths(); p++ {
+		got := float64(free[p]) / T
+		want := math.Exp(-exact[p])
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("path %d: P̂ = %v, want %v", p, got, want)
+		}
+	}
+}
+
+// TestSamplerJointCorrelation: Figure 5's signature — p2 and p3 congest
+// together because the shared regulation link fires for both.
+func TestSamplerJointCorrelation(t *testing.T) {
+	n := topo.Figure5()
+	perf := topo.Figure5Perf(n)
+	s := NewSampler(n, perf, 7)
+	const T = 100000
+	both, p2only := 0, 0
+	for i := 0; i < T; i++ {
+		st := s.Interval()
+		if st[1] && st[2] {
+			both++
+		}
+		if st[1] && !st[2] {
+			p2only++
+		}
+	}
+	// With only l1's regulation active, p2 and p3 congest in exactly the
+	// same intervals.
+	if p2only != 0 {
+		t.Fatalf("p2 congested alone %d times; regulation link should hit both", p2only)
+	}
+	if got := float64(both) / T; math.Abs(got-0.5) > 0.01 {
+		t.Fatalf("joint congestion %v, want ~0.5", got)
+	}
+}
+
+// TestEmpiricalYMatchesExact: the empirical pathset performance from
+// sampled intervals converges to the equivalent network's exact value,
+// including multi-path pathsets.
+func TestEmpiricalYMatchesExact(t *testing.T) {
+	n := topo.Figure1()
+	perf := topo.Figure1Perf(n)
+	perf.SetNeutral(3, 0.3) // l4
+
+	s := NewSampler(n, perf, 99)
+	states := s.SampleIntervals(300000)
+	y := EmpiricalYFunc(states, 0)
+	pathsets := []graph.Pathset{
+		{0}, {1}, {2},
+		graph.NewPathset(0, 1),
+		graph.NewPathset(1, 2),
+		graph.NewPathset(0, 1, 2),
+	}
+	exact := Observations(n, perf, pathsets)
+	for i, ps := range pathsets {
+		got := y(ps)
+		if math.Abs(got-exact[i]) > 0.02 {
+			t.Errorf("pathset %v: y = %v, want %v", ps, got, exact[i])
+		}
+	}
+}
+
+func TestToMeasurementsShape(t *testing.T) {
+	states := [][]bool{{true, false}, {false, false}, {true, true}}
+	opts := DefaultMeasurementOptions()
+	m := ToMeasurements(states, opts)
+	if m.Intervals() != 3 || m.NumPaths() != 2 {
+		t.Fatalf("shape %dx%d", m.Intervals(), m.NumPaths())
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Congested path-intervals must carry visible loss.
+	frac := float64(m.Lost[0][0]) / float64(m.Sent[0][0])
+	if frac < 0.01 {
+		t.Fatalf("congested interval loss fraction %v too low", frac)
+	}
+	// Clean intervals stay below the detection threshold.
+	frac = float64(m.Lost[0][1]) / float64(m.Sent[0][1])
+	if frac >= 0.01 {
+		t.Fatalf("clean interval loss fraction %v too high", frac)
+	}
+}
+
+func TestToMeasurementsEmpty(t *testing.T) {
+	m := ToMeasurements(nil, DefaultMeasurementOptions())
+	if m.Intervals() != 0 {
+		t.Fatal("empty states should give empty measurements")
+	}
+}
+
+func TestYFuncCaches(t *testing.T) {
+	n := topo.Figure1()
+	perf := topo.Figure1Perf(n)
+	y := YFunc(n, perf)
+	a := y(graph.NewPathset(0, 1))
+	b := y(graph.NewPathset(1, 0))
+	if a != b {
+		t.Fatal("canonical pathsets should hit the same cache entry")
+	}
+}
+
+// TestNegativeRegulationClamped: a perf table where the "lower" class is
+// treated better than the top class must not produce negative
+// probabilities.
+func TestNegativeRegulationClamped(t *testing.T) {
+	n := topo.Figure2()
+	perf := graph.NewPerf(n.NumLinks(), n.NumClasses())
+	l1, _ := n.LinkByName("l1")
+	perf.Set(l1.ID, 0, 0.9)
+	perf.Set(l1.ID, 1, 0.1)
+	s := NewSampler(n, perf, 5)
+	for _, p := range s.congestProb {
+		if p < 0 || p > 1 {
+			t.Fatalf("congestion probability %v out of range", p)
+		}
+	}
+	s.Interval() // must not panic
+}

@@ -1,0 +1,179 @@
+// Package tcp implements the packet-level TCP endpoints that generate the
+// emulator's traffic (Section 6.1): window-based senders with slow start,
+// congestion avoidance (NewReno or CUBIC), fast retransmit/recovery on
+// three duplicate ACKs, and an RFC 6298-style retransmission timer. Flows
+// transfer a configured number of segments and report completion, so the
+// workload layer can chain flows with idle gaps.
+package tcp
+
+import (
+	"fmt"
+	"math"
+)
+
+// CongestionControl is the pluggable congestion-avoidance algorithm. The
+// window is measured in segments; fractional windows accumulate ACK
+// credits as real TCP stacks do.
+type CongestionControl interface {
+	// OnAck is invoked for every ACK that newly acknowledges data, outside
+	// of fast recovery. rtt is the connection's smoothed RTT estimate.
+	OnAck(now, rtt float64)
+	// OnLoss is invoked at fast retransmit (triple duplicate ACK). flight
+	// is the amount of outstanding data in segments.
+	OnLoss(now float64, flight float64)
+	// OnTimeout is invoked at RTO expiry.
+	OnTimeout(now float64, flight float64)
+	// Cwnd returns the current congestion window in segments.
+	Cwnd() float64
+	// Ssthresh returns the slow-start threshold in segments.
+	Ssthresh() float64
+	Name() string
+}
+
+// InitialWindow is the initial congestion window in segments.
+const InitialWindow = 10
+
+// minWindow is the floor for cwnd/ssthresh after loss.
+const minWindow = 2
+
+// NewRenoCC implements TCP NewReno's AIMD: slow start below ssthresh
+// (cwnd += 1 per ACK), congestion avoidance above (cwnd += 1/cwnd per ACK),
+// multiplicative decrease by half on loss.
+type NewRenoCC struct {
+	cwnd     float64
+	ssthresh float64
+}
+
+// NewReno returns a NewReno controller at the initial window.
+func NewReno() *NewRenoCC {
+	return &NewRenoCC{cwnd: InitialWindow, ssthresh: math.Inf(1)}
+}
+
+// OnAck implements CongestionControl.
+func (c *NewRenoCC) OnAck(now, rtt float64) {
+	if c.cwnd < c.ssthresh {
+		c.cwnd++
+	} else {
+		c.cwnd += 1 / c.cwnd
+	}
+}
+
+// OnLoss implements CongestionControl.
+func (c *NewRenoCC) OnLoss(now float64, flight float64) {
+	c.ssthresh = math.Max(flight/2, minWindow)
+	c.cwnd = c.ssthresh
+}
+
+// OnTimeout implements CongestionControl.
+func (c *NewRenoCC) OnTimeout(now float64, flight float64) {
+	c.ssthresh = math.Max(flight/2, minWindow)
+	c.cwnd = 1
+}
+
+// Cwnd implements CongestionControl.
+func (c *NewRenoCC) Cwnd() float64 { return c.cwnd }
+
+// Ssthresh implements CongestionControl.
+func (c *NewRenoCC) Ssthresh() float64 { return c.ssthresh }
+
+// Name implements CongestionControl.
+func (c *NewRenoCC) Name() string { return "newreno" }
+
+// CubicCC implements CUBIC (Ha, Rhee, Xu) with the standard constants
+// C=0.4, β=0.7, including the TCP-friendly region. Time is the emulator's
+// simulated time, so the cubic growth is driven by real elapsed (simulated)
+// time as in the kernel implementation.
+type CubicCC struct {
+	cwnd     float64
+	ssthresh float64
+
+	wMax       float64
+	epochStart float64 // <0 when no epoch is active
+	k          float64
+	originWin  float64
+	ackCount   float64 // for the TCP-friendly window estimate
+	wEst       float64
+}
+
+const (
+	cubicC    = 0.4
+	cubicBeta = 0.7
+)
+
+// NewCubic returns a CUBIC controller at the initial window.
+func NewCubic() *CubicCC {
+	return &CubicCC{cwnd: InitialWindow, ssthresh: math.Inf(1), epochStart: -1}
+}
+
+// OnAck implements CongestionControl.
+func (c *CubicCC) OnAck(now, rtt float64) {
+	if c.cwnd < c.ssthresh {
+		c.cwnd++
+		return
+	}
+	if rtt <= 0 {
+		rtt = 0.05
+	}
+	if c.epochStart < 0 {
+		c.epochStart = now
+		if c.cwnd < c.wMax {
+			c.k = math.Cbrt((c.wMax - c.cwnd) / cubicC)
+			c.originWin = c.wMax
+		} else {
+			c.k = 0
+			c.originWin = c.cwnd
+		}
+		c.ackCount = 0
+		c.wEst = c.cwnd
+	}
+	t := now - c.epochStart + rtt // target one RTT ahead, per the paper
+	target := c.originWin + cubicC*math.Pow(t-c.k, 3)
+	if target > c.cwnd {
+		c.cwnd += (target - c.cwnd) / c.cwnd
+	} else {
+		c.cwnd += 0.01 / c.cwnd // minimal growth in the concave plateau
+	}
+	// TCP-friendly region: emulate Reno's throughput.
+	c.ackCount++
+	c.wEst += 3 * (1 - cubicBeta) / (1 + cubicBeta) / c.cwnd
+	if c.wEst > c.cwnd {
+		c.cwnd = c.wEst
+	}
+}
+
+// OnLoss implements CongestionControl.
+func (c *CubicCC) OnLoss(now float64, flight float64) {
+	c.wMax = c.cwnd
+	c.cwnd = math.Max(c.cwnd*cubicBeta, minWindow)
+	c.ssthresh = c.cwnd
+	c.epochStart = -1
+}
+
+// OnTimeout implements CongestionControl.
+func (c *CubicCC) OnTimeout(now float64, flight float64) {
+	c.wMax = c.cwnd
+	c.ssthresh = math.Max(c.cwnd*cubicBeta, minWindow)
+	c.cwnd = 1
+	c.epochStart = -1
+}
+
+// Cwnd implements CongestionControl.
+func (c *CubicCC) Cwnd() float64 { return c.cwnd }
+
+// Ssthresh implements CongestionControl.
+func (c *CubicCC) Ssthresh() float64 { return c.ssthresh }
+
+// Name implements CongestionControl.
+func (c *CubicCC) Name() string { return "cubic" }
+
+// NewCC constructs a controller by name ("newreno" or "cubic").
+func NewCC(name string) (CongestionControl, error) {
+	switch name {
+	case "newreno", "reno":
+		return NewReno(), nil
+	case "cubic":
+		return NewCubic(), nil
+	default:
+		return nil, fmt.Errorf("tcp: unknown congestion control %q", name)
+	}
+}

@@ -1,0 +1,141 @@
+package tcp
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewRenoSlowStartDoubling(t *testing.T) {
+	c := NewReno()
+	// Below ssthresh: +1 per ACK.
+	start := c.Cwnd()
+	for i := 0; i < 10; i++ {
+		c.OnAck(0, 0.05)
+	}
+	if c.Cwnd() != start+10 {
+		t.Fatalf("cwnd = %v, want %v", c.Cwnd(), start+10)
+	}
+}
+
+func TestNewRenoCongestionAvoidance(t *testing.T) {
+	c := NewReno()
+	c.OnLoss(0, 20) // ssthresh = 10, cwnd = 10
+	if c.Cwnd() != 10 || c.Ssthresh() != 10 {
+		t.Fatalf("after loss cwnd=%v ssthresh=%v", c.Cwnd(), c.Ssthresh())
+	}
+	// CA: one full window of ACKs grows cwnd by ~1.
+	before := c.Cwnd()
+	for i := 0; i < 10; i++ {
+		c.OnAck(0, 0.05)
+	}
+	if got := c.Cwnd() - before; got < 0.9 || got > 1.1 {
+		t.Fatalf("CA growth per RTT = %v, want ≈1", got)
+	}
+}
+
+func TestNewRenoTimeout(t *testing.T) {
+	c := NewReno()
+	for i := 0; i < 30; i++ {
+		c.OnAck(0, 0.05)
+	}
+	c.OnTimeout(0, 40)
+	if c.Cwnd() != 1 {
+		t.Fatalf("cwnd after timeout = %v", c.Cwnd())
+	}
+	if c.Ssthresh() != 20 {
+		t.Fatalf("ssthresh after timeout = %v, want flight/2", c.Ssthresh())
+	}
+}
+
+func TestNewRenoLossFloor(t *testing.T) {
+	c := NewReno()
+	c.OnLoss(0, 1)
+	if c.Cwnd() < minWindow {
+		t.Fatalf("cwnd %v below floor", c.Cwnd())
+	}
+}
+
+func TestCubicConcaveGrowthTowardWmax(t *testing.T) {
+	c := NewCubic()
+	// Reach CA with a known Wmax.
+	for i := 0; i < 90; i++ {
+		c.OnAck(0, 0.05)
+	}
+	c.OnLoss(1, c.Cwnd()) // Wmax = 100, cwnd = 70
+	wAfterLoss := c.Cwnd()
+	if math.Abs(wAfterLoss-100*cubicBeta) > 1 {
+		t.Fatalf("post-loss cwnd %v, want ≈70", wAfterLoss)
+	}
+	// Feed ACKs over simulated time; window should approach Wmax and
+	// plateau near it (concave region), then exceed it.
+	now := 1.0
+	for i := 0; i < 2000; i++ {
+		now += 0.01
+		c.OnAck(now, 0.05)
+	}
+	if c.Cwnd() < 95 {
+		t.Fatalf("cwnd %v did not approach Wmax 100", c.Cwnd())
+	}
+}
+
+func TestCubicSlowStartFirst(t *testing.T) {
+	c := NewCubic()
+	start := c.Cwnd()
+	for i := 0; i < 5; i++ {
+		c.OnAck(0, 0.05)
+	}
+	if c.Cwnd() != start+5 {
+		t.Fatalf("slow start growth wrong: %v", c.Cwnd())
+	}
+}
+
+func TestCubicTimeout(t *testing.T) {
+	c := NewCubic()
+	for i := 0; i < 50; i++ {
+		c.OnAck(0, 0.05)
+	}
+	c.OnTimeout(1, 60)
+	if c.Cwnd() != 1 {
+		t.Fatalf("cwnd after timeout = %v", c.Cwnd())
+	}
+	if c.Ssthresh() < minWindow {
+		t.Fatalf("ssthresh %v below floor", c.Ssthresh())
+	}
+}
+
+func TestCubicTCPFriendlyRegion(t *testing.T) {
+	// With tiny elapsed time, the cubic target is flat; the TCP-friendly
+	// estimate should keep the window growing at least Reno-like.
+	c := NewCubic()
+	c.OnLoss(0, 50)
+	w0 := c.Cwnd()
+	now := 0.0
+	for i := 0; i < 200; i++ {
+		now += 0.001
+		c.OnAck(now, 0.05)
+	}
+	if c.Cwnd() <= w0 {
+		t.Fatalf("window did not grow in TCP-friendly region: %v", c.Cwnd())
+	}
+}
+
+func TestNewCCFactory(t *testing.T) {
+	for _, name := range []string{"newreno", "reno", "cubic"} {
+		cc, err := NewCC(name)
+		if err != nil || cc == nil {
+			t.Fatalf("NewCC(%q) failed: %v", name, err)
+		}
+		if cc.Cwnd() != InitialWindow {
+			t.Fatalf("initial window %v", cc.Cwnd())
+		}
+	}
+	if _, err := NewCC("bbr"); err == nil {
+		t.Fatal("unknown CC accepted")
+	}
+	if got, _ := NewCC("cubic"); got.Name() != "cubic" {
+		t.Fatal("name wrong")
+	}
+	if got, _ := NewCC("newreno"); got.Name() != "newreno" {
+		t.Fatal("name wrong")
+	}
+}

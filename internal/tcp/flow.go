@@ -1,0 +1,346 @@
+package tcp
+
+import (
+	"math"
+
+	"neutrality/internal/emu"
+	"neutrality/internal/graph"
+)
+
+// Segment and timer constants.
+const (
+	// MSS is the segment size in bytes (one packet per segment).
+	MSS = 1500
+	// AckSize is the wire size of an acknowledgement.
+	AckSize = 40
+	// MinRTO and MaxRTO bound the retransmission timer (Linux-like floor;
+	// RFC 6298 backoff cap).
+	MinRTO = 0.2
+	MaxRTO = 60
+	// InitialRTO applies before the first RTT sample.
+	InitialRTO = 1.0
+)
+
+// FlowConfig parameterizes one TCP transfer.
+type FlowConfig struct {
+	Path  graph.PathID
+	Class graph.ClassID
+	// SizeSegments is the number of MSS-sized segments to transfer.
+	SizeSegments int
+	// CC selects the congestion controller ("newreno" or "cubic").
+	CC string
+	// OnComplete is invoked once, when the last segment is acknowledged.
+	OnComplete func(f *Flow)
+}
+
+// Flow is one TCP connection: sender and receiver state folded into a
+// single object, exchanging packets through the emulated network (data
+// forward, ACKs over the reverse channel).
+type Flow struct {
+	net *emu.Network
+	sim *emu.Sim
+	cfg FlowConfig
+	cc  CongestionControl
+
+	// Sender state (sequence numbers count segments).
+	nextSeq          int
+	maxSent          int // highest sequence ever transmitted (exclusive)
+	highestAcked     int
+	dupAcks          int
+	inRecovery       bool
+	recover          int
+	firstPartialSeen bool
+	sendTimes        map[int]float64 // first-transmission times for RTT sampling
+	retxed           map[int]bool    // Karn's algorithm: no sampling from retransmits
+
+	srtt, rttvar, rto float64
+	rtoTimer          *emu.Timer
+	backoff           float64
+
+	// Receiver state.
+	rcvNext  int
+	buffered map[int]bool
+
+	started  float64
+	finished float64
+	done     bool
+
+	// Stats.
+	SentSegments   int
+	RetxSegments   int
+	TimeoutEvents  int
+	FastRetxEvents int
+}
+
+// Start launches the flow on the network.
+func Start(net *emu.Network, cfg FlowConfig) *Flow {
+	cc, err := NewCC(cfg.CC)
+	if err != nil {
+		panic(err)
+	}
+	if cfg.SizeSegments < 1 {
+		cfg.SizeSegments = 1
+	}
+	f := &Flow{
+		net:       net,
+		sim:       net.Sim,
+		cfg:       cfg,
+		cc:        cc,
+		sendTimes: make(map[int]float64),
+		retxed:    make(map[int]bool),
+		buffered:  make(map[int]bool),
+		rto:       InitialRTO,
+		backoff:   1,
+		started:   net.Sim.Now(),
+	}
+	f.maybeSend()
+	return f
+}
+
+// Done reports completion.
+func (f *Flow) Done() bool { return f.done }
+
+// Duration returns the flow completion time (0 if unfinished).
+func (f *Flow) Duration() float64 {
+	if !f.done {
+		return 0
+	}
+	return f.finished - f.started
+}
+
+// Path returns the flow's path.
+func (f *Flow) Path() graph.PathID { return f.cfg.Path }
+
+func (f *Flow) inflight() int {
+	fl := f.nextSeq - f.highestAcked
+	if f.inRecovery {
+		// Window inflation: each duplicate ACK signals a segment that left
+		// the network.
+		fl -= f.dupAcks
+	}
+	if fl < 0 {
+		fl = 0
+	}
+	return fl
+}
+
+func (f *Flow) maybeSend() {
+	if f.done {
+		return
+	}
+	for f.nextSeq < f.cfg.SizeSegments && float64(f.inflight()) < f.cc.Cwnd() {
+		// After an RTO the send pointer rewinds to the cumulative ACK
+		// (go-back-N); anything below maxSent is a retransmission.
+		f.sendSegment(f.nextSeq, f.nextSeq < f.maxSent)
+		f.nextSeq++
+		if f.nextSeq > f.maxSent {
+			f.maxSent = f.nextSeq
+		}
+	}
+	f.armRTOIfIdle()
+}
+
+func (f *Flow) sendSegment(seq int, retx bool) {
+	f.SentSegments++
+	if retx {
+		f.RetxSegments++
+		f.retxed[seq] = true
+	} else {
+		f.sendTimes[seq] = f.sim.Now()
+	}
+	pkt := &emu.Packet{
+		Path:    f.cfg.Path,
+		Class:   f.cfg.Class,
+		Seq:     seq,
+		Size:    MSS,
+		Retx:    retx,
+		Deliver: f.onDataArrive,
+	}
+	f.net.SendData(pkt)
+}
+
+// onDataArrive is the receiver side: cumulative ACK generation.
+func (f *Flow) onDataArrive(p *emu.Packet) {
+	if f.done {
+		return
+	}
+	if p.Seq == f.rcvNext {
+		f.rcvNext++
+		for f.buffered[f.rcvNext] {
+			delete(f.buffered, f.rcvNext)
+			f.rcvNext++
+		}
+	} else if p.Seq > f.rcvNext {
+		f.buffered[p.Seq] = true
+	}
+	ack := &emu.Packet{
+		Path:    f.cfg.Path,
+		Class:   f.cfg.Class,
+		Ack:     f.rcvNext,
+		Size:    AckSize,
+		IsAck:   true,
+		Deliver: f.onAckArrive,
+	}
+	f.net.SendAck(ack)
+}
+
+// onAckArrive is the sender side: NewReno-style ACK clocking.
+func (f *Flow) onAckArrive(p *emu.Packet) {
+	if f.done {
+		return
+	}
+	ack := p.Ack
+	switch {
+	case ack > f.highestAcked:
+		f.newAck(ack)
+	case ack == f.highestAcked:
+		f.dupAck()
+	}
+}
+
+func (f *Flow) newAck(ack int) {
+	// RTT sample: only when the ACK advances by exactly one segment.
+	// After a recovery hole fills, the cumulative ACK jumps over segments
+	// that sat in the receiver's reorder buffer; timing those would
+	// charge the whole recovery episode to the path RTT.
+	if ack == f.highestAcked+1 {
+		if t, ok := f.sendTimes[ack-1]; ok && !f.retxed[ack-1] {
+			f.updateRTT(f.sim.Now() - t)
+		}
+	}
+	for seq := f.highestAcked; seq < ack; seq++ {
+		delete(f.sendTimes, seq)
+		delete(f.retxed, seq)
+	}
+	f.highestAcked = ack
+	f.dupAcks = 0
+
+	rearm := true
+	if f.inRecovery {
+		if ack >= f.recover {
+			// Full ACK: leave recovery with the deflated window.
+			f.inRecovery = false
+			f.backoff = 1
+		} else {
+			// Partial ACK: the next hole was also lost; retransmit it and
+			// stay in recovery. Per the "Impatient" NewReno variant, only
+			// the first partial ACK resets the retransmission timer, so a
+			// long multi-hole recovery eventually falls back to RTO-driven
+			// slow start instead of dribbling one hole per RTT.
+			f.sendSegment(f.highestAcked, true)
+			if !f.firstPartialSeen {
+				f.firstPartialSeen = true
+			} else {
+				rearm = false
+			}
+		}
+	} else {
+		f.backoff = 1
+		f.cc.OnAck(f.sim.Now(), f.srtt)
+	}
+
+	if f.highestAcked >= f.cfg.SizeSegments {
+		f.complete()
+		return
+	}
+	if rearm {
+		f.armRTO()
+	} else {
+		f.armRTOIfIdle()
+	}
+	f.maybeSend()
+}
+
+func (f *Flow) dupAck() {
+	f.dupAcks++
+	if !f.inRecovery && f.dupAcks == 3 {
+		f.FastRetxEvents++
+		f.cc.OnLoss(f.sim.Now(), float64(f.nextSeq-f.highestAcked))
+		f.inRecovery = true
+		f.firstPartialSeen = false
+		f.recover = f.nextSeq
+		f.sendSegment(f.highestAcked, true)
+		f.armRTO()
+		return
+	}
+	if f.inRecovery {
+		f.maybeSend() // window inflation admits new segments
+	}
+}
+
+func (f *Flow) updateRTT(sample float64) {
+	if sample <= 0 {
+		return
+	}
+	if f.srtt == 0 {
+		f.srtt = sample
+		f.rttvar = sample / 2
+	} else {
+		const alpha, beta = 1.0 / 8, 1.0 / 4
+		f.rttvar = (1-beta)*f.rttvar + beta*math.Abs(f.srtt-sample)
+		f.srtt = (1-alpha)*f.srtt + alpha*sample
+	}
+	f.rto = f.srtt + 4*f.rttvar
+	if f.rto < MinRTO {
+		f.rto = MinRTO
+	}
+	if f.rto > MaxRTO {
+		f.rto = MaxRTO
+	}
+}
+
+// armRTO (re)starts the retransmission timer unconditionally.
+func (f *Flow) armRTO() {
+	if f.done {
+		return
+	}
+	f.rtoTimer.Cancel()
+	f.rtoTimer = nil
+	if f.highestAcked >= f.nextSeq {
+		return // nothing outstanding
+	}
+	d := f.rto * f.backoff
+	if d > MaxRTO {
+		d = MaxRTO
+	}
+	f.rtoTimer = f.sim.After(d, f.onTimeout)
+}
+
+// armRTOIfIdle starts the timer only when none is pending, so that a
+// deliberately un-reset timer (Impatient NewReno) keeps ticking.
+func (f *Flow) armRTOIfIdle() {
+	if f.rtoTimer == nil {
+		f.armRTO()
+	}
+}
+
+func (f *Flow) onTimeout() {
+	f.rtoTimer = nil
+	if f.done || f.highestAcked >= f.nextSeq {
+		return
+	}
+	f.TimeoutEvents++
+	f.cc.OnTimeout(f.sim.Now(), float64(f.nextSeq-f.highestAcked))
+	f.inRecovery = false
+	f.dupAcks = 0
+	f.backoff *= 2
+	if f.backoff > 64 {
+		f.backoff = 64
+	}
+	// Go-back-N: everything outstanding is presumed lost; rewind the send
+	// pointer so slow start retransmits from the hole. Segments the
+	// receiver already buffered are re-acked cumulatively at once.
+	f.nextSeq = f.highestAcked
+	f.maybeSend()
+	f.armRTO()
+}
+
+func (f *Flow) complete() {
+	f.done = true
+	f.finished = f.sim.Now()
+	f.rtoTimer.Cancel()
+	f.rtoTimer = nil
+	if f.cfg.OnComplete != nil {
+		f.cfg.OnComplete(f)
+	}
+}

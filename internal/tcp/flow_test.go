@@ -1,0 +1,196 @@
+package tcp
+
+import (
+	"math"
+	"testing"
+
+	"neutrality/internal/emu"
+	"neutrality/internal/graph"
+)
+
+// dumbNet builds src->bottleneck->dst with the given bottleneck capacity
+// and queue, plus a second path for contention tests.
+func dumbNet(t *testing.T, capacity float64, queueBytes int) (*emu.Sim, *emu.Network) {
+	t.Helper()
+	b := graph.NewBuilder()
+	s1 := b.Host("s1")
+	s2 := b.Host("s2")
+	m := b.Relay("m")
+	n := b.Relay("n")
+	d1 := b.Host("d1")
+	d2 := b.Host("d2")
+	b.Link("a1", s1, m)
+	b.Link("a2", s2, m)
+	b.Link("bn", m, n)
+	b.Link("e1", n, d1)
+	b.Link("e2", n, d2)
+	b.Path("p1", 0, "a1", "bn", "e1")
+	b.Path("p2", 0, "a2", "bn", "e2")
+	g := b.MustBuild()
+	cfg := map[graph.LinkID]emu.LinkConfig{}
+	for i := 0; i < g.NumLinks(); i++ {
+		cfg[graph.LinkID(i)] = emu.LinkConfig{Capacity: capacity * 10, Delay: 0.001}
+	}
+	bn, _ := g.LinkByName("bn")
+	cfg[bn.ID] = emu.LinkConfig{Capacity: capacity, Delay: 0.001, QueueBytes: queueBytes}
+	sim := emu.NewSim()
+	net, err := emu.Build(sim, g, cfg, emu.PathRTT{0: 0.05, 1: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sim, net
+}
+
+func TestSingleFlowCompletes(t *testing.T) {
+	for _, cca := range []string{"newreno", "cubic"} {
+		sim, net := dumbNet(t, 10e6, 1<<20)
+		var done *Flow
+		f := Start(net, FlowConfig{Path: 0, SizeSegments: 1000, CC: cca,
+			OnComplete: func(fl *Flow) { done = fl }})
+		sim.Run(60)
+		if done == nil {
+			t.Fatalf("%s: flow did not complete (acked %d/%d)", cca, f.highestAcked, 1000)
+		}
+		// 1000 * 1500 B = 12 Mb over 10 Mbps ≈ 1.2 s + slow-start ramp.
+		if d := done.Duration(); d < 1.0 || d > 6 {
+			t.Errorf("%s: duration %v, want ≈1.2–6 s", cca, d)
+		}
+		if f.RetxSegments > 0 {
+			t.Errorf("%s: %d retransmissions on a clean path", cca, f.RetxSegments)
+		}
+	}
+}
+
+func TestThroughputNearCapacity(t *testing.T) {
+	sim, net := dumbNet(t, 10e6, 1<<20)
+	var done *Flow
+	Start(net, FlowConfig{Path: 0, SizeSegments: 5000, CC: "cubic",
+		OnComplete: func(fl *Flow) { done = fl }})
+	sim.Run(120)
+	if done == nil {
+		t.Fatal("flow did not complete")
+	}
+	gbits := 5000 * 1500 * 8.0
+	rate := gbits / done.Duration()
+	if rate < 5e6 {
+		t.Fatalf("achieved %v bps over a 10 Mbps path", rate)
+	}
+}
+
+func TestRTTEstimate(t *testing.T) {
+	sim, net := dumbNet(t, 10e6, 1<<20)
+	f := Start(net, FlowConfig{Path: 0, SizeSegments: 200, CC: "newreno"})
+	sim.Run(30)
+	if !f.Done() {
+		t.Fatal("flow incomplete")
+	}
+	// Base RTT 50 ms plus queueing/transmission.
+	if f.srtt < 0.045 || f.srtt > 0.25 {
+		t.Fatalf("srtt = %v, want near 0.05", f.srtt)
+	}
+	if f.rto < MinRTO {
+		t.Fatalf("rto = %v below floor", f.rto)
+	}
+}
+
+func TestLossRecoveryTightQueue(t *testing.T) {
+	// Queue of 5 packets forces slow-start overshoot losses; the flow
+	// must recover via fast retransmit and complete.
+	for _, cca := range []string{"newreno", "cubic"} {
+		sim, net := dumbNet(t, 5e6, 7500)
+		f := Start(net, FlowConfig{Path: 0, SizeSegments: 2000, CC: cca})
+		sim.Run(300)
+		if !f.Done() {
+			t.Fatalf("%s: flow stuck at %d/2000 (retx=%d timeouts=%d)",
+				cca, f.highestAcked, f.RetxSegments, f.TimeoutEvents)
+		}
+		if f.RetxSegments == 0 {
+			t.Errorf("%s: no retransmissions through a 5-packet queue", cca)
+		}
+		if f.FastRetxEvents == 0 && f.TimeoutEvents == 0 {
+			t.Errorf("%s: no loss-recovery events recorded", cca)
+		}
+	}
+}
+
+func TestTwoFlowsShareBottleneck(t *testing.T) {
+	sim, net := dumbNet(t, 10e6, 62500)
+	var d1, d2 float64
+	Start(net, FlowConfig{Path: 0, SizeSegments: 3000, CC: "cubic",
+		OnComplete: func(f *Flow) { d1 = sim.Now() }})
+	Start(net, FlowConfig{Path: 1, SizeSegments: 3000, CC: "cubic",
+		OnComplete: func(f *Flow) { d2 = sim.Now() }})
+	sim.Run(300)
+	if d1 == 0 || d2 == 0 {
+		t.Fatal("flows incomplete")
+	}
+	// Both transfer 36 Mb; together 72 Mb over 10 Mbps ≈ 7.2 s minimum.
+	slow := math.Max(d1, d2)
+	if slow < 7 {
+		t.Fatalf("finished impossibly fast: %v", slow)
+	}
+	if slow > 40 {
+		t.Fatalf("grossly inefficient sharing: %v s", slow)
+	}
+}
+
+func TestRTOFiresWhenEverythingDrops(t *testing.T) {
+	// A bottleneck with a queue too small for even one packet burst after
+	// the first: initial window 10 into a 1-packet queue loses most of
+	// the window; eventually timeouts must drive progress.
+	sim, net := dumbNet(t, 1e6, 1500)
+	f := Start(net, FlowConfig{Path: 0, SizeSegments: 60, CC: "newreno"})
+	sim.Run(600)
+	if !f.Done() {
+		t.Fatalf("flow stuck at %d/60 (timeouts=%d)", f.highestAcked, f.TimeoutEvents)
+	}
+	if f.TimeoutEvents == 0 && f.FastRetxEvents == 0 {
+		t.Error("expected recovery events")
+	}
+}
+
+func TestFlowStatsAccounting(t *testing.T) {
+	sim, net := dumbNet(t, 10e6, 1<<20)
+	f := Start(net, FlowConfig{Path: 0, SizeSegments: 100, CC: "cubic"})
+	sim.Run(30)
+	if !f.Done() {
+		t.Fatal("incomplete")
+	}
+	if f.SentSegments < 100 {
+		t.Fatalf("sent %d < size", f.SentSegments)
+	}
+	if f.SentSegments != 100+f.RetxSegments {
+		t.Fatalf("sent %d != size + retx %d", f.SentSegments, f.RetxSegments)
+	}
+}
+
+func TestOnCompleteExactlyOnce(t *testing.T) {
+	sim, net := dumbNet(t, 10e6, 1<<20)
+	calls := 0
+	Start(net, FlowConfig{Path: 0, SizeSegments: 50, CC: "newreno",
+		OnComplete: func(*Flow) { calls++ }})
+	sim.Run(60)
+	if calls != 1 {
+		t.Fatalf("OnComplete fired %d times", calls)
+	}
+}
+
+func TestMinimumSizeClamped(t *testing.T) {
+	sim, net := dumbNet(t, 10e6, 1<<20)
+	f := Start(net, FlowConfig{Path: 0, SizeSegments: 0, CC: "cubic"})
+	sim.Run(10)
+	if !f.Done() {
+		t.Fatal("zero-size flow should clamp to 1 segment and finish")
+	}
+}
+
+func TestUnknownCCPanics(t *testing.T) {
+	sim, net := dumbNet(t, 10e6, 1<<20)
+	_ = sim
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for unknown CC")
+		}
+	}()
+	Start(net, FlowConfig{Path: 0, SizeSegments: 10, CC: "vegas"})
+}

@@ -1,0 +1,208 @@
+// Package tomo implements the baseline algorithms the paper positions
+// itself against:
+//
+//   - Boolean network tomography (Nguyen & Thiran, the paper's [22]): per
+//     measurement interval, locate a smallest set of congested links that
+//     explains the observed path states, under the assumption that the
+//     network is neutral. On a non-neutral network this assumption breaks
+//     and the explanation either misattributes congestion or fails
+//     entirely — the observation that motivates the paper.
+//   - Least-squares loss tomography: solve y = A·x for per-link
+//     performance from single-path observations; the residual is a
+//     network-level (non-localizing) inconsistency signal.
+//   - NetPolice-style direct probing (the paper's [31]): measure each
+//     link's per-class congestion probability directly (possible only with
+//     in-network probes) and flag links whose classes diverge. Serves as
+//     the upper bound our external-observation algorithm is compared to.
+package tomo
+
+import (
+	"math"
+	"sort"
+
+	"neutrality/internal/graph"
+	"neutrality/internal/matrix"
+	"neutrality/internal/routing"
+)
+
+// BoolResult is the outcome of Boolean tomography over a run.
+type BoolResult struct {
+	// BlameProb[l] is the fraction of intervals in which link l was part
+	// of the chosen explanation of the observed congestion.
+	BlameProb []float64
+	// Unexplained counts intervals containing a congested path all of
+	// whose links were exonerated by congestion-free paths — impossible
+	// under the neutral assumption, and exactly what a neutrality
+	// violation produces.
+	Unexplained int
+	// Intervals is the number of intervals with at least one congested
+	// path.
+	Intervals int
+}
+
+// Boolean runs interval-by-interval Boolean tomography: links on any
+// congestion-free path are good; the congested paths must be covered by
+// the remaining links, chosen greedily (smallest explanation).
+// states[t][p] is path p's congestion indicator in interval t.
+func Boolean(n *graph.Network, states [][]bool) *BoolResult {
+	res := &BoolResult{BlameProb: make([]float64, n.NumLinks())}
+	blamed := make([]int, n.NumLinks())
+	for _, st := range states {
+		anyCongested := false
+		for _, c := range st {
+			if c {
+				anyCongested = true
+				break
+			}
+		}
+		if !anyCongested {
+			continue
+		}
+		res.Intervals++
+
+		good := graph.NewLinkSet()
+		for p, congested := range st {
+			if !congested {
+				for _, l := range n.Path(graph.PathID(p)).Links {
+					good.Add(l)
+				}
+			}
+		}
+		// Candidate links per congested path.
+		type cand struct {
+			path  graph.PathID
+			links []graph.LinkID
+		}
+		var cands []cand
+		explainable := true
+		for p, congested := range st {
+			if !congested {
+				continue
+			}
+			var links []graph.LinkID
+			for _, l := range n.Path(graph.PathID(p)).Links {
+				if !good.Contains(l) {
+					links = append(links, l)
+				}
+			}
+			if len(links) == 0 {
+				explainable = false
+				continue
+			}
+			cands = append(cands, cand{graph.PathID(p), links})
+		}
+		if !explainable {
+			res.Unexplained++
+		}
+		// Greedy cover of the explainable congested paths.
+		uncovered := map[graph.PathID]bool{}
+		coverage := map[graph.LinkID][]graph.PathID{}
+		for _, c := range cands {
+			uncovered[c.path] = true
+			for _, l := range c.links {
+				coverage[l] = append(coverage[l], c.path)
+			}
+		}
+		for len(uncovered) > 0 {
+			bestLink, bestCount := graph.LinkID(-1), 0
+			links := make([]graph.LinkID, 0, len(coverage))
+			for l := range coverage {
+				links = append(links, l)
+			}
+			sort.Slice(links, func(i, j int) bool { return links[i] < links[j] })
+			for _, l := range links {
+				count := 0
+				for _, p := range coverage[l] {
+					if uncovered[p] {
+						count++
+					}
+				}
+				if count > bestCount {
+					bestCount, bestLink = count, l
+				}
+			}
+			if bestLink < 0 {
+				break
+			}
+			blamed[bestLink]++
+			for _, p := range coverage[bestLink] {
+				delete(uncovered, p)
+			}
+			delete(coverage, bestLink)
+		}
+	}
+	if res.Intervals > 0 {
+		for l := range res.BlameProb {
+			res.BlameProb[l] = float64(blamed[l]) / float64(res.Intervals)
+		}
+	}
+	return res
+}
+
+// LossResult is the outcome of least-squares loss tomography.
+type LossResult struct {
+	// X is the estimated per-link performance (−log P metric) under the
+	// neutral assumption.
+	X []float64
+	// Residual is ||A·x − y||₂ over the observation set: near zero when
+	// the neutral model fits, large when it cannot.
+	Residual float64
+}
+
+// LeastSquares fits the neutral linear model to observations over the
+// given pathsets.
+func LeastSquares(n *graph.Network, pathsets []graph.Pathset, y []float64) *LossResult {
+	a := routing.Matrix(n, pathsets)
+	x, res := matrix.LeastSquares(a, y)
+	return &LossResult{X: x, Residual: res}
+}
+
+// LinkPathProbs carries a link's directly measured congestion probability
+// with respect to each path traversing it (what an in-network probing
+// system like NetPolice can observe).
+type LinkPathProbs struct {
+	Link    graph.LinkID
+	PerPath map[graph.PathID]float64
+}
+
+// Flagged is a link flagged by direct probing.
+type Flagged struct {
+	Link graph.LinkID
+	// Gap is the difference between the worst- and best-treated class's
+	// mean congestion probability on the link.
+	Gap float64
+}
+
+// DirectProbe flags links whose per-class mean congestion probabilities
+// differ by more than gapThreshold. classOf maps paths to classes (NaN
+// probabilities are skipped).
+func DirectProbe(n *graph.Network, probs []LinkPathProbs, gapThreshold float64) []Flagged {
+	var out []Flagged
+	for _, lp := range probs {
+		sums := map[graph.ClassID][2]float64{} // class -> {sum, count}
+		for p, v := range lp.PerPath {
+			if math.IsNaN(v) {
+				continue
+			}
+			c := n.ClassOf(p)
+			e := sums[c]
+			e[0] += v
+			e[1]++
+			sums[c] = e
+		}
+		if len(sums) < 2 {
+			continue
+		}
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, e := range sums {
+			m := e[0] / e[1]
+			lo = math.Min(lo, m)
+			hi = math.Max(hi, m)
+		}
+		if hi-lo > gapThreshold {
+			out = append(out, Flagged{Link: lp.Link, Gap: hi - lo})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Link < out[j].Link })
+	return out
+}

@@ -1,0 +1,153 @@
+package tomo
+
+import (
+	"math"
+	"testing"
+
+	"neutrality/internal/graph"
+	"neutrality/internal/synth"
+	"neutrality/internal/topo"
+)
+
+// TestBooleanFindsCongestedLinkNeutral: on a neutral network the Boolean
+// baseline localizes the lossy link correctly.
+func TestBooleanFindsCongestedLinkNeutral(t *testing.T) {
+	n := topo.Figure5()
+	perf := graph.NewPerf(n.NumLinks(), n.NumClasses())
+	l3, _ := n.LinkByName("l3")
+	perf.SetNeutral(l3.ID, 0.5) // only l3 congests (neutral)
+	states := synth.NewSampler(n, perf, 3).SampleIntervals(20000)
+	res := Boolean(n, states)
+	if res.Unexplained != 0 {
+		t.Fatalf("neutral network had %d unexplained intervals", res.Unexplained)
+	}
+	// l3 gets blamed in every congested interval; everything else never.
+	if res.BlameProb[l3.ID] < 0.99 {
+		t.Fatalf("l3 blame = %v", res.BlameProb[l3.ID])
+	}
+	for i, b := range res.BlameProb {
+		if graph.LinkID(i) != l3.ID && b > 0.01 {
+			t.Errorf("link %d blamed %v on a clean link", i, b)
+		}
+	}
+}
+
+// TestBooleanMisattributesUnderViolation: on Figure 5's non-neutral
+// network, the Boolean baseline blames the egress links l3, l4 and never
+// the true culprit l1 — the misdiagnosis that motivates the paper.
+func TestBooleanMisattributesUnderViolation(t *testing.T) {
+	n := topo.Figure5()
+	perf := topo.Figure5Perf(n) // l1 throttles class 2 (p2, p3)
+	states := synth.NewSampler(n, perf, 5).SampleIntervals(20000)
+	res := Boolean(n, states)
+	l1, _ := n.LinkByName("l1")
+	l3, _ := n.LinkByName("l3")
+	l4, _ := n.LinkByName("l4")
+	// p1 is always congestion-free, so l1 is exonerated whenever blame is
+	// assigned.
+	if res.BlameProb[l1.ID] > 0.01 {
+		t.Fatalf("l1 blamed %v; Boolean tomography should exonerate it", res.BlameProb[l1.ID])
+	}
+	if res.BlameProb[l3.ID]+res.BlameProb[l4.ID] < 0.5 {
+		t.Fatalf("innocent egress links under-blamed: l3=%v l4=%v",
+			res.BlameProb[l3.ID], res.BlameProb[l4.ID])
+	}
+}
+
+// TestBooleanUnexplainedUnderViolation: Figure 1's violation produces
+// intervals that no neutral link assignment explains (p2 congested while
+// p1 and p3 — which jointly cover all of p2's links — are clean).
+func TestBooleanUnexplainedUnderViolation(t *testing.T) {
+	n := topo.Figure1()
+	perf := topo.Figure1Perf(n)
+	states := synth.NewSampler(n, perf, 7).SampleIntervals(20000)
+	res := Boolean(n, states)
+	if res.Unexplained == 0 {
+		t.Fatal("expected unexplained intervals under the Figure 1 violation")
+	}
+	frac := float64(res.Unexplained) / float64(res.Intervals)
+	if frac < 0.9 {
+		t.Fatalf("unexplained fraction %v; nearly every congested interval is a witness here", frac)
+	}
+}
+
+func TestBooleanNoCongestion(t *testing.T) {
+	n := topo.Figure1()
+	states := make([][]bool, 100)
+	for i := range states {
+		states[i] = make([]bool, n.NumPaths())
+	}
+	res := Boolean(n, states)
+	if res.Intervals != 0 || res.Unexplained != 0 {
+		t.Fatalf("clean run misreported: %+v", res)
+	}
+}
+
+// TestLeastSquaresResidualSeparatesNeutrality: the network-level signal.
+func TestLeastSquaresResidualSeparatesNeutrality(t *testing.T) {
+	n := topo.Figure1()
+	pathsets := n.PowerSetPathsets()
+
+	neutralPerf := graph.NewPerf(n.NumLinks(), n.NumClasses())
+	neutralPerf.SetNeutral(0, 0.3)
+	neutralPerf.SetNeutral(2, 0.1)
+	yN := synth.Observations(n, neutralPerf, pathsets)
+	if r := LeastSquares(n, pathsets, yN); r.Residual > 1e-9 {
+		t.Fatalf("neutral residual %v", r.Residual)
+	}
+
+	yV := synth.Observations(n, topo.Figure1Perf(n), pathsets)
+	if r := LeastSquares(n, pathsets, yV); r.Residual < 0.05 {
+		t.Fatalf("violation residual %v too small", r.Residual)
+	}
+}
+
+// TestDirectProbeFlagsPolicers: with in-network visibility, the
+// NetPolice-style baseline flags exactly the policers of topology B.
+func TestDirectProbeFlagsPolicers(t *testing.T) {
+	b := topo.NewTopologyB()
+	n := b.Net
+	policers := graph.NewLinkSet(b.Policers...)
+
+	var probs []LinkPathProbs
+	for i := 0; i < n.NumLinks(); i++ {
+		id := graph.LinkID(i)
+		lp := LinkPathProbs{Link: id, PerPath: map[graph.PathID]float64{}}
+		for _, p := range n.PathsThrough(id) {
+			v := 0.01
+			if policers.Contains(id) && n.ClassOf(p) == topo.C2 {
+				v = 0.20
+			}
+			lp.PerPath[p] = v
+		}
+		probs = append(probs, lp)
+	}
+	flagged := DirectProbe(n, probs, 0.05)
+	if len(flagged) != 3 {
+		t.Fatalf("flagged %v, want the 3 policers", flagged)
+	}
+	for _, f := range flagged {
+		if !policers.Contains(f.Link) {
+			t.Errorf("non-policer %v flagged", f.Link)
+		}
+		if f.Gap < 0.15 {
+			t.Errorf("gap %v too small", f.Gap)
+		}
+	}
+}
+
+func TestDirectProbeSkipsNaNAndSingleClass(t *testing.T) {
+	b := topo.NewTopologyB()
+	n := b.Net
+	l1, _ := n.LinkByName("l1") // access link: single class
+	probs := []LinkPathProbs{{
+		Link:    l1.ID,
+		PerPath: map[graph.PathID]float64{0: 0.5},
+	}, {
+		Link:    b.Policers[0],
+		PerPath: map[graph.PathID]float64{0: math.NaN()},
+	}}
+	if flagged := DirectProbe(n, probs, 0.05); len(flagged) != 0 {
+		t.Fatalf("flagged %v from unusable data", flagged)
+	}
+}

@@ -1,0 +1,124 @@
+// Package topo builds the networks used throughout the paper: the small
+// illustrative topologies of Figures 1–6, the dumbbell evaluation topology
+// A (Figure 7), and the multi-ISP backbone topology B (Figure 9), plus
+// generic builders for tests.
+//
+// Class convention: class 0 is the paper's c1 (top priority), class 1 is
+// c2 (the class the differentiating links regulate).
+package topo
+
+import (
+	"neutrality/internal/graph"
+)
+
+// C1 and C2 name the paper's two performance classes.
+const (
+	C1 graph.ClassID = 0
+	C2 graph.ClassID = 1
+)
+
+// Figure1 builds the running example of Section 2 (Figure 1): four links,
+// three paths p1=(l1,l2), p2=(l1,l3), p3=(l3,l4), classes {p1,p3} and
+// {p2}. Link l1 is the non-neutral one in the paper's narrative.
+func Figure1() *graph.Network {
+	b := graph.NewBuilder()
+	s := b.Host("s")
+	m := b.Host("m") // junction where p3 originates
+	n := b.Host("n") // junction where p2 terminates
+	a := b.Host("a")
+	d := b.Host("d")
+	b.Link("l1", s, m)
+	b.Link("l2", m, a)
+	b.Link("l3", m, n)
+	b.Link("l4", n, d)
+	b.Path("p1", C1, "l1", "l2")
+	b.Path("p2", C2, "l1", "l3")
+	b.Path("p3", C1, "l3", "l4")
+	return b.MustBuild()
+}
+
+// Figure2 builds the non-observable example of Section 3 (Figure 2): l1
+// shared by both paths, which then split onto l2 and l3; classes {p1},
+// {p2}. Any differentiation by l1 against p2 can be attributed to l3.
+func Figure2() *graph.Network {
+	b := graph.NewBuilder()
+	s := b.Host("s")
+	m := b.Relay("m")
+	a := b.Host("a")
+	c := b.Host("c")
+	b.Link("l1", s, m)
+	b.Link("l2", m, a)
+	b.Link("l3", m, c)
+	b.Path("p1", C1, "l1", "l2")
+	b.Path("p2", C2, "l1", "l3")
+	return b.MustBuild()
+}
+
+// Figure4 builds the observable four-path example of Sections 3–5
+// (Figures 4 and 6): p1=(l1,l2,l3), p2=(l1,l2,l4), p3=(l1,l2,l5),
+// p4=(l1,l6); classes {p1} and {p2,p3,p4}; links l1 and l2 non-neutral in
+// the narrative. τ=<l1> is identifiable, τ=<l2> is not (no path pair
+// shares exactly l2).
+func Figure4() *graph.Network {
+	b := graph.NewBuilder()
+	s := b.Host("s")
+	m := b.Relay("m")
+	n := b.Relay("n")
+	a := b.Host("a")
+	c := b.Host("c")
+	d := b.Host("d")
+	e := b.Host("e")
+	b.Link("l1", s, m)
+	b.Link("l2", m, n)
+	b.Link("l3", n, a)
+	b.Link("l4", n, c)
+	b.Link("l5", n, d)
+	b.Link("l6", m, e)
+	b.Path("p1", C1, "l1", "l2", "l3")
+	b.Path("p2", C2, "l1", "l2", "l4")
+	b.Path("p3", C2, "l1", "l2", "l5")
+	b.Path("p4", C2, "l1", "l6")
+	return b.MustBuild()
+}
+
+// Figure5 builds the pathset-observability example of Section 3.3
+// (Figure 5): p1=(l1,l2), p2=(l1,l3), p3=(l1,l4); classes {p1} and
+// {p2,p3}. The violation of l1 is observable, but only through the
+// pathset {p2,p3}: the clue is that p2 and p3 congest at the same time.
+func Figure5() *graph.Network {
+	b := graph.NewBuilder()
+	s := b.Host("s")
+	m := b.Relay("m")
+	a := b.Host("a")
+	c := b.Host("c")
+	d := b.Host("d")
+	b.Link("l1", s, m)
+	b.Link("l2", m, a)
+	b.Link("l3", m, c)
+	b.Link("l4", m, d)
+	b.Path("p1", C1, "l1", "l2")
+	b.Path("p2", C2, "l1", "l3")
+	b.Path("p3", C2, "l1", "l4")
+	return b.MustBuild()
+}
+
+// Figure1Perf returns the ground-truth performance table of the Figure 1
+// narrative: l1 non-neutral (treats class 2 worse), others neutral.
+// x values are −log P(congestion-free).
+func Figure1Perf(n *graph.Network) graph.Perf {
+	perf := graph.NewPerf(n.NumLinks(), n.NumClasses())
+	l1, _ := n.LinkByName("l1")
+	perf.Set(l1.ID, C1, 0)
+	perf.Set(l1.ID, C2, 0.693) // congestion-free w.p. 0.5 for class 2
+	return perf
+}
+
+// Figure5Perf returns the Figure 5 ground truth: x1(1)=0,
+// x1(2)=−log 0.5, all other links perfect.
+func Figure5Perf(n *graph.Network) graph.Perf {
+	perf := graph.NewPerf(n.NumLinks(), n.NumClasses())
+	l1, _ := n.LinkByName("l1")
+	perf.Set(l1.ID, C1, 0)
+	perf.Set(l1.ID, C2, 0.6931471805599453)
+	return perf
+}

@@ -1,0 +1,105 @@
+package topo
+
+import (
+	"fmt"
+
+	"neutrality/internal/graph"
+	"neutrality/internal/stats"
+)
+
+// RandomConfig parameterizes RandomNetwork.
+type RandomConfig struct {
+	// Relays is the number of interior nodes (>= 1).
+	Relays int
+	// Paths is the number of end-to-end paths to create (>= 2).
+	Paths int
+	// Classes is the number of performance classes (>= 1); paths are
+	// assigned round-robin so every class is inhabited.
+	Classes int
+	// MaxHops bounds the relay hops per path (>= 1).
+	MaxHops int
+}
+
+// DefaultRandomConfig gives small networks suitable for property tests
+// (power-set enumeration stays cheap).
+func DefaultRandomConfig() RandomConfig {
+	return RandomConfig{Relays: 4, Paths: 4, Classes: 2, MaxHops: 3}
+}
+
+// RandomNetwork generates a valid random network: a pool of relay-to-relay
+// links, plus per-path dedicated access links from a fresh source host into
+// the relay mesh and out to a fresh destination host. Paths walk forward
+// through the relay ordering, so they are always loop-free; sharing arises
+// whenever two paths pick overlapping relay hops.
+//
+// The generator is deterministic in the seed and always produces a network
+// that passes graph validation.
+func RandomNetwork(seed int64, cfg RandomConfig) *graph.Network {
+	if cfg.Relays < 1 || cfg.Paths < 2 || cfg.Classes < 1 || cfg.MaxHops < 1 {
+		panic(fmt.Sprintf("topo: bad random config %+v", cfg))
+	}
+	rng := stats.NewRand(seed)
+	b := graph.NewBuilder()
+
+	relays := make([]graph.NodeID, cfg.Relays)
+	for i := range relays {
+		relays[i] = b.Relay(fmt.Sprintf("R%d", i+1))
+	}
+	// Relay mesh: forward links i -> j for i < j (a DAG, so any forward
+	// walk is loop-free). Lazily created on first use.
+	mesh := map[[2]int]string{}
+	meshLink := func(i, j int) string {
+		key := [2]int{i, j}
+		if name, ok := mesh[key]; ok {
+			return name
+		}
+		name := fmt.Sprintf("m%d_%d", i+1, j+1)
+		b.Link(name, relays[i], relays[j])
+		mesh[key] = name
+		return name
+	}
+
+	for p := 0; p < cfg.Paths; p++ {
+		src := b.Host(fmt.Sprintf("S%d", p+1))
+		dst := b.Host(fmt.Sprintf("D%d", p+1))
+		// Forward walk over relay indices.
+		hops := 1 + rng.Intn(cfg.MaxHops)
+		start := rng.Intn(cfg.Relays)
+		walk := []int{start}
+		cur := start
+		for h := 0; h < hops-1 && cur < cfg.Relays-1; h++ {
+			next := cur + 1 + rng.Intn(cfg.Relays-cur-1)
+			walk = append(walk, next)
+			cur = next
+		}
+		links := []string{fmt.Sprintf("in%d", p+1)}
+		b.Link(links[0], src, relays[walk[0]])
+		for i := 1; i < len(walk); i++ {
+			links = append(links, meshLink(walk[i-1], walk[i]))
+		}
+		out := fmt.Sprintf("out%d", p+1)
+		b.Link(out, relays[walk[len(walk)-1]], dst)
+		links = append(links, out)
+		b.Path(fmt.Sprintf("p%d", p+1), graph.ClassID(p%cfg.Classes), links...)
+	}
+	return b.MustBuild()
+}
+
+// RandomPerf draws a ground-truth performance table: every link gets a
+// small neutral base, and each link in nonNeutral additionally penalizes a
+// random non-top class by gap.
+func RandomPerf(n *graph.Network, seed int64, nonNeutral []graph.LinkID, gap float64) graph.Perf {
+	rng := stats.NewRand(seed)
+	perf := graph.NewPerf(n.NumLinks(), n.NumClasses())
+	for l := 0; l < n.NumLinks(); l++ {
+		perf.SetNeutral(graph.LinkID(l), rng.Float64()*0.05)
+	}
+	for _, l := range nonNeutral {
+		c := graph.ClassID(0)
+		if n.NumClasses() > 1 {
+			c = graph.ClassID(1 + rng.Intn(n.NumClasses()-1))
+		}
+		perf.Set(l, c, perf[l][0]+gap)
+	}
+	return perf
+}

@@ -1,0 +1,162 @@
+package topo_test
+
+import (
+	"testing"
+
+	"neutrality/internal/core"
+	"neutrality/internal/graph"
+	"neutrality/internal/matrix"
+	"neutrality/internal/neutral"
+	"neutrality/internal/routing"
+	"neutrality/internal/synth"
+	"neutrality/internal/topo"
+)
+
+// TestRandomNetworksValid: the generator always produces valid networks
+// with the requested shape.
+func TestRandomNetworksValid(t *testing.T) {
+	for seed := int64(0); seed < 100; seed++ {
+		cfg := topo.DefaultRandomConfig()
+		n := topo.RandomNetwork(seed, cfg)
+		if n.NumPaths() != cfg.Paths {
+			t.Fatalf("seed %d: %d paths", seed, n.NumPaths())
+		}
+		if n.NumClasses() != cfg.Classes {
+			t.Fatalf("seed %d: %d classes", seed, n.NumClasses())
+		}
+		// Every path's links form a chain ending at hosts (already
+		// enforced by the builder; re-assert the public invariants).
+		for p := 0; p < n.NumPaths(); p++ {
+			if len(n.Path(graph.PathID(p)).Links) < 2 {
+				t.Fatalf("seed %d: path %d too short", seed, p)
+			}
+		}
+	}
+}
+
+// TestRandomNetworkDeterministic: same seed, same network.
+func TestRandomNetworkDeterministic(t *testing.T) {
+	a := topo.RandomNetwork(7, topo.DefaultRandomConfig())
+	b := topo.RandomNetwork(7, topo.DefaultRandomConfig())
+	if a.Describe() != b.Describe() {
+		t.Fatal("random network not deterministic")
+	}
+}
+
+// TestTheorem1AgreesWithBruteForce cross-validates the Theorem 1
+// observability check against the definition: a violation is observable
+// iff some system over some pathset family is unsolvable, and the full
+// power set is the strongest family. On small random networks, Theorem 1's
+// structural answer must match the brute-force non-negative solvability of
+// the power-set system.
+func TestTheorem1AgreesWithBruteForce(t *testing.T) {
+	checked, observable := 0, 0
+	for seed := int64(0); seed < 60; seed++ {
+		cfg := topo.DefaultRandomConfig()
+		cfg.Paths = 6 // denser sharing so most seeds have multi-path links
+		n := topo.RandomNetwork(seed, cfg)
+		// Make one random link non-neutral with a decisive gap.
+		var cand []graph.LinkID
+		for l := 0; l < n.NumLinks(); l++ {
+			if len(n.PathsThrough(graph.LinkID(l))) >= 2 {
+				cand = append(cand, graph.LinkID(l))
+			}
+		}
+		if len(cand) == 0 {
+			continue
+		}
+		bad := cand[int(seed)%len(cand)]
+		perf := graph.NewPerf(n.NumLinks(), n.NumClasses())
+		perf.Set(bad, 1, 0.9) // class 1 penalized; class 0 perfect
+
+		if len(perf.NonNeutralLinks(1e-12)) == 0 {
+			continue // the link carries only one class here
+		}
+		checked++
+
+		thm := len(neutral.Observable(n, perf)) > 0
+		pathsets := n.PowerSetPathsets()
+		y := synth.Observations(n, perf, pathsets)
+		brute := !matrix.ConsistentNonneg(routing.Matrix(n, pathsets), y, 1e-6)
+		if thm != brute {
+			t.Errorf("seed %d: Theorem 1 says observable=%v, brute force says %v\n%s",
+				seed, thm, brute, n.Describe())
+		}
+		if thm {
+			observable++
+		}
+	}
+	if checked < 20 {
+		t.Fatalf("only %d usable random networks", checked)
+	}
+	if observable == 0 || observable == checked {
+		t.Logf("warning: degenerate mix (%d/%d observable)", observable, checked)
+	}
+	t.Logf("checked %d networks, %d observable", checked, observable)
+}
+
+// TestExactInferenceNeverFalsePositive is Lemma 2's guarantee as a
+// property test: on exact observations, every flagged sequence contains a
+// non-neutral link, for random networks and random violations.
+func TestExactInferenceNeverFalsePositive(t *testing.T) {
+	for seed := int64(0); seed < 80; seed++ {
+		cfg := topo.DefaultRandomConfig()
+		cfg.Paths = 5
+		n := topo.RandomNetwork(seed, cfg)
+		var nonNeutral []graph.LinkID
+		for l := 0; l < n.NumLinks() && len(nonNeutral) < 2; l++ {
+			if len(n.PathsThrough(graph.LinkID(l))) >= 2 && int(seed+int64(l))%3 == 0 {
+				nonNeutral = append(nonNeutral, graph.LinkID(l))
+			}
+		}
+		perf := topo.RandomPerf(n, seed, nonNeutral, 0.8)
+		truth := graph.NewLinkSet(perf.NonNeutralLinks(1e-9)...)
+
+		res := core.Infer(n, core.YFunc(synth.YFunc(n, perf)), core.Config{Mode: core.Exact})
+		for _, v := range res.NonNeutralSeqs() {
+			hasBad := false
+			for _, l := range v.Slice.Seq {
+				if truth.Contains(l) {
+					hasBad = true
+				}
+			}
+			if !hasBad {
+				t.Fatalf("seed %d: flagged all-neutral sequence %s (Lemma 2 violated)\n%s",
+					seed, v.SeqNames(), core.Report(res))
+			}
+		}
+	}
+}
+
+// TestClusteredInferenceRandomNetworks: the sampled pipeline keeps zero
+// link-level false positives across random networks (neutral sequences may
+// only be flagged when they contain a truly non-neutral link).
+func TestClusteredInferenceRandomNetworks(t *testing.T) {
+	fps := 0
+	for seed := int64(0); seed < 15; seed++ {
+		cfg := topo.DefaultRandomConfig()
+		cfg.Paths = 5
+		n := topo.RandomNetwork(seed, cfg)
+		var nonNeutral []graph.LinkID
+		for l := 0; l < n.NumLinks(); l++ {
+			if len(n.PathsThrough(graph.LinkID(l))) >= 3 {
+				nonNeutral = append(nonNeutral, graph.LinkID(l))
+				break
+			}
+		}
+		perf := topo.RandomPerf(n, seed, nonNeutral, 0.8)
+		truth := perf.NonNeutralLinks(1e-9)
+
+		states := synth.NewSampler(n, perf, seed+1000).SampleIntervals(5000)
+		meas := synth.ToMeasurements(states, synth.DefaultMeasurementOptions())
+		res := core.Infer(n, core.MeasurementObserver{Meas: meas, Opts: measureDefaults()}, core.DefaultConfig())
+		m := core.Evaluate(res, truth)
+		if m.FalsePositiveRate > 0 {
+			fps++
+			t.Logf("seed %d: FP rate %v", seed, m.FalsePositiveRate)
+		}
+	}
+	if fps > 0 {
+		t.Fatalf("%d/15 random networks produced link-level false positives", fps)
+	}
+}

@@ -1,0 +1,168 @@
+package topo
+
+import (
+	"testing"
+
+	"neutrality/internal/graph"
+)
+
+func TestFigure1Structure(t *testing.T) {
+	n := Figure1()
+	if n.NumLinks() != 4 || n.NumPaths() != 3 || n.NumClasses() != 2 {
+		t.Fatalf("got %s", n)
+	}
+	// p1 and p3 in class c1, p2 in c2.
+	if n.ClassOf(0) != C1 || n.ClassOf(1) != C2 || n.ClassOf(2) != C1 {
+		t.Fatal("class assignment wrong")
+	}
+	l1, _ := n.LinkByName("l1")
+	if got := n.PathsThrough(l1.ID); len(got) != 2 {
+		t.Fatalf("Paths(l1) = %v", got)
+	}
+}
+
+func TestFigure2Structure(t *testing.T) {
+	n := Figure2()
+	if n.NumLinks() != 3 || n.NumPaths() != 2 {
+		t.Fatalf("got %s", n)
+	}
+	l1, _ := n.LinkByName("l1")
+	l3, _ := n.LinkByName("l3")
+	// l1 carries both paths, l3 only p2: l1+(2)'s path set {p2} equals
+	// Paths(l3) — the indistinguishability at the heart of Figure 2.
+	if len(n.PathsThrough(l1.ID)) != 2 || len(n.PathsThrough(l3.ID)) != 1 {
+		t.Fatal("structure wrong")
+	}
+}
+
+func TestFigure4Structure(t *testing.T) {
+	n := Figure4()
+	if n.NumLinks() != 6 || n.NumPaths() != 4 {
+		t.Fatalf("got %s", n)
+	}
+	// Routing matrix facts from Figure 4(d): p4 = (l1,l6).
+	p4, _ := n.PathByName("p4")
+	if len(p4.Links) != 2 {
+		t.Fatalf("p4 traverses %d links", len(p4.Links))
+	}
+	// Classes: {p1} vs {p2,p3,p4}.
+	if n.ClassOf(0) != C1 || n.ClassOf(1) != C2 || n.ClassOf(3) != C2 {
+		t.Fatal("classes wrong")
+	}
+}
+
+func TestFigure5PerfValues(t *testing.T) {
+	n := Figure5()
+	perf := Figure5Perf(n)
+	l1, _ := n.LinkByName("l1")
+	if perf[l1.ID][C1] != 0 {
+		t.Fatal("x1(1) should be 0")
+	}
+	if got := perf[l1.ID][C2]; got < 0.69 || got > 0.70 {
+		t.Fatalf("x1(2) = %v, want ln 2", got)
+	}
+	if len(perf.NonNeutralLinks(1e-12)) != 1 {
+		t.Fatal("only l1 should be non-neutral")
+	}
+}
+
+func TestTopologyAStructure(t *testing.T) {
+	a := NewTopologyA()
+	n := a.Net
+	if n.NumLinks() != 9 || n.NumPaths() != 4 {
+		t.Fatalf("got %s", n)
+	}
+	// Every path: access, shared, egress.
+	for i, pid := range a.Paths {
+		p := n.Path(pid)
+		if len(p.Links) != 3 || p.Links[1] != a.Shared {
+			t.Fatalf("path %d links %v", i, p.Links)
+		}
+	}
+	// Classes: p1,p2 c1; p3,p4 c2.
+	if n.ClassOf(a.Paths[0]) != C1 || n.ClassOf(a.Paths[3]) != C2 {
+		t.Fatal("classes wrong")
+	}
+	// The shared link carries all four paths.
+	if got := n.PathsThrough(a.Shared); len(got) != 4 {
+		t.Fatalf("Paths(l5) = %v", got)
+	}
+}
+
+func TestTopologyBStructure(t *testing.T) {
+	b := NewTopologyB()
+	n := b.Net
+	if n.NumLinks() != 30 {
+		t.Fatalf("links = %d, want 30", n.NumLinks())
+	}
+	if n.NumPaths() != 19 {
+		t.Fatalf("paths = %d, want 16 measured + 3 background", n.NumPaths())
+	}
+	if len(b.Measured) != 16 || len(b.Background) != 3 {
+		t.Fatalf("measured=%d background=%d", len(b.Measured), len(b.Background))
+	}
+	if len(b.Policers) != 3 {
+		t.Fatalf("policers = %v", b.Policers)
+	}
+	for i, name := range []string{"l5", "l14", "l20"} {
+		l, _ := n.LinkByName(name)
+		if b.Policers[i] != l.ID {
+			t.Fatalf("policer %d = %v, want %s", i, b.Policers[i], name)
+		}
+	}
+	// Measured path IDs must be 0..15 so the inference network aligns.
+	for i, pid := range b.Measured {
+		if int(pid) != i {
+			t.Fatalf("measured path %d has ID %d", i, pid)
+		}
+	}
+	if b.InferenceNet.NumPaths() != 16 {
+		t.Fatalf("inference net paths = %d", b.InferenceNet.NumPaths())
+	}
+	if b.InferenceNet.NumLinks() != 30 {
+		t.Fatalf("inference net links = %d", b.InferenceNet.NumLinks())
+	}
+	// Same path definitions in both networks.
+	for i := 0; i < 16; i++ {
+		pe := n.Path(graph.PathID(i))
+		pi := b.InferenceNet.Path(graph.PathID(i))
+		if pe.Name != pi.Name || len(pe.Links) != len(pi.Links) {
+			t.Fatalf("path %d differs between emu and inference nets", i)
+		}
+		if n.ClassOf(graph.PathID(i)) != b.InferenceNet.ClassOf(graph.PathID(i)) {
+			t.Fatalf("path %d class differs", i)
+		}
+	}
+	// Dark + light partition the measured set.
+	if len(b.DarkPaths)+len(b.LightPaths) != len(b.Measured) {
+		t.Fatal("dark/light partition broken")
+	}
+	for _, pid := range b.DarkPaths {
+		if n.ClassOf(pid) != C1 {
+			t.Fatalf("dark path %d not class c1", pid)
+		}
+	}
+	for _, pid := range b.LightPaths {
+		if n.ClassOf(pid) != C2 {
+			t.Fatalf("light path %d not class c2", pid)
+		}
+	}
+}
+
+func TestTopologyBPolicedPathsCrossPolicers(t *testing.T) {
+	b := NewTopologyB()
+	n := b.Net
+	// Every light path crosses at least one policer.
+	policers := graph.NewLinkSet(b.Policers...)
+	for _, pid := range b.LightPaths {
+		crosses := false
+		for _, l := range n.Path(pid).Links {
+			if policers.Contains(l) {
+				crosses = true
+			}
+		}
+		if !crosses {
+			t.Fatalf("light path %s misses all policers", n.Path(pid).Name)
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package topo
+
+import (
+	"neutrality/internal/graph"
+)
+
+// TopologyA is the dumbbell evaluation topology of Figure 7: four sources,
+// a single shared link l5, four destinations. Paths p_i = (l_i, l5,
+// l_{5+i}); p1, p2 belong to class c1 and p3, p4 to class c2. In the
+// differentiating experiment sets l5 polices or shapes class-c2 traffic.
+type TopologyA struct {
+	Net    *graph.Network
+	Shared graph.LinkID // l5
+	// Access[i] and Egress[i] are the per-path edge links.
+	Access, Egress []graph.LinkID
+	Paths          []graph.PathID
+}
+
+// NewTopologyA builds the dumbbell.
+func NewTopologyA() *TopologyA {
+	b := graph.NewBuilder()
+	ra := b.Relay("RA")
+	rb := b.Relay("RB")
+	var access, egress []graph.LinkID
+	srcs := make([]graph.NodeID, 4)
+	dsts := make([]graph.NodeID, 4)
+	names := []string{"S1", "S2", "S3", "S4"}
+	dnames := []string{"D1", "D2", "D3", "D4"}
+	for i := 0; i < 4; i++ {
+		srcs[i] = b.Host(names[i])
+		dsts[i] = b.Host(dnames[i])
+	}
+	for i := 0; i < 4; i++ {
+		access = append(access, b.Link(linkName(i+1), srcs[i], ra))
+	}
+	shared := b.Link("l5", ra, rb)
+	for i := 0; i < 4; i++ {
+		egress = append(egress, b.Link(linkName(i+6), rb, dsts[i]))
+	}
+	classes := []graph.ClassID{C1, C1, C2, C2}
+	var paths []graph.PathID
+	for i := 0; i < 4; i++ {
+		paths = append(paths, b.PathIDs(pathName(i+1), classes[i], access[i], shared, egress[i]))
+	}
+	return &TopologyA{
+		Net:    b.MustBuild(),
+		Shared: shared,
+		Access: access,
+		Egress: egress,
+		Paths:  paths,
+	}
+}
+
+func linkName(i int) string { return "l" + itoa(i) }
+func pathName(i int) string { return "p" + itoa(i) }
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	n := len(buf)
+	for i > 0 {
+		n--
+		buf[n] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(buf[n:])
+}

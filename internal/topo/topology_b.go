@@ -1,0 +1,167 @@
+package topo
+
+import (
+	"neutrality/internal/graph"
+)
+
+// TopologyB is the multi-ISP backbone evaluation topology in the spirit of
+// the paper's Figure 9: a five-router tier-1 backbone (R1–R5) with three
+// policing links — l5 (internal backbone), l14 and l20 (tier-2 ingress) —
+// surrounded by tier-2/content stubs. Dark-gray hosts exchange short
+// flows (class c1), light-gray hosts exchange long flows (class c2,
+// policed), and white hosts generate unmeasured background traffic.
+//
+// The paper's figure cannot be reconstructed link-for-link from the text,
+// so the concrete layout here is our own, designed to preserve the
+// evaluated properties: the same three policers (same labels), both
+// ingress and internal policing, path diversity that makes every policer
+// identifiable (pure-class and mixed path pairs sharing exactly the
+// policed sequences), longer shared sequences that inflate granularity
+// exactly as in Section 6.4, and background cross-traffic that congests
+// neutral links.
+//
+// Link plan (30 links):
+//
+//	l1..l4   A1,A2 (dark), A3,A4 (light) -> R6
+//	l5       R1 -> R2            [POLICER: internal backbone]
+//	l6..l9   B1,B2 (dark), B3,B4 (light) -> R7
+//	l10,l11  L1 (light), M1 (dark) -> R8
+//	l12,l13  W1,W2 (white) -> R8
+//	l14      R7 -> R2            [POLICER: tier-2 ingress]
+//	l15      R8 -> R1
+//	l16      R1 -> R3
+//	l17      R2 -> R3
+//	l18      R2 -> R4
+//	l19      R3 -> R5
+//	l20      R6 -> R1            [POLICER: tier-2 ingress]
+//	l21      R4 -> R5 (spare backbone capacity; background only)
+//	l22      R3 -> R12
+//	l23      R4 -> R10
+//	l24      R5 -> R11
+//	l25,l26  R10 -> C1, C2
+//	l27,l28  R11 -> D1, D2
+//	l29,l30  R12 -> E1, E2
+type TopologyB struct {
+	Net *graph.Network
+	// Policers are the three differentiating links l5, l14, l20.
+	Policers []graph.LinkID
+	// Measured are the paths that participate in measurements (dark +
+	// light hosts), in path-ID order; background (white) paths follow.
+	Measured []graph.PathID
+	// Background are the white hosts' unmeasured paths.
+	Background []graph.PathID
+	// DarkPaths and LightPaths partition Measured by host group.
+	DarkPaths, LightPaths []graph.PathID
+	// InferenceNet is the network restricted to the measured paths (same
+	// links), which is what the inference algorithm sees. Its path IDs
+	// coincide with indices into Measured.
+	InferenceNet *graph.Network
+}
+
+// pathDef describes one path of topology B: 'd'ark (measured c1),
+// 'l'ight (measured c2), or 'w'hite (background).
+type pathDef struct {
+	name  string
+	class graph.ClassID
+	links []string
+	kind  byte
+}
+
+// NewTopologyB builds the backbone topology.
+func NewTopologyB() *TopologyB {
+	// Measured paths first, background after, so emulator path IDs 0..15
+	// coincide with inference path IDs.
+	defs := []pathDef{
+		{"p1", C1, []string{"l1", "l20", "l5", "l18", "l23", "l25"}, 'd'},          // A1->C1
+		{"p2", C1, []string{"l2", "l20", "l16", "l19", "l24", "l27"}, 'd'},         // A2->D1
+		{"p3", C2, []string{"l3", "l20", "l5", "l18", "l23", "l26"}, 'l'},          // A3->C2
+		{"p4", C2, []string{"l4", "l20", "l16", "l19", "l24", "l28"}, 'l'},         // A4->D2
+		{"p5", C1, []string{"l1", "l20", "l16", "l22", "l29"}, 'd'},                // A1->E1
+		{"p6", C2, []string{"l3", "l20", "l16", "l22", "l30"}, 'l'},                // A3->E2
+		{"p7", C1, []string{"l6", "l14", "l17", "l19", "l24", "l27"}, 'd'},         // B1->D1
+		{"p8", C1, []string{"l7", "l14", "l18", "l23", "l25"}, 'd'},                // B2->C1
+		{"p9", C2, []string{"l8", "l14", "l17", "l19", "l24", "l28"}, 'l'},         // B3->D2
+		{"p10", C2, []string{"l9", "l14", "l18", "l23", "l26"}, 'l'},               // B4->C2
+		{"p11", C1, []string{"l2", "l20", "l5", "l18", "l23", "l25"}, 'd'},         // A2->C1
+		{"p12", C2, []string{"l4", "l20", "l5", "l18", "l23", "l26"}, 'l'},         // A4->C2
+		{"p13", C2, []string{"l4", "l20", "l5", "l17", "l19", "l24", "l28"}, 'l'},  // A4->D2 via R2
+		{"p14", C2, []string{"l10", "l15", "l5", "l18", "l23", "l26"}, 'l'},        // L1->C2
+		{"p15", C1, []string{"l11", "l15", "l5", "l18", "l23", "l25"}, 'd'},        // M1->C1
+		{"p16", C2, []string{"l10", "l15", "l5", "l17", "l19", "l24", "l28"}, 'l'}, // L1->D2
+		{"bg1", C1, []string{"l12", "l15", "l5", "l18", "l23", "l25"}, 'w'},        // W1->C1
+		{"bg2", C2, []string{"l13", "l15", "l5", "l17", "l19", "l24", "l28"}, 'w'}, // W2->D2
+		{"bg3", C1, []string{"l12", "l15", "l16", "l22", "l29"}, 'w'},              // W1->E1
+	}
+
+	full := buildTopologyB(defs)
+	infer := buildTopologyB(defs[:16])
+
+	t := &TopologyB{Net: full, InferenceNet: infer}
+	for _, name := range []string{"l5", "l14", "l20"} {
+		l, _ := full.LinkByName(name)
+		t.Policers = append(t.Policers, l.ID)
+	}
+	for i, d := range defs {
+		pid := graph.PathID(i)
+		switch d.kind {
+		case 'd':
+			t.Measured = append(t.Measured, pid)
+			t.DarkPaths = append(t.DarkPaths, pid)
+		case 'l':
+			t.Measured = append(t.Measured, pid)
+			t.LightPaths = append(t.LightPaths, pid)
+		case 'w':
+			t.Background = append(t.Background, pid)
+		}
+	}
+	return t
+}
+
+func buildTopologyB(defs []pathDef) *graph.Network {
+	b := graph.NewBuilder()
+	// Hosts.
+	hosts := map[string]graph.NodeID{}
+	for _, h := range []string{"A1", "A2", "A3", "A4", "B1", "B2", "B3", "B4",
+		"L1", "M1", "W1", "W2", "C1", "C2", "D1", "D2", "E1", "E2"} {
+		hosts[h] = b.Host(h)
+	}
+	// Routers.
+	r := map[string]graph.NodeID{}
+	for _, n := range []string{"R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8", "R10", "R11", "R12"} {
+		r[n] = b.Relay(n)
+	}
+	b.Link("l1", hosts["A1"], r["R6"])
+	b.Link("l2", hosts["A2"], r["R6"])
+	b.Link("l3", hosts["A3"], r["R6"])
+	b.Link("l4", hosts["A4"], r["R6"])
+	b.Link("l5", r["R1"], r["R2"])
+	b.Link("l6", hosts["B1"], r["R7"])
+	b.Link("l7", hosts["B2"], r["R7"])
+	b.Link("l8", hosts["B3"], r["R7"])
+	b.Link("l9", hosts["B4"], r["R7"])
+	b.Link("l10", hosts["L1"], r["R8"])
+	b.Link("l11", hosts["M1"], r["R8"])
+	b.Link("l12", hosts["W1"], r["R8"])
+	b.Link("l13", hosts["W2"], r["R8"])
+	b.Link("l14", r["R7"], r["R2"])
+	b.Link("l15", r["R8"], r["R1"])
+	b.Link("l16", r["R1"], r["R3"])
+	b.Link("l17", r["R2"], r["R3"])
+	b.Link("l18", r["R2"], r["R4"])
+	b.Link("l19", r["R3"], r["R5"])
+	b.Link("l20", r["R6"], r["R1"])
+	b.Link("l21", r["R4"], r["R5"])
+	b.Link("l22", r["R3"], r["R12"])
+	b.Link("l23", r["R4"], r["R10"])
+	b.Link("l24", r["R5"], r["R11"])
+	b.Link("l25", r["R10"], hosts["C1"])
+	b.Link("l26", r["R10"], hosts["C2"])
+	b.Link("l27", r["R11"], hosts["D1"])
+	b.Link("l28", r["R11"], hosts["D2"])
+	b.Link("l29", r["R12"], hosts["E1"])
+	b.Link("l30", r["R12"], hosts["E2"])
+	for _, d := range defs {
+		b.Path(d.name, d.class, d.links...)
+	}
+	return b.MustBuild()
+}

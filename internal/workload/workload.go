@@ -1,0 +1,123 @@
+// Package workload generates the paper's traffic patterns (Section 6.1):
+// each pair of communicating end-hosts runs a number of parallel TCP flow
+// slots; each slot repeatedly transfers a flow whose size follows a Pareto
+// distribution (or is fixed, as in topology B's Table 3 groups) and then
+// idles for an exponentially distributed gap before starting the next
+// flow.
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"neutrality/internal/emu"
+	"neutrality/internal/graph"
+	"neutrality/internal/stats"
+	"neutrality/internal/tcp"
+)
+
+// SizeGen produces flow sizes in segments.
+type SizeGen func(rng *stats.Rand) int
+
+// MbToSegments converts the paper's megabit flow sizes to MSS segments.
+func MbToSegments(mb float64) int {
+	segs := int(math.Ceil(mb * 1e6 / 8 / tcp.MSS))
+	if segs < 1 {
+		segs = 1
+	}
+	return segs
+}
+
+// ParetoSize draws Pareto-distributed sizes with the given mean (in Mb),
+// using the package-standard shape.
+func ParetoSize(meanMb float64) SizeGen {
+	return func(rng *stats.Rand) int {
+		return MbToSegments(rng.Pareto(meanMb, stats.ParetoShape))
+	}
+}
+
+// FixedSize always returns the same size (in Mb), as used by the topology B
+// host groups.
+func FixedSize(mb float64) SizeGen {
+	segs := MbToSegments(mb)
+	return func(*stats.Rand) int { return segs }
+}
+
+// Slot is one parallel flow slot on a path: transfer, idle, repeat.
+type Slot struct {
+	Size SizeGen
+	// GapMean is the mean of the exponential inter-flow idle time in
+	// seconds (paper default 10 s).
+	GapMean float64
+	// CC is the congestion controller name (default "cubic").
+	CC string
+}
+
+// PathLoad is the traffic specification of one path.
+type PathLoad struct {
+	Path  graph.PathID
+	Slots []Slot
+}
+
+// DefaultGapMean is the paper's default mean inter-flow gap.
+const DefaultGapMean = 10.0
+
+// Runner drives the slots of a set of paths on an emulated network.
+type Runner struct {
+	net *emu.Network
+	rng *stats.Rand
+
+	// FlowsCompleted counts finished transfers per path.
+	FlowsCompleted map[graph.PathID]int
+	// FlowsStarted counts started transfers per path.
+	FlowsStarted map[graph.PathID]int
+}
+
+// NewRunner installs the workload on the network. Slots start at slightly
+// staggered times (a few milliseconds apart, drawn from the RNG) to avoid
+// artificial phase locking at t=0.
+func NewRunner(net *emu.Network, loads []PathLoad, rng *stats.Rand) (*Runner, error) {
+	r := &Runner{
+		net:            net,
+		rng:            rng,
+		FlowsCompleted: map[graph.PathID]int{},
+		FlowsStarted:   map[graph.PathID]int{},
+	}
+	for _, load := range loads {
+		if int(load.Path) >= net.Graph.NumPaths() {
+			return nil, fmt.Errorf("workload: path %d outside network", load.Path)
+		}
+		for i, slot := range load.Slots {
+			if slot.Size == nil {
+				return nil, fmt.Errorf("workload: path %d slot %d has no size generator", load.Path, i)
+			}
+			s := slot
+			if s.GapMean <= 0 {
+				s.GapMean = DefaultGapMean
+			}
+			if s.CC == "" {
+				s.CC = "cubic"
+			}
+			pid := load.Path
+			start := r.rng.Float64() * 0.1 // up to 100 ms stagger
+			net.Sim.After(start, func() { r.startFlow(pid, s) })
+		}
+	}
+	return r, nil
+}
+
+func (r *Runner) startFlow(pid graph.PathID, slot Slot) {
+	r.FlowsStarted[pid]++
+	size := slot.Size(r.rng)
+	tcp.Start(r.net, tcp.FlowConfig{
+		Path:         pid,
+		Class:        r.net.Graph.ClassOf(pid),
+		SizeSegments: size,
+		CC:           slot.CC,
+		OnComplete: func(*tcp.Flow) {
+			r.FlowsCompleted[pid]++
+			gap := r.rng.Exponential(slot.GapMean)
+			r.net.Sim.After(gap, func() { r.startFlow(pid, slot) })
+		},
+	})
+}

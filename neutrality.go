@@ -1,0 +1,93 @@
+// Package neutrality detects and localizes network-neutrality violations
+// from external (end-to-end) observations, implementing Zhang, Mara, and
+// Argyraki, "Network Neutrality Inference" (SIGCOMM 2014).
+//
+// # Idea
+//
+// Classic network tomography assumes the network is neutral — every link
+// treats traffic from all paths the same — and forms solvable systems of
+// equations y = A·x relating end-to-end pathset observations y to per-link
+// performance x. This package turns that on its head: if the network is
+// NOT neutral, observations taken from different vantage points are
+// mutually inconsistent, and the systems become unsolvable. Carefully
+// chosen "slices" of the network turn that inconsistency into localization:
+// a link sequence τ whose System 4 is unsolvable is provably non-neutral
+// (Lemma 2), with zero false positives under noise-free observations.
+//
+// # Layout
+//
+//   - Model: Network (graph + paths + performance classes), Pathset, Perf.
+//   - Theory: BuildEquivalent / Observable (Theorem 1), slices and
+//     identifiability (Lemmas 2–3).
+//   - Algorithm: Infer (Algorithm 1 + Algorithm 2 + clustering),
+//     Evaluate (false-negative/false-positive/granularity metrics).
+//   - Substrates: a packet-level network emulator with TCP (NewReno,
+//     CUBIC), token-bucket policing and shaping (RunExperiment), and a
+//     fast synthetic observation generator (NewSampler, ExactY).
+//   - Baselines: Boolean tomography, least-squares loss tomography, and
+//     NetPolice-style direct probing.
+//
+// # Quick start
+//
+//	net := neutrality.Figure5()                  // a paper topology
+//	perf := neutrality.Figure5Perf(net)          // ground truth: l1 throttles class 2
+//	res := neutrality.InferExact(net, neutrality.ExactY(net, perf))
+//	for _, v := range res.NonNeutralSeqs() {
+//	    fmt.Println("non-neutral:", v.SeqNames())
+//	}
+//
+// See examples/ for complete programs, DESIGN.md for the system inventory,
+// and EXPERIMENTS.md for the reproduction of every table and figure of the
+// paper's evaluation.
+package neutrality
+
+import (
+	"neutrality/internal/graph"
+)
+
+// Core model types, re-exported from the internal model package.
+type (
+	// Network is the paper's G = (V, L, P) plus performance classes.
+	Network = graph.Network
+	// Builder incrementally assembles a Network.
+	Builder = graph.Builder
+	// NodeID identifies a node.
+	NodeID = graph.NodeID
+	// LinkID identifies a link.
+	LinkID = graph.LinkID
+	// PathID identifies a path.
+	PathID = graph.PathID
+	// ClassID identifies a performance class.
+	ClassID = graph.ClassID
+	// Link is a network edge.
+	Link = graph.Link
+	// Path is a loop-free end-host-to-end-host link sequence.
+	Path = graph.Path
+	// Pathset is a set of paths — the unit of external observation.
+	Pathset = graph.Pathset
+	// Perf is the ground-truth per-link per-class performance table
+	// (x = −log P(congestion-free)).
+	Perf = graph.Perf
+	// LinkSet is a set of links.
+	LinkSet = graph.LinkSet
+	// NodeKind distinguishes end-hosts from relays.
+	NodeKind = graph.NodeKind
+)
+
+// Node kinds.
+const (
+	EndHost = graph.EndHost
+	Relay   = graph.Relay
+)
+
+// NewBuilder returns an empty network builder.
+func NewBuilder() *Builder { return graph.NewBuilder() }
+
+// NewPathset returns the canonical pathset over the given paths.
+func NewPathset(paths ...PathID) Pathset { return graph.NewPathset(paths...) }
+
+// NewPerf allocates an all-zero performance table.
+func NewPerf(links, classes int) Perf { return graph.NewPerf(links, classes) }
+
+// NewLinkSet returns a set seeded with the given links.
+func NewLinkSet(links ...LinkID) LinkSet { return graph.NewLinkSet(links...) }

@@ -1,0 +1,85 @@
+package neutrality
+
+import (
+	"neutrality/internal/graph"
+	"neutrality/internal/matrix"
+	"neutrality/internal/neutral"
+	"neutrality/internal/nslice"
+	"neutrality/internal/routing"
+)
+
+// Theory API: the constructs of Sections 3–4 of the paper.
+
+type (
+	// Equivalent is the neutral equivalent network G⁺ (Section 3.2).
+	Equivalent = neutral.Equivalent
+	// VirtualLink is a link of G⁺.
+	VirtualLink = neutral.VirtualLink
+	// Witness is a virtual link satisfying Theorem 1's observability
+	// condition.
+	Witness = neutral.Witness
+	// Slice is the network slice of a link sequence τ (Section 4.1).
+	Slice = nslice.Slice
+	// PathPair is an unordered pair of paths.
+	PathPair = nslice.PathPair
+	// PairEstimate is one path pair's estimate of x_τ.
+	PairEstimate = nslice.PairEstimate
+	// Lemma3Witness certifies identifiability per Lemma 3.
+	Lemma3Witness = nslice.Lemma3Witness
+	// Matrix is a dense matrix (routing matrices, systems of equations).
+	Matrix = matrix.Matrix
+)
+
+// BuildEquivalent constructs the neutral equivalent of network n under the
+// ground-truth performance table (Section 3.2).
+func BuildEquivalent(n *Network, perf Perf) *Equivalent { return neutral.Build(n, perf) }
+
+// Observable applies Theorem 1: it returns the witnesses — virtual links
+// of G⁺ distinguishable from every link of G — that make the violation
+// observable. Empty means the violation (if any) cannot be detected from
+// external observations.
+func Observable(n *Network, perf Perf) []Witness { return neutral.Observable(n, perf) }
+
+// ObservableStructural asks whether differentiation at the given links
+// could ever be observed, assuming every class gap is non-zero. It depends
+// only on topology, paths, and class structure.
+func ObservableStructural(n *Network, nonNeutral []LinkID) []Witness {
+	return neutral.ObservableStructural(n, nonNeutral)
+}
+
+// Slices enumerates every link sequence that is the exact shared-link set
+// of at least one path pair (Algorithm 1, lines 2–8).
+func Slices(n *Network) []*Slice { return nslice.Enumerate(n) }
+
+// SliceFor builds the slice of an explicit link sequence. The result has
+// no path pairs when τ is non-identifiable (like l2 in the paper's
+// Figure 4).
+func SliceFor(n *Network, seq []LinkID) *Slice { return nslice.For(n, seq) }
+
+// RoutingMatrix builds the generalized routing matrix A(Θ) over the given
+// pathsets (Section 2.3).
+func RoutingMatrix(n *Network, pathsets []Pathset) *Matrix {
+	return routing.Matrix(n, pathsets)
+}
+
+// Consistent reports whether A·x = y admits a solution over the reals
+// (Rouché–Capelli rank test). tol <= 0 uses a sensible default.
+func Consistent(a *Matrix, y []float64, tol float64) bool {
+	return matrix.Consistent(a, y, tol)
+}
+
+// ConsistentNonneg reports whether A·x = y admits a solution with x >= 0 —
+// the paper's operative notion of "the system has a solution", since
+// performance numbers −log P are non-negative.
+func ConsistentNonneg(a *Matrix, y []float64, tol float64) bool {
+	return matrix.ConsistentNonneg(a, y, tol)
+}
+
+// Unsolvability is the practical score of Section 6.2: the spread of the
+// per-path-pair estimates of x_τ.
+func Unsolvability(estimates []PairEstimate) float64 { return nslice.Unsolvability(estimates) }
+
+// PowerSetPathsets enumerates P* for small networks (theory experiments).
+func PowerSetPathsets(n *Network) []Pathset { return n.PowerSetPathsets() }
+
+var _ = graph.NewPathset // keep the import pinned to the model package

@@ -1,0 +1,41 @@
+package neutrality
+
+import "neutrality/internal/topo"
+
+// The paper's topologies, ready to use.
+
+// Performance classes: C1 is the paper's top-priority c1, C2 the regulated
+// c2.
+const (
+	C1 = topo.C1
+	C2 = topo.C2
+)
+
+// Figure1 builds the running example of Section 2: four links, three
+// paths, two classes; l1 treats p2 worse than p1 in the narrative.
+func Figure1() *Network { return topo.Figure1() }
+
+// Figure1Perf returns Figure 1's ground-truth performance table.
+func Figure1Perf(n *Network) Perf { return topo.Figure1Perf(n) }
+
+// Figure2 builds the non-observable violation example of Section 3.
+func Figure2() *Network { return topo.Figure2() }
+
+// Figure4 builds the identifiability example of Sections 3–5 (l1
+// identifiable, l2 not).
+func Figure4() *Network { return topo.Figure4() }
+
+// Figure5 builds the pathset-observability example (detection requires
+// observing {p2,p3} jointly).
+func Figure5() *Network { return topo.Figure5() }
+
+// Figure5Perf returns Figure 5's ground truth: l1 congests class 2 with
+// probability 0.5, everything else is loss-free.
+func Figure5Perf(n *Network) Perf { return topo.Figure5Perf(n) }
+
+// NewTopologyA builds the dumbbell evaluation topology (Figure 7).
+func NewTopologyA() *TopologyA { return topo.NewTopologyA() }
+
+// NewTopologyB builds the multi-ISP backbone evaluation topology (in the
+// spirit of Figure 9, with the same three policers l5, l14, l20).
+func NewTopologyB() *TopologyB { return topo.NewTopologyB() }

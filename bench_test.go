@@ -23,6 +23,11 @@ import (
 )
 
 // printOnce deduplicates figure output across -benchtime iterations.
+// sync.Map keeps the dedup safe now that the figure sweeps fan their
+// experiments across the internal/runner worker pool: the pool runs
+// inside each figures call and returns before printing, so `once` is
+// only ever called from the bench goroutine, and the map also tolerates
+// concurrent benchmarks (CI runs this file under -race).
 var printOnce sync.Map
 
 func once(key string, f func() string) {

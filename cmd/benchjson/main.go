@@ -1,0 +1,83 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// JSON object on stdout mapping each benchmark name to its reported
+// metrics, for tracking the performance trajectory across PRs:
+//
+//	go test -run='^$' -bench=. -benchtime=1x -benchmem ./... | benchjson > BENCH.json
+//
+// Each benchmark maps to an object keyed by sanitized metric unit
+// ("ns/op" → "ns_op", "allocs/op" → "allocs_op", plus any custom
+// b.ReportMetric units such as "agreement_pct"). The GOMAXPROCS suffix
+// of the benchmark name (e.g. "-8") is stripped so results from
+// machines with different core counts line up.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	benches := map[string]map[string]float64{}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		name, metrics, ok := parseBenchLine(sc.Text())
+		if !ok {
+			continue
+		}
+		benches[name] = metrics
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	if len(benches) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(benches); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// parseBenchLine parses one `go test -bench` result line:
+//
+//	BenchmarkFig10-8   1   123456 ns/op   789 B/op   12 allocs/op   0 fn_pct
+//
+// The second field is the iteration count; the rest are value/unit
+// pairs.
+func parseBenchLine(line string) (string, map[string]float64, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return "", nil, false
+	}
+	name := strings.TrimPrefix(fields[0], "Benchmark")
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	if _, err := strconv.Atoi(fields[1]); err != nil {
+		return "", nil, false
+	}
+	metrics := map[string]float64{}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return "", nil, false
+		}
+		unit := strings.NewReplacer("/", "_", "%", "pct").Replace(fields[i+1])
+		metrics[unit] = v
+	}
+	if len(metrics) == 0 {
+		return "", nil, false
+	}
+	return name, metrics, true
+}

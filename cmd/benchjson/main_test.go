@@ -1,0 +1,45 @@
+package main
+
+import "testing"
+
+func TestParseBenchLine(t *testing.T) {
+	name, m, ok := parseBenchLine("BenchmarkFig8Set1-8  \t 1\t2491082917 ns/op\t  100.0 agreement_pct\t829746968 B/op\t 8440269 allocs/op")
+	if !ok {
+		t.Fatal("line rejected")
+	}
+	if name != "Fig8Set1" {
+		t.Fatalf("name = %q", name)
+	}
+	want := map[string]float64{
+		"ns_op":         2491082917,
+		"agreement_pct": 100,
+		"B_op":          829746968,
+		"allocs_op":     8440269,
+	}
+	for k, v := range want {
+		if m[k] != v {
+			t.Fatalf("%s = %v, want %v (all: %v)", k, m[k], v, m)
+		}
+	}
+}
+
+func TestParseBenchLineKeepsUnsuffixedName(t *testing.T) {
+	name, _, ok := parseBenchLine("BenchmarkTable1Defaults 1 92833 ns/op")
+	if !ok || name != "Table1Defaults" {
+		t.Fatalf("name = %q ok=%v", name, ok)
+	}
+}
+
+func TestParseBenchLineRejectsNoise(t *testing.T) {
+	for _, line := range []string{
+		"goos: linux",
+		"PASS",
+		"ok  \tneutrality\t91.676s",
+		"Fig 8(a) neutral, c2 mean flow size sweep",
+		"BenchmarkBroken-8 notanint 5 ns/op",
+	} {
+		if _, _, ok := parseBenchLine(line); ok {
+			t.Fatalf("accepted %q", line)
+		}
+	}
+}

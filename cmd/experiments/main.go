@@ -5,7 +5,14 @@
 //
 // Usage:
 //
-//	experiments [-full] [-seed N] [-only fig8,fig10,fig11,tables,sweeps,ablations]
+//	experiments [-full] [-seed N] [-workers N]
+//	            [-only fig8,fig10,fig11,tables,sweeps,ablations]
+//
+// Independent experiments fan out across a bounded worker pool
+// (-workers, default one per CPU); per-unit seeds are derived from
+// (seed, unit index), so the output is byte-identical for every
+// -workers value. Interrupting the run (Ctrl-C) stops dispatching new
+// experiments and exits after the in-flight ones finish.
 //
 // Output is the textual equivalent of each figure: one row per experiment
 // for Figure 8's nine graphs, five-number summaries per boxplot for
@@ -13,21 +20,29 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
 	"neutrality/internal/figures"
+	"neutrality/internal/runner"
 )
 
 func main() {
 	full := flag.Bool("full", false, "run at the paper's full scale (100 Mbps, 600 s; takes minutes)")
 	seed := flag.Int64("seed", 1, "base random seed")
+	workers := flag.Int("workers", 0, "parallel experiment workers (0 = one per CPU)")
 	only := flag.String("only", "", "comma-separated subset: tables,fig8,fig10,fig11,sweeps,ablations")
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	x := figures.Exec{Ctx: ctx, Workers: *workers}
 
 	sc, scB := figures.Quick, figures.QuickB
 	if *full {
@@ -42,6 +57,9 @@ func main() {
 	run := func(name string) bool { return len(want) == 0 || want[name] }
 
 	start := time.Now()
+	// The pool width goes to stderr so stdout stays byte-identical for
+	// every -workers value.
+	fmt.Fprintf(os.Stderr, "workers: %d\n", poolWidth(*workers))
 	fmt.Printf("Network Neutrality Inference — evaluation reproduction (scale=%.0f%%, %gs runs, seed=%d)\n\n",
 		sc.Factor*100, sc.DurationSec, *seed)
 
@@ -51,17 +69,20 @@ func main() {
 	}
 
 	if run("fig8") {
-		for set := 1; set <= 9; set++ {
-			r, err := figures.Fig8(set, sc, *seed)
-			if err != nil {
-				log.Fatalf("fig8 set %d: %v", set, err)
-			}
+		// All nine sets flattened into one 34-unit batch so the pool
+		// stays full across set boundaries; results keep the paper's
+		// set and row order.
+		results, err := figures.Fig8All(x, sc, *seed)
+		if err != nil {
+			log.Fatalf("fig8: %v", err)
+		}
+		for _, r := range results {
 			fmt.Println(r)
 		}
 	}
 
 	if run("fig10") {
-		r, err := figures.Fig10(scB, *seed)
+		r, err := figures.Fig10Exec(x, scB, *seed)
 		if err != nil {
 			log.Fatalf("fig10: %v", err)
 		}
@@ -69,7 +90,7 @@ func main() {
 	}
 
 	if run("fig11") {
-		r, err := figures.Fig11(scB, *seed)
+		r, err := figures.Fig11Exec(x, scB, *seed)
 		if err != nil {
 			log.Fatalf("fig11: %v", err)
 		}
@@ -77,41 +98,50 @@ func main() {
 	}
 
 	if run("sweeps") {
-		for _, f := range []func(figures.Scale, int64) (*figures.SweepResult, error){
-			figures.LossThresholdSweep,
-			figures.IntervalSweep,
-		} {
-			r, err := f(sc, *seed)
-			if err != nil {
-				log.Fatalf("sweep: %v", err)
-			}
+		// The two sweeps are independent; run them as parallel units and
+		// print in the paper's order.
+		sweeps := []func() (*figures.SweepResult, error){
+			func() (*figures.SweepResult, error) { return figures.LossThresholdSweepExec(x, sc, *seed) },
+			func() (*figures.SweepResult, error) { return figures.IntervalSweepExec(x, sc, *seed) },
+		}
+		results, err := runner.Map(ctx, *workers, len(sweeps), func(_ context.Context, i int) (*figures.SweepResult, error) {
+			return sweeps[i]()
+		})
+		if err != nil {
+			log.Fatalf("sweep: %v", err)
+		}
+		for _, r := range results {
 			fmt.Println(r)
 		}
 	}
 
 	if run("ablations") {
-		norm, err := figures.AblationNormalization(sc, *seed)
+		// Five independent ablation/baseline studies as parallel units,
+		// printed in the documented order.
+		studies := []func() (fmt.Stringer, error){
+			func() (fmt.Stringer, error) { return figures.AblationNormalizationExec(x, sc, *seed) },
+			func() (fmt.Stringer, error) { return figures.AblationClusteringExec(x, *seed) },
+			func() (fmt.Stringer, error) { return figures.AblationPairObservations(), nil },
+			func() (fmt.Stringer, error) { return figures.AblationDelayMetric(sc, *seed) },
+			func() (fmt.Stringer, error) { return figures.BaselineComparison(*seed) },
+		}
+		results, err := runner.Map(ctx, *workers, len(studies), func(_ context.Context, i int) (fmt.Stringer, error) {
+			return studies[i]()
+		})
 		if err != nil {
 			log.Fatalf("ablation: %v", err)
 		}
-		fmt.Println(norm)
-		clus, err := figures.AblationClustering(*seed)
-		if err != nil {
-			log.Fatalf("ablation: %v", err)
+		for _, r := range results {
+			fmt.Println(r)
 		}
-		fmt.Println(clus)
-		fmt.Println(figures.AblationPairObservations())
-		delay, err := figures.AblationDelayMetric(sc, *seed)
-		if err != nil {
-			log.Fatalf("ablation: %v", err)
-		}
-		fmt.Println(delay)
-		base, err := figures.BaselineComparison(*seed)
-		if err != nil {
-			log.Fatalf("baseline: %v", err)
-		}
-		fmt.Println(base)
 	}
 
 	fmt.Fprintf(os.Stderr, "total wall time: %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+func poolWidth(workers int) int {
+	if workers <= 0 {
+		return runner.DefaultWorkers()
+	}
+	return workers
 }

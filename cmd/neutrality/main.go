@@ -9,17 +9,25 @@
 //	neutrality theory  -net ... [-nonneutral l1,l2]
 //	neutrality emulate -net a|b [-diff police|shape|none] [-rate 0.3]
 //	                   [-duration 90] [-scale 0.1] [-seed 1]
+//	                   [-runs 1] [-workers 0]
 //	neutrality infer   -net ... [-gap 0.5] [-intervals 6000] [-seed 1]
 //
 // `emulate` runs packet-level TCP emulation and then inference; `infer`
 // uses the fast synthetic substrate with a configurable violation gap.
+// With -runs N > 1, emulate replicates the experiment N times with
+// per-run seeds derived from (-seed, run index), fans the replicas out
+// across a bounded worker pool (-workers, default one per CPU), and
+// aggregates the verdicts; the output is identical for every -workers
+// value.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"strings"
 
 	"neutrality"
@@ -31,6 +39,8 @@ func main() {
 	if len(os.Args) < 2 {
 		usage()
 	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 	cmd, args := os.Args[1], os.Args[2:]
 	switch cmd {
 	case "topo":
@@ -38,7 +48,7 @@ func main() {
 	case "theory":
 		cmdTheory(args)
 	case "emulate":
-		cmdEmulate(args)
+		cmdEmulate(ctx, args)
 	case "infer":
 		cmdInfer(args)
 	case "help", "-h", "--help":
@@ -144,52 +154,90 @@ func cmdTheory(args []string) {
 	}
 }
 
-func cmdEmulate(args []string) {
+func cmdEmulate(ctx context.Context, args []string) {
 	fs := flag.NewFlagSet("emulate", flag.ExitOnError)
 	netName := fs.String("net", "a", "topology: a or b")
 	diffKind := fs.String("diff", "police", "differentiation on the standard links: police, shape, none")
 	rate := fs.Float64("rate", 0.3, "policing/shaping rate (fraction of capacity)")
 	duration := fs.Float64("duration", 90, "emulated seconds")
 	scale := fs.Float64("scale", 0.1, "capacity scale (1.0 = paper's 100 Mbps)")
-	seed := fs.Int64("seed", 1, "random seed")
-	outFile := fs.String("out", "", "write raw measurements to this CSV file")
+	seed := fs.Int64("seed", 1, "random seed (base seed with -runs > 1)")
+	runs := fs.Int("runs", 1, "replicate the experiment this many times with derived seeds and aggregate verdicts")
+	workers := fs.Int("workers", 0, "parallel workers for -runs replication (0 = one per CPU)")
+	outFile := fs.String("out", "", "write raw measurements of the first run to this CSV file")
 	fs.Parse(args)
+	if *runs < 1 {
+		log.Fatalf("-runs must be >= 1, got %d", *runs)
+	}
 
+	// runSeed keeps the single-run case byte-compatible with earlier
+	// versions (the base seed itself); replicas get derived seeds.
+	runSeed := func(i int) int64 {
+		if *runs == 1 {
+			return *seed
+		}
+		return neutrality.DeriveSeed(*seed, i)
+	}
+
+	var net *neutrality.Network
+	var truth []neutrality.LinkID
+	exps := make([]*neutrality.Experiment, *runs)
 	switch strings.ToLower(*netName) {
 	case "a", "topoa":
-		p := neutrality.DefaultParamsA().Scale(*scale, *duration)
-		p.MeanFlowMb = [2]float64{20 * *scale, 20 * *scale}
-		p.Seed = *seed
-		switch *diffKind {
-		case "police":
-			p.Diff = neutrality.PoliceClass2(*rate)
-		case "shape":
-			p.Diff = neutrality.ShapeBothClasses(*rate)
-		case "none":
-		default:
-			log.Fatalf("unknown -diff %q", *diffKind)
+		for i := range exps {
+			p := neutrality.DefaultParamsA().Scale(*scale, *duration)
+			p.MeanFlowMb = [2]float64{20 * *scale, 20 * *scale}
+			p.Seed = runSeed(i)
+			switch *diffKind {
+			case "police":
+				p.Diff = neutrality.PoliceClass2(*rate)
+			case "shape":
+				p.Diff = neutrality.ShapeBothClasses(*rate)
+			case "none":
+			default:
+				log.Fatalf("unknown -diff %q", *diffKind)
+			}
+			e, a := p.Experiment(fmt.Sprintf("cli-run%d", i))
+			exps[i] = e
+			net, truth = a.Net, []neutrality.LinkID{a.Shared}
 		}
-		e, a := p.Experiment("cli")
-		run, err := neutrality.RunExperiment(e)
-		if err != nil {
-			log.Fatal(err)
-		}
-		saveCSV(*outFile, run.Meas)
-		report(a.Net, run.Meas, []neutrality.LinkID{a.Shared})
 	case "b", "topob":
-		p := neutrality.DefaultParamsB().Scale(*scale, *duration)
-		p.PoliceRate = *rate
-		p.Seed = *seed
-		e, b := p.Experiment("cli")
-		run, err := neutrality.RunExperiment(e)
-		if err != nil {
-			log.Fatal(err)
+		for i := range exps {
+			p := neutrality.DefaultParamsB().Scale(*scale, *duration)
+			p.PoliceRate = *rate
+			p.Seed = runSeed(i)
+			e, b := p.Experiment(fmt.Sprintf("cli-run%d", i))
+			exps[i] = e
+			net, truth = b.InferenceNet, b.Policers
 		}
-		saveCSV(*outFile, run.Meas)
-		report(b.InferenceNet, run.Meas, b.Policers)
 	default:
 		log.Fatalf("emulate supports topologies a and b, not %q", *netName)
 	}
+
+	results, err := neutrality.RunExperimentBatch(ctx, *workers, exps)
+	if err != nil {
+		log.Fatal(err)
+	}
+	saveCSV(*outFile, results[0].Meas)
+	if *runs == 1 {
+		report(net, results[0].Meas, truth)
+		return
+	}
+
+	fmt.Printf("replicated %d runs (seeds derived from base seed %d)\n", *runs, *seed)
+	detected := 0
+	for i, run := range results {
+		res := neutrality.InferMeasured(net, run.Meas, neutrality.DefaultMeasureOptions())
+		m := neutrality.Evaluate(res, truth)
+		verdict := "neutral"
+		if res.NetworkNonNeutral() {
+			verdict = "NON-NEUTRAL"
+			detected++
+		}
+		fmt.Printf("  run %2d  seed=%-20d verdict=%-12s FN=%3.0f%% FP=%3.0f%% granularity=%.2f\n",
+			i, exps[i].Seed, verdict, m.FalseNegativeRate*100, m.FalsePositiveRate*100, m.Granularity)
+	}
+	fmt.Printf("non-neutral verdicts: %d/%d\n", detected, *runs)
 }
 
 func report(n *neutrality.Network, meas *neutrality.Measurements, truth []neutrality.LinkID) {

@@ -1,0 +1,3 @@
+module neutrality
+
+go 1.24.0

@@ -1,6 +1,7 @@
 package figures
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -10,6 +11,7 @@ import (
 	"neutrality/internal/matrix"
 	"neutrality/internal/measure"
 	"neutrality/internal/routing"
+	"neutrality/internal/runner"
 	"neutrality/internal/synth"
 	"neutrality/internal/tomo"
 	"neutrality/internal/topo"
@@ -42,6 +44,16 @@ func (r *AblationResult) String() string {
 // the heavy class trips the loss threshold more often and the neutral link
 // looks differentiating.
 func AblationNormalization(sc Scale, seed int64) (*AblationResult, error) {
+	return AblationNormalizationExec(Exec{}, sc, seed)
+}
+
+// AblationNormalizationExec is AblationNormalization with explicit
+// execution control: one emulation, with the normalize-on and
+// normalize-off inference passes as parallel units.
+func AblationNormalizationExec(x Exec, sc Scale, seed int64) (*AblationResult, error) {
+	if err := x.context().Err(); err != nil {
+		return nil, err
+	}
 	p := lab.DefaultParamsA().Scale(sc.Factor, sc.DurationSec)
 	p.MeanFlowMb = [2]float64{0.1 * sc.Factor * 10, 100 * sc.Factor * 10} // 1 Mb vs 1 Gb at paper scale
 	p.Seed = seed
@@ -52,8 +64,13 @@ func AblationNormalization(sc Scale, seed int64) (*AblationResult, error) {
 	}
 	out := &AblationResult{Title: "Ablation: Algorithm 2 normalization (neutral link, 1 Mb vs 1 Gb classes)"}
 
-	uWith, uWithout := 0.0, 0.0
-	for _, normalize := range []bool{true, false} {
+	type variant struct {
+		row string
+		u   float64
+	}
+	variants := []bool{true, false}
+	results, err := runner.Map(x.context(), x.Workers, len(variants), func(_ context.Context, i int) (variant, error) {
+		normalize := variants[i]
 		opts := measure.DefaultOptions()
 		opts.Normalize = normalize
 		res := core.Infer(a.Net, core.MeasurementObserver{Meas: run.Meas, Opts: opts}, core.DefaultConfig())
@@ -61,13 +78,18 @@ func AblationNormalization(sc Scale, seed int64) (*AblationResult, error) {
 		if len(res.Candidates) > 0 {
 			u = res.Candidates[0].Unsolvability
 		}
-		if normalize {
-			uWith = u
-		} else {
-			uWithout = u
-		}
-		out.Rows = append(out.Rows, fmt.Sprintf("normalize=%-5v unsolvability=%.4f verdict(non-neutral)=%v",
-			normalize, u, res.NetworkNonNeutral()))
+		return variant{
+			row: fmt.Sprintf("normalize=%-5v unsolvability=%.4f verdict(non-neutral)=%v",
+				normalize, u, res.NetworkNonNeutral()),
+			u: u,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	uWith, uWithout := results[0].u, results[1].u
+	for _, v := range results {
+		out.Rows = append(out.Rows, v.row)
 	}
 	// The design holds if normalization keeps the inconsistency smaller
 	// than the raw comparison (and below the decision gap).
@@ -80,12 +102,24 @@ func AblationNormalization(sc Scale, seed int64) (*AblationResult, error) {
 // levels depend on the violation strength: a threshold tuned for one gap
 // misclassifies another, while clustering adapts.
 func AblationClustering(seed int64) (*AblationResult, error) {
+	return AblationClusteringExec(Exec{}, seed)
+}
+
+// AblationClusteringExec is AblationClustering with explicit execution
+// control: each violation-strength cell is an independent
+// sample-and-infer unit.
+func AblationClusteringExec(x Exec, seed int64) (*AblationResult, error) {
 	out := &AblationResult{Title: "Ablation: clustering vs fixed threshold (topology B, varying violation strength)"}
 	b := topo.NewTopologyB()
 	n := b.InferenceNet
 
-	misFixed, misCluster := 0, 0
-	for _, gap := range []float64{0.25, 1.2} {
+	type cell struct {
+		row                  string
+		misCluster, misFixed bool
+	}
+	gaps := []float64{0.25, 1.2}
+	cells, err := runner.Map(x.context(), x.Workers, len(gaps), func(_ context.Context, i int) (cell, error) {
+		gap := gaps[i]
 		perf := graph.NewPerf(n.NumLinks(), n.NumClasses())
 		for i := 0; i < n.NumLinks(); i++ {
 			perf.SetNeutral(graph.LinkID(i), 0.01)
@@ -106,15 +140,26 @@ func AblationClustering(seed int64) (*AblationResult, error) {
 		fixed := core.Infer(n, obs, core.Config{Mode: core.Clustered, MinGap: 0.6})
 		mf := core.Evaluate(fixed, b.Policers)
 
-		if mc.FalseNegativeRate > 0 || mc.FalsePositiveRate > 0 {
+		return cell{
+			row: fmt.Sprintf("gap=%.2f  clustered: FN=%.0f%% FP=%.0f%%   fixed(0.6): FN=%.0f%% FP=%.0f%%",
+				gap, mc.FalseNegativeRate*100, mc.FalsePositiveRate*100,
+				mf.FalseNegativeRate*100, mf.FalsePositiveRate*100),
+			misCluster: mc.FalseNegativeRate > 0 || mc.FalsePositiveRate > 0,
+			misFixed:   mf.FalseNegativeRate > 0 || mf.FalsePositiveRate > 0,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	misFixed, misCluster := 0, 0
+	for _, c := range cells {
+		out.Rows = append(out.Rows, c.row)
+		if c.misCluster {
 			misCluster++
 		}
-		if mf.FalseNegativeRate > 0 || mf.FalsePositiveRate > 0 {
+		if c.misFixed {
 			misFixed++
 		}
-		out.Rows = append(out.Rows, fmt.Sprintf("gap=%.2f  clustered: FN=%.0f%% FP=%.0f%%   fixed(0.6): FN=%.0f%% FP=%.0f%%",
-			gap, mc.FalseNegativeRate*100, mc.FalsePositiveRate*100,
-			mf.FalseNegativeRate*100, mf.FalsePositiveRate*100))
 	}
 	out.Pass = misCluster == 0 && misFixed > 0
 	return out, nil

@@ -1,0 +1,30 @@
+package figures
+
+import (
+	"context"
+)
+
+// Exec configures how a sweep executes: a context for cancelling the
+// sweep between experiment units, and the width of the worker pool the
+// units fan out across. The zero value — background context, one worker
+// per CPU — is what the convenience wrappers (Fig8, IntervalSweep, …)
+// use.
+//
+// Determinism: every sweep in this package derives each unit's seed
+// from (baseSeed, unitIndex) and collects results in unit order, so the
+// output is bit-identical for every Workers setting.
+type Exec struct {
+	// Ctx cancels the sweep between units (nil = context.Background()).
+	// In-flight emulations are not interrupted; pending ones are not
+	// started.
+	Ctx context.Context
+	// Workers bounds the worker pool (0 = runtime.NumCPU()).
+	Workers int
+}
+
+func (x Exec) context() context.Context {
+	if x.Ctx == nil {
+		return context.Background()
+	}
+	return x.Ctx
+}

@@ -8,6 +8,7 @@
 package figures
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -17,6 +18,7 @@ import (
 	"neutrality/internal/graph"
 	"neutrality/internal/lab"
 	"neutrality/internal/measure"
+	"neutrality/internal/runner"
 	"neutrality/internal/stats"
 	"neutrality/internal/topo"
 )
@@ -76,43 +78,106 @@ var fig8Titles = map[int]string{
 }
 
 // Fig8 runs one Table 2 experiment set and produces the corresponding
-// Figure 8 graph data.
+// Figure 8 graph data, fanning the set's experiments across the default
+// worker pool.
 func Fig8(set int, sc Scale, seed int64) (*Fig8Result, error) {
+	return Fig8Exec(Exec{}, set, sc, seed)
+}
+
+// Fig8Exec is Fig8 with explicit execution control. The set's
+// experiments are independent units; each derives its seed from
+// (seed, unitIndex), so the result is identical for every worker count.
+func Fig8Exec(x Exec, set int, sc Scale, seed int64) (*Fig8Result, error) {
 	specs, err := lab.TableTwo(set)
 	if err != nil {
 		return nil, err
 	}
-	out := &Fig8Result{Set: set, Title: fig8Titles[set]}
-	for i, spec := range specs {
-		p := spec.Params.Scale(sc.Factor, sc.DurationSec)
-		p.Seed = seed + int64(i)
-		if set == 5 || set == 8 {
-			// RTT sweeps: a 100 ms interval under-samples the congestion
-			// process when the RTT itself reaches 200 ms (loss events
-			// cluster at RTT granularity). 500 ms is within the paper's
-			// validated interval set (Section 6.5).
-			p.IntervalSec = 0.5
-		}
-		e, a := p.Experiment(fmt.Sprintf("fig8-set%d-%s", set, spec.Label))
-		run, err := lab.Run(e)
+	rows, err := runner.Map(x.context(), x.Workers, len(specs), func(_ context.Context, i int) (Fig8Row, error) {
+		return fig8Unit(set, specs[i], i, sc, seed)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return assembleFig8(set, rows), nil
+}
+
+// Fig8All runs all nine Table 2 experiment sets, flattening every
+// individual experiment (34 units) into one batch so the pool stays
+// full across set boundaries. The per-set results are identical to nine
+// Fig8 calls with the same scale and seed.
+func Fig8All(x Exec, sc Scale, seed int64) ([]*Fig8Result, error) {
+	type unit struct {
+		set, idx int
+		spec     lab.SpecA
+	}
+	var units []unit
+	for set := 1; set <= 9; set++ {
+		specs, err := lab.TableTwo(set)
 		if err != nil {
 			return nil, err
 		}
-		row := Fig8Row{Label: spec.Label, PaperLabel: spec.NonNeutral}
-		probs := measure.PathCongestionProb(run.Meas, 0.01)
-		copy(row.CongestionProb[:], probs)
-
-		res := core.Infer(a.Net, core.MeasurementObserver{Meas: run.Meas, Opts: measure.DefaultOptions()}, core.DefaultConfig())
-		row.Verdict = res.NetworkNonNeutral()
-		if len(res.Candidates) > 0 {
-			row.Unsolvability = res.Candidates[0].Unsolvability
+		for i, spec := range specs {
+			units = append(units, unit{set: set, idx: i, spec: spec})
 		}
+	}
+	rows, err := runner.Map(x.context(), x.Workers, len(units), func(_ context.Context, u int) (Fig8Row, error) {
+		return fig8Unit(units[u].set, units[u].spec, units[u].idx, sc, seed)
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []*Fig8Result
+	start := 0
+	for u := 1; u <= len(units); u++ {
+		if u == len(units) || units[u].set != units[start].set {
+			out = append(out, assembleFig8(units[start].set, rows[start:u]))
+			start = u
+		}
+	}
+	return out, nil
+}
+
+// fig8Unit runs one experiment of a Table 2 set: emulation plus
+// inference, producing one Figure 8 row. It is a pure function of its
+// arguments (the per-unit seed is derived from the set's base seed and
+// the experiment index), which is what lets Fig8Exec fan units out in
+// any order.
+func fig8Unit(set int, spec lab.SpecA, i int, sc Scale, seed int64) (Fig8Row, error) {
+	p := spec.Params.Scale(sc.Factor, sc.DurationSec)
+	p.Seed = seed + int64(i)
+	if set == 5 || set == 8 {
+		// RTT sweeps: a 100 ms interval under-samples the congestion
+		// process when the RTT itself reaches 200 ms (loss events
+		// cluster at RTT granularity). 500 ms is within the paper's
+		// validated interval set (Section 6.5).
+		p.IntervalSec = 0.5
+	}
+	e, a := p.Experiment(fmt.Sprintf("fig8-set%d-%s", set, spec.Label))
+	run, err := lab.Run(e)
+	if err != nil {
+		return Fig8Row{}, err
+	}
+	row := Fig8Row{Label: spec.Label, PaperLabel: spec.NonNeutral}
+	probs := measure.PathCongestionProb(run.Meas, 0.01)
+	copy(row.CongestionProb[:], probs)
+
+	res := core.Infer(a.Net, core.MeasurementObserver{Meas: run.Meas, Opts: measure.DefaultOptions()}, core.DefaultConfig())
+	row.Verdict = res.NetworkNonNeutral()
+	if len(res.Candidates) > 0 {
+		row.Unsolvability = res.Candidates[0].Unsolvability
+	}
+	return row, nil
+}
+
+// assembleFig8 builds a set result from its ordered rows.
+func assembleFig8(set int, rows []Fig8Row) *Fig8Result {
+	out := &Fig8Result{Set: set, Title: fig8Titles[set], Rows: rows}
+	for _, row := range rows {
 		if row.Verdict == row.PaperLabel {
 			out.Agreement++
 		}
-		out.Rows = append(out.Rows, row)
 	}
-	return out, nil
+	return out
 }
 
 // String renders the set in the paper's rows-per-experiment layout.
@@ -170,18 +235,43 @@ type Fig10Result struct {
 
 // Fig10 runs the topology B experiment and produces both figure halves.
 func Fig10(sc Scale, seed int64) (*Fig10Result, error) {
+	return Fig10Exec(Exec{}, sc, seed)
+}
+
+// Fig10Exec is Fig10 with explicit execution control: the two figure
+// halves — ground-truth summarization and the full inference pass —
+// are independent units over the same emulation run and execute in
+// parallel.
+func Fig10Exec(x Exec, sc Scale, seed int64) (*Fig10Result, error) {
 	p := lab.DefaultParamsB().Scale(sc.Factor, sc.DurationSec)
 	p.Seed = seed
 	e, b := p.Experiment("fig10")
+	if err := x.context().Err(); err != nil {
+		return nil, err
+	}
 	run, err := lab.Run(e)
 	if err != nil {
 		return nil, err
 	}
-	out := &Fig10Result{}
-
-	// Figure 10(a): ground truth per link, boxplot over the paths of each
-	// class.
 	policers := graph.NewLinkSet(b.Policers...)
+	out := &Fig10Result{}
+	halves := []func(){
+		func() { out.Actual = fig10Actual(run, b, policers) },
+		func() { fig10Inferred(out, run, b, policers) },
+	}
+	if _, err := runner.Map(x.context(), x.Workers, len(halves), func(_ context.Context, i int) (struct{}, error) {
+		halves[i]()
+		return struct{}{}, nil
+	}); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// fig10Actual computes Figure 10(a): ground truth per link, boxplot
+// over the paths of each class.
+func fig10Actual(run *lab.Result, b *topo.TopologyB, policers graph.LinkSet) []Boxplot {
+	var actual []Boxplot
 	truth := run.GroundTruth(0.01)
 	for _, lt := range truth {
 		byClass := map[graph.ClassID][]float64{}
@@ -202,13 +292,19 @@ func Fig10(sc Scale, seed int64) (*Fig10Result, error) {
 		for c, vals := range byClass {
 			bp.PerClass[c] = stats.Summarize(vals)
 		}
-		out.Actual = append(out.Actual, bp)
+		actual = append(actual, bp)
 	}
+	return actual
+}
 
-	// Figure 10(b): inferred per-sequence estimates, split by the class
-	// of the contributing path pairs. Estimates are in −log P space;
-	// convert to congestion probability 1−exp(−x) for comparability with
-	// 10(a).
+// fig10Inferred computes Figure 10(b) — inferred per-sequence
+// estimates, split by the class of the contributing path pairs — plus
+// the Section 6.4 quality metrics. Estimates are in −log P space;
+// convert to congestion probability 1−exp(−x) for comparability with
+// 10(a). It writes only the inference-owned fields of out (Inferred,
+// Metrics, Sequences, Flagged), which is what makes it safe to run
+// concurrently with fig10Actual.
+func fig10Inferred(out *Fig10Result, run *lab.Result, b *topo.TopologyB, policers graph.LinkSet) {
 	res := core.Infer(b.InferenceNet, core.MeasurementObserver{Meas: run.Meas, Opts: measure.DefaultOptions()}, core.DefaultConfig())
 	out.Metrics = core.Evaluate(res, b.Policers)
 	out.Sequences = len(res.Candidates)
@@ -238,7 +334,6 @@ func Fig10(sc Scale, seed int64) (*Fig10Result, error) {
 		out.Inferred = append(out.Inferred, bp)
 	}
 	sort.Slice(out.Inferred, func(i, j int) bool { return out.Inferred[i].Name < out.Inferred[j].Name })
-	return out, nil
 }
 
 func expNeg(x float64) float64 {
@@ -292,6 +387,15 @@ type Fig11Result struct {
 // ingress l20, reproducing the paper's point: queue occupancy alone does
 // not reveal which of two congested links differentiates.
 func Fig11(sc Scale, seed int64) (*Fig11Result, error) {
+	return Fig11Exec(Exec{}, sc, seed)
+}
+
+// Fig11Exec is Fig11 with explicit execution control (the run is a
+// single unit; Exec only contributes cancellation).
+func Fig11Exec(x Exec, sc Scale, seed int64) (*Fig11Result, error) {
+	if err := x.context().Err(); err != nil {
+		return nil, err
+	}
 	p := lab.DefaultParamsB().Scale(sc.Factor, sc.DurationSec)
 	p.Seed = seed
 	e, b := p.Experiment("fig11")

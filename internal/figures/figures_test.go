@@ -1,9 +1,15 @@
 package figures
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"testing"
 )
+
+// tiny is a unit-test scale: enough intervals to exercise the full
+// emulation+inference path, far too few for paper-quality verdicts.
+var tiny = Scale{Factor: 0.1, DurationSec: 30}
 
 func TestTable1Content(t *testing.T) {
 	s := Table1()
@@ -91,6 +97,94 @@ func TestFig10Render(t *testing.T) {
 	}
 	if r.Sequences < 10 {
 		t.Fatalf("only %d sequences", r.Sequences)
+	}
+}
+
+// TestFig8DeterministicAcrossWorkers: the rendered set output is
+// byte-identical between one worker and a wide pool — the engine's core
+// guarantee (ISSUE 1 acceptance criterion).
+func TestFig8DeterministicAcrossWorkers(t *testing.T) {
+	for _, set := range []int{1, 6} {
+		ref, err := Fig8Exec(Exec{Workers: 1}, set, tiny, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 4, 0} {
+			r, err := Fig8Exec(Exec{Workers: workers}, set, tiny, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.String() != ref.String() {
+				t.Fatalf("set %d workers=%d diverged from workers=1:\n%s\nvs\n%s",
+					set, workers, r, ref)
+			}
+		}
+	}
+}
+
+// TestFig8AllMatchesPerSet: the flattened 34-unit batch reproduces the
+// nine per-set results byte for byte.
+func TestFig8AllMatchesPerSet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("emulation harness test")
+	}
+	all, err := Fig8All(Exec{Workers: 4}, tiny, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 9 {
+		t.Fatalf("got %d sets", len(all))
+	}
+	for i, r := range all {
+		if r.Set != i+1 {
+			t.Fatalf("set order: got %d at position %d", r.Set, i)
+		}
+		ref, err := Fig8(r.Set, tiny, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.String() != ref.String() {
+			t.Fatalf("set %d: batch output diverged from per-set run:\n%s\nvs\n%s", r.Set, r, ref)
+		}
+	}
+}
+
+// TestSweepCancellation: a cancelled context aborts sweeps before any
+// unit runs.
+func TestSweepCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	x := Exec{Ctx: ctx}
+	if _, err := Fig8Exec(x, 1, tiny, 1); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Fig8Exec err = %v", err)
+	}
+	if _, err := IntervalSweepExec(x, tiny, 1); !errors.Is(err, context.Canceled) {
+		t.Fatalf("IntervalSweepExec err = %v", err)
+	}
+	if _, err := LossThresholdSweepExec(x, tiny, 1); !errors.Is(err, context.Canceled) {
+		t.Fatalf("LossThresholdSweepExec err = %v", err)
+	}
+	if _, err := Fig10Exec(x, tiny, 1); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Fig10Exec err = %v", err)
+	}
+	if _, err := Fig11Exec(x, tiny, 1); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Fig11Exec err = %v", err)
+	}
+}
+
+// TestIntervalSweepDeterministicAcrossWorkers: sweep output is stable
+// across pool widths.
+func TestIntervalSweepDeterministicAcrossWorkers(t *testing.T) {
+	ref, err := IntervalSweepExec(Exec{Workers: 1}, tiny, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := IntervalSweepExec(Exec{Workers: 3}, tiny, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.String() != ref.String() {
+		t.Fatalf("interval sweep diverged:\n%s\nvs\n%s", r, ref)
 	}
 }
 

@@ -1,6 +1,7 @@
 package figures
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -8,6 +9,7 @@ import (
 	"neutrality/internal/core"
 	"neutrality/internal/lab"
 	"neutrality/internal/measure"
+	"neutrality/internal/runner"
 	"neutrality/internal/topo"
 )
 
@@ -73,12 +75,23 @@ type SweepResult struct {
 // LossThresholdSweep re-analyzes one policed run under the paper's loss
 // thresholds {1, 5, 10} % (Section 6.5: "no significant change").
 func LossThresholdSweep(sc Scale, seed int64) (*SweepResult, error) {
+	return LossThresholdSweepExec(Exec{}, sc, seed)
+}
+
+// LossThresholdSweepExec is LossThresholdSweep with explicit execution
+// control: one emulation, with the per-threshold inference passes fanned
+// out as parallel units.
+func LossThresholdSweepExec(x Exec, sc Scale, seed int64) (*SweepResult, error) {
+	if err := x.context().Err(); err != nil {
+		return nil, err
+	}
 	run, a, err := policedRun(sc, seed)
 	if err != nil {
 		return nil, err
 	}
-	out := &SweepResult{Title: "Section 6.5: loss-threshold sweep (policing at 30%)", Stable: true}
-	for _, thr := range []float64{0.01, 0.05, 0.10} {
+	thresholds := []float64{0.01, 0.05, 0.10}
+	rows, err := runner.Map(x.context(), x.Workers, len(thresholds), func(_ context.Context, i int) (SweepRow, error) {
+		thr := thresholds[i]
 		opts := measure.DefaultOptions()
 		opts.LossThreshold = thr
 		res := core.Infer(a.Net, core.MeasurementObserver{Meas: run.Meas, Opts: opts}, core.DefaultConfig())
@@ -86,41 +99,57 @@ func LossThresholdSweep(sc Scale, seed int64) (*SweepResult, error) {
 		if len(res.Candidates) > 0 {
 			row.Unsolvability = res.Candidates[0].Unsolvability
 		}
-		out.Rows = append(out.Rows, row)
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	for _, r := range out.Rows {
-		if r.Verdict != out.Rows[0].Verdict {
-			out.Stable = false
-		}
-	}
-	return out, nil
+	return assembleSweep("Section 6.5: loss-threshold sweep (policing at 30%)", rows), nil
 }
 
 // IntervalSweep re-runs the policed experiment under measurement intervals
 // {100, 200, 500} ms.
 func IntervalSweep(sc Scale, seed int64) (*SweepResult, error) {
-	out := &SweepResult{Title: "Section 6.5: measurement-interval sweep (policing at 30%)", Stable: true}
-	for _, iv := range []float64{0.1, 0.2, 0.5} {
+	return IntervalSweepExec(Exec{}, sc, seed)
+}
+
+// IntervalSweepExec is IntervalSweep with explicit execution control:
+// the three interval configurations are independent emulation+inference
+// units and run in parallel.
+func IntervalSweepExec(x Exec, sc Scale, seed int64) (*SweepResult, error) {
+	intervals := []float64{0.1, 0.2, 0.5}
+	rows, err := runner.Map(x.context(), x.Workers, len(intervals), func(_ context.Context, i int) (SweepRow, error) {
+		iv := intervals[i]
 		p := policedParams(sc, seed)
 		p.IntervalSec = iv
 		e, a := p.Experiment(fmt.Sprintf("interval-%gms", iv*1000))
 		run, err := lab.Run(e)
 		if err != nil {
-			return nil, err
+			return SweepRow{}, err
 		}
 		res := core.Infer(a.Net, core.MeasurementObserver{Meas: run.Meas, Opts: measure.DefaultOptions()}, core.DefaultConfig())
 		row := SweepRow{Label: fmt.Sprintf("%gms", iv*1000), Verdict: res.NetworkNonNeutral()}
 		if len(res.Candidates) > 0 {
 			row.Unsolvability = res.Candidates[0].Unsolvability
 		}
-		out.Rows = append(out.Rows, row)
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	for _, r := range out.Rows {
-		if r.Verdict != out.Rows[0].Verdict {
+	return assembleSweep("Section 6.5: measurement-interval sweep (policing at 30%)", rows), nil
+}
+
+// assembleSweep builds a sweep result from its ordered rows and checks
+// verdict stability.
+func assembleSweep(title string, rows []SweepRow) *SweepResult {
+	out := &SweepResult{Title: title, Rows: rows, Stable: true}
+	for _, r := range rows {
+		if r.Verdict != rows[0].Verdict {
 			out.Stable = false
 		}
 	}
-	return out, nil
+	return out
 }
 
 func policedParams(sc Scale, seed int64) lab.ParamsA {

@@ -8,11 +8,13 @@
 package lab
 
 import (
+	"context"
 	"fmt"
 
 	"neutrality/internal/emu"
 	"neutrality/internal/graph"
 	"neutrality/internal/measure"
+	"neutrality/internal/runner"
 	"neutrality/internal/stats"
 	"neutrality/internal/workload"
 )
@@ -126,6 +128,18 @@ func Run(e *Experiment) (*Result, error) {
 		Meas:       meas,
 		DelayMeas:  delayMeas,
 	}, nil
+}
+
+// RunBatch executes independent experiments across a bounded worker
+// pool (workers <= 0 means one per CPU) and returns the results in
+// input order. Each experiment is self-seeding (Experiment.Seed), so
+// the batch output is identical for every worker count. The first
+// failing experiment cancels dispatch of the remaining ones; in-flight
+// runs finish. Cancelling ctx likewise stops dispatch between runs.
+func RunBatch(ctx context.Context, workers int, exps []*Experiment) ([]*Result, error) {
+	return runner.Map(ctx, workers, len(exps), func(_ context.Context, i int) (*Result, error) {
+		return Run(exps[i])
+	})
 }
 
 // GroundTruth exposes the collector's per-link per-path congestion

@@ -1,6 +1,8 @@
 package lab
 
 import (
+	"context"
+	"strings"
 	"testing"
 
 	"neutrality/internal/core"
@@ -266,6 +268,62 @@ func TestGroundTruthSeparatesClasses(t *testing.T) {
 func TestRunValidation(t *testing.T) {
 	if _, err := Run(&Experiment{Name: "no-duration"}); err == nil {
 		t.Fatal("zero duration accepted")
+	}
+}
+
+// TestRunBatchMatchesSerial: a parallel batch returns the same
+// measurements, in input order, as serial Run calls.
+func TestRunBatchMatchesSerial(t *testing.T) {
+	mkExp := func(seed int64) *Experiment {
+		p := quickParams()
+		p.DurationSec = 15
+		p.Diff = PoliceClass2(0.3)
+		p.Seed = seed
+		e, _ := p.Experiment("batch")
+		return e
+	}
+	var want []*Result
+	for _, seed := range []int64{1, 2, 3} {
+		r, err := Run(mkExp(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, r)
+	}
+	for _, workers := range []int{1, 2, 0} {
+		got, err := RunBatch(context.Background(), workers, []*Experiment{mkExp(1), mkExp(2), mkExp(3)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d results", workers, len(got))
+		}
+		for i := range want {
+			if got[i].Experiment.Seed != want[i].Experiment.Seed {
+				t.Fatalf("workers=%d: result %d out of order", workers, i)
+			}
+			for ti := 0; ti < want[i].Meas.Intervals(); ti++ {
+				for pi := range want[i].Meas.Sent[ti] {
+					if got[i].Meas.Sent[ti][pi] != want[i].Meas.Sent[ti][pi] ||
+						got[i].Meas.Lost[ti][pi] != want[i].Meas.Lost[ti][pi] {
+						t.Fatalf("workers=%d: run %d diverged from serial at interval %d path %d",
+							workers, i, ti, pi)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestRunBatchError: a failing experiment surfaces as a batch error
+// naming its unit.
+func TestRunBatchError(t *testing.T) {
+	p := quickParams()
+	p.DurationSec = 10
+	ok, _ := p.Experiment("ok")
+	_, err := RunBatch(context.Background(), 1, []*Experiment{ok, {Name: "broken"}})
+	if err == nil || !strings.Contains(err.Error(), "unit 1") {
+		t.Fatalf("err = %v, want unit-1 failure", err)
 	}
 }
 

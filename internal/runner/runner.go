@@ -1,0 +1,189 @@
+// Package runner is the parallel experiment engine: it fans independent
+// experiment units (a Figure 8 row, an ablation cell, a Table 2
+// configuration) out across a bounded worker pool and collects their
+// results in input order.
+//
+// The engine makes three guarantees that matter for reproducing the
+// paper's evaluation:
+//
+//   - Determinism. A unit's result depends only on its index (callers
+//     derive per-unit seeds from (baseSeed, unitIndex), e.g. via Seed),
+//     never on scheduling, worker count, or completion order. Sweep
+//     output is bit-identical between -workers=1 and -workers=N.
+//   - Ordered collection. Results come back indexed by unit, so printed
+//     tables keep the paper's row order no matter which unit finished
+//     first.
+//   - Containment. A panicking unit is converted into a per-unit
+//     *PanicError instead of killing the whole sweep, and cancelling the
+//     context stops dispatching new units while letting in-flight units
+//     finish.
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+// DefaultWorkers is the pool width used when the caller passes
+// workers <= 0: one worker per CPU.
+func DefaultWorkers() int { return runtime.NumCPU() }
+
+// Seed derives a per-unit seed from a base seed and a unit index using a
+// splitmix64 finalizer, so that nearby indices yield statistically
+// independent streams. The derivation is a pure function of
+// (base, index): the same unit always gets the same seed regardless of
+// worker count or scheduling.
+func Seed(base int64, index int) int64 {
+	z := uint64(base) + 0x9e3779b97f4a7c15*(uint64(index)+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
+
+// PanicError wraps a panic recovered from a unit.
+type PanicError struct {
+	// Index is the unit that panicked.
+	Index int
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the panicking goroutine's stack trace.
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("runner: unit %d panicked: %v\n%s", e.Index, e.Value, e.Stack)
+}
+
+// Result is one unit's outcome in a Collect sweep.
+type Result[T any] struct {
+	Index int
+	Value T
+	Err   error
+}
+
+// Collect runs units 0..n-1 across a bounded worker pool (workers <= 0
+// means DefaultWorkers) and returns every unit's outcome, indexed by
+// unit. A unit that fails or panics does not stop the others. When ctx
+// is cancelled, units not yet dispatched are marked with the context's
+// error; units already running finish normally.
+func Collect[T any](ctx context.Context, workers, n int, fn func(ctx context.Context, index int) (T, error)) []Result[T] {
+	results := make([]Result[T], n)
+	for i := range results {
+		results[i].Index = i
+	}
+	if n == 0 {
+		return results
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > n {
+		workers = n
+	}
+
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				results[i] = runUnit(ctx, i, fn)
+			}
+		}()
+	}
+
+	next := 0
+feed:
+	for ; next < n; next++ {
+		// Checked before the select: with a worker already blocked on idx
+		// AND the context done, both select cases are ready and Go picks
+		// randomly — which would dispatch units after cancellation.
+		if ctx.Err() != nil {
+			break feed
+		}
+		select {
+		case idx <- next:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(idx)
+	wg.Wait()
+
+	// Units the feeder never dispatched: attribute the cancellation.
+	for i := next; i < n; i++ {
+		results[i].Err = fmt.Errorf("runner: unit %d not started: %w", i, context.Cause(ctx))
+	}
+	return results
+}
+
+// runUnit executes one unit, converting a panic into a *PanicError.
+func runUnit[T any](ctx context.Context, i int, fn func(ctx context.Context, index int) (T, error)) (r Result[T]) {
+	r.Index = i
+	defer func() {
+		if v := recover(); v != nil {
+			r.Err = &PanicError{Index: i, Value: v, Stack: debug.Stack()}
+		}
+	}()
+	r.Value, r.Err = fn(ctx, i)
+	return r
+}
+
+// Map runs units 0..n-1 across a bounded worker pool and returns their
+// values in unit order. It fails fast: the first unit error cancels
+// dispatch of the remaining units (in-flight units still finish), and
+// Map reports the lowest-indexed unit error — a deterministic choice —
+// wrapped with its unit index. On success the output is a pure function
+// of fn, bit-identical for every worker count.
+func Map[T any](ctx context.Context, workers, n int, fn func(ctx context.Context, index int) (T, error)) ([]T, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	mctx, cancel := context.WithCancelCause(ctx)
+	defer cancel(nil)
+
+	res := Collect(mctx, workers, n, func(c context.Context, i int) (T, error) {
+		v, err := fn(c, i)
+		if err != nil {
+			cancel(fmt.Errorf("runner: unit %d: %w", i, err))
+		}
+		return v, err
+	})
+
+	out := make([]T, n)
+	var unitErr, cancelErr error
+	for _, r := range res {
+		out[r.Index] = r.Value
+		if r.Err == nil {
+			continue
+		}
+		if isContextErr(r.Err) {
+			if cancelErr == nil {
+				cancelErr = fmt.Errorf("runner: unit %d: %w", r.Index, r.Err)
+			}
+		} else if unitErr == nil {
+			unitErr = fmt.Errorf("runner: unit %d: %w", r.Index, r.Err)
+		}
+	}
+	switch {
+	case unitErr != nil:
+		return nil, unitErr
+	case cancelErr != nil:
+		return nil, cancelErr
+	}
+	return out, nil
+}
+
+// isContextErr reports whether err is (or wraps) a context
+// cancellation/deadline error, as opposed to a genuine unit failure.
+func isContextErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}

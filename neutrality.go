@@ -26,6 +26,34 @@
 //     fast synthetic observation generator (NewSampler, ExactY).
 //   - Baselines: Boolean tomography, least-squares loss tomography, and
 //     NetPolice-style direct probing.
+//   - Engine: a parallel experiment runner (internal/runner) that fans
+//     independent experiments across a bounded worker pool
+//     (RunExperimentBatch, DeriveSeed).
+//
+// # Parallel sweeps
+//
+// The paper's evaluation is dozens of independent emulations — Figure
+// 8's nine experiment sets, the Section 6.5 robustness sweeps, the
+// ablation grid. The experiment engine (internal/runner) treats each
+// as a unit, fans units across a bounded worker pool (one worker per
+// CPU by default), and collects results in unit order. Three
+// properties make the parallel sweeps safe to use for reproduction:
+//
+//   - Determinism: every unit derives its seed from
+//     (baseSeed, unitIndex) — see DeriveSeed — so sweep output is
+//     byte-identical for every worker count and completion order.
+//   - Ordered collection: printed tables keep the paper's row order no
+//     matter which experiment finished first.
+//   - Containment: a panicking experiment becomes a per-unit error
+//     instead of killing the sweep, and cancelling the context (e.g.
+//     Ctrl-C in the CLIs) stops dispatching new experiments while
+//     in-flight ones finish.
+//
+// Batch entry points: RunExperimentBatch here, lab.RunBatch and the
+// figures.*Exec variants internally. Both CLIs expose the pool width:
+//
+//	go run ./cmd/experiments -workers 8        # whole evaluation, 8-wide
+//	go run ./cmd/neutrality emulate -runs 20 -workers 8   # 20 replicas
 //
 // # Quick start
 //

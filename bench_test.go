@@ -11,6 +11,8 @@ package neutrality_test
 //   - agreement_pct: fraction of experiments whose verdict matches the
 //     paper's label (Figure 8 sets).
 //   - fn_pct / fp_pct / granularity: the Section 6.4 quality metrics.
+//   - events_per_sec: emulation events processed (Sim.Processed) per
+//     wall-clock second (Figure 8 sets) — the event-engine throughput.
 //
 // Run with: go test -bench=. -benchmem
 
@@ -38,11 +40,13 @@ func once(key string, f func() string) {
 
 func benchFig8(b *testing.B, set int) {
 	b.ReportAllocs()
+	var events uint64
 	for i := 0; i < b.N; i++ {
 		r, err := figures.Fig8(set, figures.Quick, 1)
 		if err != nil {
 			b.Fatal(err)
 		}
+		events += r.Events
 		b.ReportMetric(float64(r.Agreement)/float64(len(r.Rows))*100, "agreement_pct")
 		once(fmt.Sprintf("fig8-%d", set), r.String)
 		// Sets 1–3 are neutral: any disagreement is a false positive and
@@ -56,6 +60,12 @@ func benchFig8(b *testing.B, set int) {
 		if r.Agreement < minAgreement {
 			b.Fatalf("set %d agreement %d/%d below target:\n%s", set, r.Agreement, len(r.Rows), r)
 		}
+	}
+	// Emulation throughput: total discrete events processed (Sim.Processed
+	// summed over the set's experiments) per wall-clock second of bench
+	// time — the engine-level speed the allocation work targets.
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(events)/sec, "events_per_sec")
 	}
 }
 

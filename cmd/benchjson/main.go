@@ -6,21 +6,38 @@
 //
 // Each benchmark maps to an object keyed by sanitized metric unit
 // ("ns/op" → "ns_op", "allocs/op" → "allocs_op", plus any custom
-// b.ReportMetric units such as "agreement_pct"). The GOMAXPROCS suffix
-// of the benchmark name (e.g. "-8") is stripped so results from
-// machines with different core counts line up.
+// b.ReportMetric units such as "agreement_pct" or "events_per_sec"). The
+// GOMAXPROCS suffix of the benchmark name (e.g. "-8") is stripped so
+// results from machines with different core counts line up.
+//
+// With -baseline FILE, the parsed results are additionally compared
+// against a recorded BENCH json: for every benchmark present in both,
+// the run fails (exit 1, after still emitting the JSON) if allocs_op
+// regresses more than the allowed slack above the recorded value. CI
+// uses this to pin the allocation budget of the emulation benches.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
 
+// allocSlack is the tolerated fractional growth of allocs_op over the
+// baseline before the check fails. Allocation counts are nearly
+// deterministic; the slack absorbs goroutine-scheduling variance in the
+// parallel sweep paths.
+const allocSlack = 0.10
+
 func main() {
+	baseline := flag.String("baseline", "", "recorded BENCH json; fail if allocs_op regresses above it")
+	flag.Parse()
+
 	benches := map[string]map[string]float64{}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
@@ -45,6 +62,54 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}
+	if *baseline != "" {
+		data, err := os.ReadFile(*baseline)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		var base map[string]map[string]float64
+		if err := json.Unmarshal(data, &base); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", *baseline, err)
+			os.Exit(1)
+		}
+		if regressions := checkAllocRegression(benches, base); len(regressions) > 0 {
+			for _, r := range regressions {
+				fmt.Fprintf(os.Stderr, "benchjson: %s\n", r)
+			}
+			os.Exit(1)
+		}
+	}
+}
+
+// checkAllocRegression compares allocs_op for every baseline benchmark
+// against the current results, reporting entries that exceed the baseline
+// by more than allocSlack. A baseline benchmark that is absent from the
+// current run (renamed, or its bench crashed upstream) is itself a
+// failure — otherwise the gate would silently stop enforcing anything.
+func checkAllocRegression(cur, base map[string]map[string]float64) []string {
+	var out []string
+	names := make([]string, 0, len(base))
+	for name := range base {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		b, ok := base[name]["allocs_op"]
+		if !ok {
+			continue
+		}
+		c, ok := cur[name]["allocs_op"]
+		if !ok {
+			out = append(out, fmt.Sprintf("%s: baseline has allocs_op %.0f but the benchmark is missing from the current run", name, b))
+			continue
+		}
+		if limit := b * (1 + allocSlack); c > limit {
+			out = append(out, fmt.Sprintf("%s: allocs_op %.0f exceeds baseline %.0f (+%d%% slack)",
+				name, c, b, int(allocSlack*100)))
+		}
+	}
+	return out
 }
 
 // parseBenchLine parses one `go test -bench` result line:

@@ -1,6 +1,40 @@
 package main
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
+
+func TestCheckAllocRegression(t *testing.T) {
+	base := map[string]map[string]float64{
+		"Fig8Set4":       {"allocs_op": 1000000, "ns_op": 5e8},
+		"Table1Defaults": {"allocs_op": 50},
+		"NsOnly":         {"ns_op": 100},
+	}
+	ok := map[string]map[string]float64{
+		"Fig8Set4":       {"allocs_op": 1000000 * 1.05}, // within slack
+		"Table1Defaults": {"allocs_op": 40},             // improved
+		"NsOnly":         {"ns_op": 500},                // no alloc metric in baseline: ignored
+		"NewBench":       {"allocs_op": 1e12},           // not in baseline: ignored
+	}
+	if got := checkAllocRegression(ok, base); len(got) != 0 {
+		t.Fatalf("false regression: %v", got)
+	}
+	bad := map[string]map[string]float64{
+		"Fig8Set4":       {"allocs_op": 1000000 * 1.5},
+		"Table1Defaults": {"allocs_op": 50},
+	}
+	got := checkAllocRegression(bad, base)
+	if len(got) != 1 {
+		t.Fatalf("regressions = %v, want exactly one", got)
+	}
+	// A gated benchmark vanishing from the current run must fail, or the
+	// gate fails open when a bench is renamed or crashes upstream.
+	got = checkAllocRegression(map[string]map[string]float64{"Table1Defaults": {"allocs_op": 50}}, base)
+	if len(got) != 1 || !strings.Contains(got[0], "Fig8Set4") {
+		t.Fatalf("missing gated bench not flagged: %v", got)
+	}
+}
 
 func TestParseBenchLine(t *testing.T) {
 	name, m, ok := parseBenchLine("BenchmarkFig8Set1-8  \t 1\t2491082917 ns/op\t  100.0 agreement_pct\t829746968 B/op\t 8440269 allocs/op")

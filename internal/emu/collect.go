@@ -86,19 +86,30 @@ func (c *Collector) ensure(t int) {
 	}
 }
 
+// queueSampler drives a QueueTrace via KindSampleTick events: each tick
+// appends one sample and re-arms, so tracing allocates nothing per sample
+// beyond the trace slices themselves.
+type queueSampler struct {
+	net *Network
+	lk  *Link
+	tr  *QueueTrace
+	dt  Time
+}
+
+// OnEvent implements Handler.
+func (q *queueSampler) OnEvent(EventKind, int32) {
+	q.tr.Times = append(q.tr.Times, q.net.Sim.Now())
+	q.tr.Bytes = append(q.tr.Bytes, q.lk.QueueBytes()+q.lk.ShaperBytes())
+	q.tr.MainOnly = append(q.tr.MainOnly, q.lk.QueueBytes())
+	q.net.Sim.AfterEvent(q.dt, KindSampleTick, q, 0)
+}
+
 // TraceQueue starts sampling the occupancy of link l every dt seconds.
 func (c *Collector) TraceQueue(n *Network, l graph.LinkID, dt Time) {
 	tr := &QueueTrace{Link: l}
 	c.traces[l] = tr
-	var sample func()
-	sample = func() {
-		lk := n.Link(l)
-		tr.Times = append(tr.Times, n.Sim.Now())
-		tr.Bytes = append(tr.Bytes, lk.QueueBytes()+lk.ShaperBytes())
-		tr.MainOnly = append(tr.MainOnly, lk.QueueBytes())
-		n.Sim.After(dt, sample)
-	}
-	n.Sim.After(dt, sample)
+	q := &queueSampler{net: n, lk: n.Link(l), tr: tr, dt: dt}
+	n.Sim.AfterEvent(dt, KindSampleTick, q, 0)
 }
 
 // Trace returns the queue trace of link l (nil if not traced).

@@ -51,6 +51,11 @@ type Differentiation struct {
 // rate), comfortably above one MSS at the paper's rates.
 const DefaultBurstSec = 0.05
 
+// minBucketBytes floors a token bucket's depth at two full-size packets
+// (plus header slack), so even a severely regulated class can burst a
+// couple of segments.
+const minBucketBytes = 3100
+
 func (l *Link) attachDiff(d *Differentiation) error {
 	burstSec := d.BurstSec
 	if burstSec <= 0 {
@@ -62,8 +67,8 @@ func (l *Link) attachDiff(d *Differentiation) error {
 		}
 		rate := l.Cap * frac // bits/s
 		bucket := rate * burstSec / 8
-		if bucket < 3100 { // at least two full-size packets
-			bucket = 3100
+		if bucket < minBucketBytes {
+			bucket = minBucketBytes
 		}
 		tb := &tokenBucket{rate: rate / 8, bucket: bucket, tokens: bucket}
 		switch d.Kind {
@@ -149,13 +154,21 @@ type shaperQueue struct {
 // delay, which a loss-frequency metric cannot observe.
 const shaperQueueDrainSec = 0.2
 
+// minShaperQueueBytes floors the derived shaper queue at three full-size
+// packets so a shaped class can hold a minimal burst.
+const minShaperQueueBytes = 3 * 1500
+
+// minDrainDelay is the smallest shaper release delay: the clock must
+// always advance, avoiding a same-instant release livelock.
+const minDrainDelay = 1e-6
+
 func (s *shaperQueue) limit() int {
 	if s.qLimit > 0 {
 		return s.qLimit
 	}
 	l := int(s.tb.rate * shaperQueueDrainSec)
-	if l < 3*1500 {
-		l = 3 * 1500
+	if l < minShaperQueueBytes {
+		l = minShaperQueueBytes
 	}
 	if l > s.link.QLimit {
 		l = s.link.QLimit
@@ -179,7 +192,7 @@ func (s *shaperQueue) submit(p *Packet) {
 	s.arm()
 }
 
-// arm schedules the next release if not already scheduled.
+// arm schedules the next evShaperDrain release if not already scheduled.
 func (s *shaperQueue) arm() {
 	if s.armed || len(s.queue) == 0 {
 		return
@@ -187,18 +200,22 @@ func (s *shaperQueue) arm() {
 	s.armed = true
 	now := s.link.sim.Now()
 	d := s.tb.wait(now, s.queue[0].Size)
-	if d < 1e-6 {
-		d = 1e-6 // always advance the clock; avoids same-instant livelock
+	if d < minDrainDelay {
+		d = minDrainDelay
 	}
-	s.link.sim.After(d, func() {
-		s.armed = false
-		now := s.link.sim.Now()
-		for len(s.queue) > 0 && s.tb.take(now, s.queue[0].Size) {
-			p := s.queue[0]
-			s.queue = s.queue[1:]
-			s.qBytes -= p.Size
-			s.link.enqueue(p)
-		}
-		s.arm()
-	})
+	s.link.sim.atShaperDrain(now+d, s)
+}
+
+// drain releases every head-of-queue packet the bucket can pay for, then
+// re-arms for the next deficit.
+func (s *shaperQueue) drain() {
+	s.armed = false
+	now := s.link.sim.Now()
+	for len(s.queue) > 0 && s.tb.take(now, s.queue[0].Size) {
+		p := s.queue[0]
+		s.queue = s.queue[1:]
+		s.qBytes -= p.Size
+		s.link.enqueue(p)
+	}
+	s.arm()
 }

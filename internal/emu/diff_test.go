@@ -51,7 +51,7 @@ func blast(sim *Sim, net *Network, path graph.PathID, class graph.ClassID, n int
 		i := i
 		sim.At(float64(i)/rate, func() {
 			net.SendData(&Packet{Path: path, Class: class, Seq: i, Size: 1500,
-				Deliver: func(p *Packet) { *delivered++ }})
+				Dst: DeliverFunc(func(p *Packet) { *delivered++ })})
 		})
 	}
 	return delivered
@@ -108,7 +108,7 @@ func TestShaperRateEnforced(t *testing.T) {
 		i := i
 		sim.At(float64(i)/1000, func() {
 			net.SendData(&Packet{Path: 1, Class: 1, Seq: i, Size: 1500,
-				Deliver: func(p *Packet) { delivered++; last = sim.Now() }})
+				Dst: DeliverFunc(func(p *Packet) { delivered++; last = sim.Now() })})
 		})
 	}
 	sim.Run(10)

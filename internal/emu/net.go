@@ -6,11 +6,31 @@ import (
 	"neutrality/internal/graph"
 )
 
+// PacketHandler receives packets at their destination end-host.
+// Implementations should be pointer types so that assigning one to
+// Packet.Dst does not allocate.
+type PacketHandler interface {
+	HandlePacket(p *Packet)
+}
+
+// DeliverFunc adapts a function to PacketHandler, for tests and one-off
+// traffic sources (boxing the closure allocates; hot paths implement the
+// interface on a pointer type instead).
+type DeliverFunc func(*Packet)
+
+// HandlePacket implements PacketHandler.
+func (f DeliverFunc) HandlePacket(p *Packet) { f(p) }
+
 // Packet is one simulated packet. Data packets traverse the forward links
 // of their path and are subject to queueing, differentiation, and loss;
 // ACKs return over an uncongested reverse channel modeled as a fixed delay
 // (the standard emulation simplification for forward-path studies: the
 // paper congests only forward links).
+//
+// Packets are pooled: the network reclaims every packet at its terminal
+// event (delivered to Dst, or dropped), so senders must not retain one
+// after handing it to SendData/SendAck. Allocate through
+// Network.NewPacket to participate in the recycling.
 type Packet struct {
 	Path  graph.PathID
 	Class graph.ClassID
@@ -24,10 +44,14 @@ type Packet struct {
 	IsAck bool
 	// Retx marks retransmissions (excluded from RTT sampling).
 	Retx bool
+	// Epoch is the sender's transfer generation: a recycled TCP flow bumps
+	// it on every new transfer so packets still in flight from a finished
+	// transfer are recognized and ignored on arrival.
+	Epoch uint32
 	// SentAt is the time the packet (this copy) was sent.
 	SentAt Time
-	// Deliver is invoked on arrival at the destination end-host.
-	Deliver func(*Packet)
+	// Dst handles the packet on arrival at the destination end-host.
+	Dst PacketHandler
 
 	hop int // current hop index while in flight
 }
@@ -45,6 +69,14 @@ type LinkConfig struct {
 	// Diff optionally attaches a traffic-differentiation mechanism.
 	Diff *Differentiation
 }
+
+// minQueueBytes floors a derived drop-tail queue limit: always room for a
+// couple of full-size packets even on slow or short-RTT links.
+const minQueueBytes = 3000
+
+// minAckDelay is the reverse-channel delay used when a path's residual
+// ACK delay is zero: the clock must always advance.
+const minAckDelay = 1e-6
 
 // Link is the runtime state of an emulated link.
 type Link struct {
@@ -109,8 +141,9 @@ type Network struct {
 	Graph *graph.Network
 	Hooks Hooks
 
-	links  []*Link
-	routes []pathRoute
+	links   []*Link
+	routes  []pathRoute
+	pktFree []*Packet
 }
 
 // PathRTT records the base round-trip time assigned to each path: forward
@@ -190,8 +223,8 @@ func Build(sim *Sim, g *graph.Network, linkCfg map[graph.LinkID]LinkConfig, rtts
 			maxRTT = 0.1
 		}
 		l.QLimit = int(l.Cap / 8 * maxRTT)
-		if l.QLimit < 3000 {
-			l.QLimit = 3000 // always room for a couple of packets
+		if l.QLimit < minQueueBytes {
+			l.QLimit = minQueueBytes
 		}
 	}
 	return n, nil
@@ -203,7 +236,27 @@ func (n *Network) Link(id graph.LinkID) *Link { return n.links[id] }
 // RTT returns the base round-trip time of a path.
 func (n *Network) RTT(p graph.PathID) Time { return n.routes[p].rtt }
 
-// SendData injects a data packet at the source of its path.
+// NewPacket returns a zeroed packet from the network's free list. The
+// network reclaims packets automatically at their terminal event, so a
+// steady-state simulation allocates no packets at all.
+func (n *Network) NewPacket() *Packet {
+	if k := len(n.pktFree); k > 0 {
+		p := n.pktFree[k-1]
+		n.pktFree = n.pktFree[:k-1]
+		*p = Packet{}
+		return p
+	}
+	return &Packet{}
+}
+
+// releasePacket returns a packet to the free list. Externally allocated
+// packets (tests building Packet literals) are absorbed into the pool.
+func (n *Network) releasePacket(p *Packet) {
+	n.pktFree = append(n.pktFree, p)
+}
+
+// SendData injects a data packet at the source of its path. The network
+// owns the packet from this point on.
 func (n *Network) SendData(p *Packet) {
 	p.hop = 0
 	p.SentAt = n.Sim.Now()
@@ -216,23 +269,22 @@ func (n *Network) SendData(p *Packet) {
 // SendAck returns an acknowledgement to the path's source after the
 // reverse-channel delay. ACKs are not subject to loss.
 func (n *Network) SendAck(p *Packet) {
-	route := n.routes[p.Path]
-	delay := route.ackDelay
+	delay := n.routes[p.Path].ackDelay
 	if delay <= 0 {
-		delay = 1e-6
+		delay = minAckDelay
 	}
-	pkt := p
-	n.Sim.After(delay, func() { pkt.Deliver(pkt) })
+	n.Sim.atAckDeliver(n.Sim.now+delay, n, p)
 }
 
 // arrive processes a data packet arriving at its current hop.
 func (n *Network) arrive(p *Packet) {
-	route := n.routes[p.Path]
+	route := &n.routes[p.Path]
 	if p.hop >= len(route.links) {
 		if h := n.Hooks.Delivered; h != nil {
 			h(p)
 		}
-		p.Deliver(p)
+		p.Dst.HandlePacket(p)
+		n.releasePacket(p)
 		return
 	}
 	l := route.links[p.hop]
@@ -270,6 +322,8 @@ func (l *Link) enqueue(p *Packet) {
 	}
 }
 
+// transmitNext starts serializing the packet at the head of the queue;
+// the evTxDone event fires when the last bit is on the wire.
 func (l *Link) transmitNext() {
 	if len(l.queue) == 0 {
 		l.busy = false
@@ -279,21 +333,23 @@ func (l *Link) transmitNext() {
 	p := l.queue[0]
 	l.queue = l.queue[1:]
 	l.qBytes -= p.Size
-	txTime := float64(p.Size*8) / l.Cap
-	l.sim.After(txTime, func() {
-		l.Forwarded++
-		// Propagation happens in parallel with the next transmission.
-		l.sim.After(l.Delay, func() {
-			p.hop++
-			l.net.arrive(p)
-		})
-		l.transmitNext()
-	})
+	txTime := Time(p.Size*8) / l.Cap
+	l.sim.atTxDone(l.sim.now+txTime, l, p)
 }
 
+// txDone finishes the packet's transmission: propagation happens in
+// parallel with the next transmission.
+func (l *Link) txDone(p *Packet) {
+	l.Forwarded++
+	l.sim.atPropArrive(l.sim.now+l.Delay, l, p)
+	l.transmitNext()
+}
+
+// drop discards the packet and recycles it.
 func (l *Link) drop(p *Packet) {
 	l.Dropped++
 	if h := l.net.Hooks.DataDropped; h != nil {
 		h(p, l)
 	}
+	l.net.releasePacket(p)
 }

@@ -34,7 +34,7 @@ func TestDeliveryLatency(t *testing.T) {
 	cfg := LinkConfig{Capacity: 1e6, Delay: 0.01}
 	sim, net := twoHop(t, cfg, cfg, 0.1)
 	var deliveredAt float64
-	pkt := &Packet{Path: 0, Size: 1500, Deliver: func(p *Packet) { deliveredAt = sim.Now() }}
+	pkt := &Packet{Path: 0, Size: 1500, Dst: DeliverFunc(func(p *Packet) { deliveredAt = sim.Now() })}
 	net.SendData(pkt)
 	sim.Run(1)
 	want := 2*(1500*8/1e6) + 2*0.01
@@ -51,10 +51,10 @@ func TestThroughputMatchesCapacity(t *testing.T) {
 	delivered := 0
 	var last float64
 	for i := 0; i < 1000; i++ {
-		net.SendData(&Packet{Path: 0, Seq: i, Size: 1500, Deliver: func(p *Packet) {
+		net.SendData(&Packet{Path: 0, Seq: i, Size: 1500, Dst: DeliverFunc(func(p *Packet) {
 			delivered++
 			last = sim.Now()
-		}})
+		})})
 	}
 	sim.Run(10)
 	if delivered != 1000 {
@@ -74,7 +74,7 @@ func TestQueueOverflowDrops(t *testing.T) {
 	delivered, dropped := 0, 0
 	net.Hooks.DataDropped = func(p *Packet, at *Link) { dropped++ }
 	for i := 0; i < 10; i++ {
-		net.SendData(&Packet{Path: 0, Seq: i, Size: 1500, Deliver: func(p *Packet) { delivered++ }})
+		net.SendData(&Packet{Path: 0, Seq: i, Size: 1500, Dst: DeliverFunc(func(p *Packet) { delivered++ })})
 	}
 	sim.Run(10)
 	if delivered != 3 || dropped != 7 {
@@ -88,7 +88,7 @@ func TestFIFOOrder(t *testing.T) {
 	var got []int
 	for i := 0; i < 20; i++ {
 		i := i
-		net.SendData(&Packet{Path: 0, Seq: i, Size: 1500, Deliver: func(p *Packet) { got = append(got, i) }})
+		net.SendData(&Packet{Path: 0, Seq: i, Size: 1500, Dst: DeliverFunc(func(p *Packet) { got = append(got, i) })})
 	}
 	sim.Run(10)
 	for i, v := range got {
@@ -102,7 +102,7 @@ func TestAckChannelDelay(t *testing.T) {
 	cfg := LinkConfig{Capacity: 1e9, Delay: 0.001}
 	sim, net := twoHop(t, cfg, cfg, 0.050)
 	var at float64
-	net.SendAck(&Packet{Path: 0, IsAck: true, Size: 40, Deliver: func(p *Packet) { at = sim.Now() }})
+	net.SendAck(&Packet{Path: 0, IsAck: true, Size: 40, Dst: DeliverFunc(func(p *Packet) { at = sim.Now() })})
 	sim.Run(1)
 	want := 0.050 - 0.002 // RTT minus forward propagation
 	if math.Abs(at-want) > 1e-9 {
@@ -151,7 +151,7 @@ func TestHooksFire(t *testing.T) {
 	net.Hooks.DataSent = func(p *Packet) { sent++ }
 	net.Hooks.LinkArrival = func(p *Packet, at *Link) { arrivals++ }
 	net.Hooks.Delivered = func(p *Packet) { delivered++ }
-	net.SendData(&Packet{Path: 0, Size: 1500, Deliver: func(p *Packet) {}})
+	net.SendData(&Packet{Path: 0, Size: 1500, Dst: DeliverFunc(func(p *Packet) {})})
 	sim.Run(1)
 	if sent != 1 || arrivals != 2 || delivered != 1 {
 		t.Fatalf("sent=%d arrivals=%d delivered=%d", sent, arrivals, delivered)
@@ -162,7 +162,7 @@ func TestLinkStats(t *testing.T) {
 	cfg := LinkConfig{Capacity: 1e6, Delay: 0, QueueBytes: 3000}
 	sim, net := twoHop(t, cfg, LinkConfig{Capacity: 1e9, Delay: 0, QueueBytes: 1 << 20}, 0.1)
 	for i := 0; i < 10; i++ {
-		net.SendData(&Packet{Path: 0, Size: 1500, Deliver: func(p *Packet) {}})
+		net.SendData(&Packet{Path: 0, Size: 1500, Dst: DeliverFunc(func(p *Packet) {})})
 	}
 	sim.Run(10)
 	la, _ := net.Graph.LinkByName("la")

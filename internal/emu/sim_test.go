@@ -1,6 +1,9 @@
 package emu
 
 import (
+	"math"
+	"math/rand"
+	"sort"
 	"testing"
 )
 
@@ -34,6 +37,39 @@ func TestSimultaneousEventsFIFO(t *testing.T) {
 	}
 }
 
+// TestSameTimestampScheduleOrderSurvivesCancels: schedule order among
+// same-timestamp events is preserved even when cancellations physically
+// remove interleaved entries (the heap removal must not reorder peers).
+func TestSameTimestampScheduleOrderSurvivesCancels(t *testing.T) {
+	s := NewSim()
+	var order []int
+	var cancels []TimerHandle
+	for i := 0; i < 50; i++ {
+		i := i
+		h := s.At(1, func() { order = append(order, i) })
+		if i%3 == 1 {
+			cancels = append(cancels, h)
+		}
+	}
+	for _, h := range cancels {
+		h.Cancel()
+	}
+	s.Run(2)
+	want := 0
+	for _, v := range order {
+		for want%3 == 1 {
+			want++
+		}
+		if v != want {
+			t.Fatalf("schedule order violated after cancels: got %v", order)
+		}
+		want++
+	}
+	if len(order) != 50-len(cancels) {
+		t.Fatalf("fired %d, want %d", len(order), 50-len(cancels))
+	}
+}
+
 func TestCancelledEventSkipped(t *testing.T) {
 	s := NewSim()
 	fired := false
@@ -43,10 +79,81 @@ func TestCancelledEventSkipped(t *testing.T) {
 	if fired {
 		t.Fatal("cancelled event fired")
 	}
-	// Cancel is idempotent and safe on nil.
+	// Cancel is idempotent and safe on the zero handle.
 	tm.Cancel()
-	var nilT *Timer
-	nilT.Cancel()
+	var zero TimerHandle
+	zero.Cancel()
+}
+
+// TestCancelRemovesFromHeap: with physical removal, cancelled timers do
+// not occupy the event heap until popped.
+func TestCancelRemovesFromHeap(t *testing.T) {
+	s := NewSim()
+	hs := make([]TimerHandle, 0, 100)
+	for i := 0; i < 100; i++ {
+		hs = append(hs, s.At(float64(i+1), func() {}))
+	}
+	if s.Pending() != 100 {
+		t.Fatalf("pending = %d, want 100", s.Pending())
+	}
+	for _, h := range hs[:60] {
+		h.Cancel()
+	}
+	if s.Pending() != 40 {
+		t.Fatalf("pending after cancel = %d, want 40", s.Pending())
+	}
+}
+
+// TestCancelHeavyWorkloadBoundedPending models TCP's RTO pattern — arm,
+// cancel, re-arm on every ACK — and asserts the schedule never
+// accumulates dead entries.
+func TestCancelHeavyWorkloadBoundedPending(t *testing.T) {
+	s := NewSim()
+	var rto TimerHandle
+	maxPending := 0
+	var ack func()
+	acks := 0
+	ack = func() {
+		rto.Cancel()
+		rto = s.After(1.0, func() {}) // re-armed RTO
+		acks++
+		if acks < 10000 {
+			s.After(0.001, ack)
+		}
+		if p := s.Pending(); p > maxPending {
+			maxPending = p
+		}
+	}
+	s.After(0.001, ack)
+	s.Run(100)
+	// At any instant only the next ack tick and one armed RTO are live.
+	if maxPending > 4 {
+		t.Fatalf("cancel-heavy workload grew the heap to %d entries", maxPending)
+	}
+	if s.Pending() != 0 { // the last armed RTO fired within the run
+		t.Fatalf("pending after run = %d", s.Pending())
+	}
+}
+
+// TestStaleHandleGenerationCheck: a handle kept after its event fired (or
+// was cancelled) must not cancel the slot's next occupant.
+func TestStaleHandleGenerationCheck(t *testing.T) {
+	s := NewSim()
+	fired := 0
+	h1 := s.At(1, func() { fired++ })
+	s.Run(2) // fires; slot returns to the free list
+	h2 := s.At(3, func() { fired++ })
+	h1.Cancel() // stale: must not touch h2's slot
+	if h2.Active() != true {
+		t.Fatal("live handle reported inactive")
+	}
+	if h1.Active() {
+		t.Fatal("stale handle reported active")
+	}
+	s.Run(4)
+	if fired != 2 {
+		t.Fatalf("fired = %d, want 2 (stale cancel removed a live event)", fired)
+	}
 }
 
 func TestRunStopsAtDeadline(t *testing.T) {
@@ -87,6 +194,22 @@ func TestEventsScheduledDuringRun(t *testing.T) {
 	}
 }
 
+// TestNegativeZeroTime: -0.0 must order like 0.0 (its raw bit pattern
+// would sort after every positive time).
+func TestNegativeZeroTime(t *testing.T) {
+	s := NewSim()
+	var order []int
+	s.At(1, func() { order = append(order, 1) })
+	s.At(math.Copysign(0, -1), func() { order = append(order, 0) })
+	s.Run(2)
+	if len(order) != 2 || order[0] != 0 || order[1] != 1 {
+		t.Fatalf("order = %v, want [0 1]", order)
+	}
+	if s.Now() != 2 {
+		t.Fatalf("now = %v", s.Now())
+	}
+}
+
 func TestPastSchedulingPanics(t *testing.T) {
 	s := NewSim()
 	s.At(5, func() {})
@@ -97,6 +220,123 @@ func TestPastSchedulingPanics(t *testing.T) {
 		}
 	}()
 	s.At(1, func() {})
+}
+
+// TestTypedEventDispatch: AtEvent delivers the kind and argument to the
+// handler at the scheduled time.
+type recordingHandler struct {
+	kinds []EventKind
+	args  []int32
+	times []Time
+	s     *Sim
+}
+
+func (r *recordingHandler) OnEvent(kind EventKind, arg int32) {
+	r.kinds = append(r.kinds, kind)
+	r.args = append(r.args, arg)
+	r.times = append(r.times, r.s.Now())
+}
+
+func TestTypedEventDispatch(t *testing.T) {
+	s := NewSim()
+	h := &recordingHandler{s: s}
+	s.AtEvent(2, KindRTOFire, h, 7)
+	s.AfterEvent(1, KindSampleTick, h, 9)
+	s.Run(3)
+	if len(h.kinds) != 2 {
+		t.Fatalf("dispatched %d events", len(h.kinds))
+	}
+	if h.kinds[0] != KindSampleTick || h.args[0] != 9 || h.times[0] != 1 {
+		t.Fatalf("first event: kind=%v arg=%d at=%v", h.kinds[0], h.args[0], h.times[0])
+	}
+	if h.kinds[1] != KindRTOFire || h.args[1] != 7 || h.times[1] != 2 {
+		t.Fatalf("second event: kind=%v arg=%d at=%v", h.kinds[1], h.args[1], h.times[1])
+	}
+}
+
+// TestHeapRandomOrderAndCancels cross-checks the arena heap against a
+// sorted reference under random scheduling and random physical removals.
+func TestHeapRandomOrderAndCancels(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	s := NewSim()
+	type ev struct {
+		at  Time
+		seq int
+	}
+	var want []ev
+	var got []ev
+	handles := map[int]TimerHandle{}
+	for i := 0; i < 2000; i++ {
+		i := i
+		at := rng.Float64() * 100
+		handles[i] = s.At(at, func() { got = append(got, ev{s.Now(), i}) })
+		want = append(want, ev{at, i})
+	}
+	cancelled := map[int]bool{}
+	for i := 0; i < 700; i++ {
+		k := rng.Intn(2000)
+		handles[k].Cancel()
+		cancelled[k] = true
+	}
+	s.Run(101)
+	var wantLive []ev
+	for _, e := range want {
+		if !cancelled[e.seq] {
+			wantLive = append(wantLive, e)
+		}
+	}
+	sort.SliceStable(wantLive, func(i, j int) bool {
+		if wantLive[i].at != wantLive[j].at {
+			return wantLive[i].at < wantLive[j].at
+		}
+		return wantLive[i].seq < wantLive[j].seq
+	})
+	if len(got) != len(wantLive) {
+		t.Fatalf("fired %d, want %d", len(got), len(wantLive))
+	}
+	for i := range got {
+		if got[i].seq != wantLive[i].seq || got[i].at != wantLive[i].at {
+			t.Fatalf("event %d: got %+v want %+v", i, got[i], wantLive[i])
+		}
+	}
+	if s.Pending() != 0 {
+		t.Fatalf("pending = %d after drain", s.Pending())
+	}
+}
+
+// TestArenaSlotReuse: fired and cancelled slots return to the free list
+// and are recycled instead of growing the arena.
+func TestArenaSlotReuse(t *testing.T) {
+	s := NewSim()
+	h := &recordingHandler{s: s}
+	for i := 0; i < 10000; i++ {
+		s.AfterEvent(0.001, KindRTOFire, h, int32(i))
+		s.Run(s.Now() + 0.001)
+	}
+	if len(s.arena) > 4 {
+		t.Fatalf("arena grew to %d slots for a one-timer workload", len(s.arena))
+	}
+}
+
+// TestSteadyStateSchedulingDoesNotAllocate: the typed scheduling path and
+// the dispatch loop must be allocation-free once the arena has grown.
+func TestSteadyStateSchedulingDoesNotAllocate(t *testing.T) {
+	s := NewSim()
+	h := &recordingHandler{s: s}
+	// Warm the arena and the handler's slices.
+	for i := 0; i < 100; i++ {
+		s.AfterEvent(0.001, KindSampleTick, h, 0)
+		s.Run(s.Now() + 0.001)
+	}
+	h.kinds, h.args, h.times = h.kinds[:0], h.args[:0], h.times[:0]
+	avg := testing.AllocsPerRun(1000, func() {
+		s.AfterEvent(0.001, KindSampleTick, h, 0)
+		s.Run(s.Now() + 0.001)
+		h.kinds, h.args, h.times = h.kinds[:0], h.args[:0], h.times[:0]
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state schedule+dispatch allocates %v allocs/op", avg)
+	}
 }
 
 func TestTokenBucket(t *testing.T) {
@@ -126,3 +366,20 @@ func TestTokenBucket(t *testing.T) {
 		t.Fatalf("wait = %v, want 1s", w)
 	}
 }
+
+// BenchmarkTimerChurn measures the raw schedule→fire cycle of the typed
+// event path: steady state must be 0 allocs/op.
+func BenchmarkTimerChurn(b *testing.B) {
+	s := NewSim()
+	h := &benchHandler{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.AfterEvent(0.001, KindRTOFire, h, 0)
+		s.Run(s.Now() + 0.001)
+	}
+}
+
+type benchHandler struct{ fired uint64 }
+
+func (h *benchHandler) OnEvent(EventKind, int32) { h.fired++ }

@@ -54,6 +54,10 @@ type Fig8Row struct {
 	Unsolvability  float64
 	Verdict        bool // true = non-neutral
 	PaperLabel     bool // the paper's ground-truth label
+	// Events is the number of discrete events the experiment's emulation
+	// processed (Sim.Processed) — the throughput denominator for the
+	// events_per_sec bench metric. Not part of the rendered figure.
+	Events uint64
 }
 
 // Fig8Result is one experiment set (one graph of Figure 8).
@@ -63,6 +67,8 @@ type Fig8Result struct {
 	Rows  []Fig8Row
 	// Agreement counts rows where our verdict matches the paper's label.
 	Agreement int
+	// Events sums the emulation events processed across the set's rows.
+	Events uint64
 }
 
 var fig8Titles = map[int]string{
@@ -157,7 +163,7 @@ func fig8Unit(set int, spec lab.SpecA, i int, sc Scale, seed int64) (Fig8Row, er
 	if err != nil {
 		return Fig8Row{}, err
 	}
-	row := Fig8Row{Label: spec.Label, PaperLabel: spec.NonNeutral}
+	row := Fig8Row{Label: spec.Label, PaperLabel: spec.NonNeutral, Events: run.Sim.Processed}
 	probs := measure.PathCongestionProb(run.Meas, 0.01)
 	copy(row.CongestionProb[:], probs)
 
@@ -176,6 +182,7 @@ func assembleFig8(set int, rows []Fig8Row) *Fig8Result {
 		if row.Verdict == row.PaperLabel {
 			out.Agreement++
 		}
+		out.Events += row.Events
 	}
 	return out
 }

@@ -27,6 +27,9 @@ type CongestionControl interface {
 	Cwnd() float64
 	// Ssthresh returns the slow-start threshold in segments.
 	Ssthresh() float64
+	// Reset returns the controller to its initial state, exactly as a
+	// freshly constructed instance, so a recycled Flow can reuse it.
+	Reset()
 	Name() string
 }
 
@@ -75,6 +78,9 @@ func (c *NewRenoCC) Cwnd() float64 { return c.cwnd }
 
 // Ssthresh implements CongestionControl.
 func (c *NewRenoCC) Ssthresh() float64 { return c.ssthresh }
+
+// Reset implements CongestionControl.
+func (c *NewRenoCC) Reset() { *c = NewRenoCC{cwnd: InitialWindow, ssthresh: math.Inf(1)} }
 
 // Name implements CongestionControl.
 func (c *NewRenoCC) Name() string { return "newreno" }
@@ -162,6 +168,9 @@ func (c *CubicCC) Cwnd() float64 { return c.cwnd }
 
 // Ssthresh implements CongestionControl.
 func (c *CubicCC) Ssthresh() float64 { return c.ssthresh }
+
+// Reset implements CongestionControl.
+func (c *CubicCC) Reset() { *c = CubicCC{cwnd: InitialWindow, ssthresh: math.Inf(1), epochStart: -1} }
 
 // Name implements CongestionControl.
 func (c *CubicCC) Name() string { return "cubic" }

@@ -35,12 +35,20 @@ type FlowConfig struct {
 
 // Flow is one TCP connection: sender and receiver state folded into a
 // single object, exchanging packets through the emulated network (data
-// forward, ACKs over the reverse channel).
+// forward, ACKs over the reverse channel). Flows pull packets from the
+// network's free list and arm the retransmission timer as a typed
+// KindRTOFire event, so a running flow allocates nothing per segment.
+// A finished Flow can be recycled for a new transfer with Restart.
 type Flow struct {
 	net *emu.Network
 	sim *emu.Sim
 	cfg FlowConfig
 	cc  CongestionControl
+
+	// epoch is the transfer generation: packets carry it, and arrivals
+	// from a previous transfer of a recycled Flow are ignored, exactly as
+	// they were when each transfer had its own Flow object.
+	epoch uint32
 
 	// Sender state (sequence numbers count segments).
 	nextSeq          int
@@ -54,7 +62,7 @@ type Flow struct {
 	retxed           map[int]bool    // Karn's algorithm: no sampling from retransmits
 
 	srtt, rttvar, rto float64
-	rtoTimer          *emu.Timer
+	rtoTimer          emu.TimerHandle
 	backoff           float64
 
 	// Receiver state.
@@ -95,6 +103,46 @@ func Start(net *emu.Network, cfg FlowConfig) *Flow {
 	}
 	f.maybeSend()
 	return f
+}
+
+// Restart begins a new transfer on a finished flow, reusing its maps,
+// congestion controller, and identity on the network. Workload slots run
+// one transfer at a time, so recycling the Flow keeps long runs from
+// allocating per transfer; the epoch bump makes packets still in flight
+// from the finished transfer inert, exactly as if they had arrived at the
+// old, completed Flow object.
+func (f *Flow) Restart(cfg FlowConfig) {
+	if !f.done {
+		panic("tcp: Restart on an unfinished flow")
+	}
+	if cfg.SizeSegments < 1 {
+		cfg.SizeSegments = 1
+	}
+	if cfg.CC != f.cfg.CC {
+		cc, err := NewCC(cfg.CC)
+		if err != nil {
+			panic(err)
+		}
+		f.cc = cc
+	} else {
+		f.cc.Reset()
+	}
+	f.cfg = cfg
+	f.epoch++
+	f.nextSeq, f.maxSent, f.highestAcked = 0, 0, 0
+	f.dupAcks = 0
+	f.inRecovery, f.firstPartialSeen = false, false
+	f.recover = 0
+	clear(f.sendTimes)
+	clear(f.retxed)
+	clear(f.buffered)
+	f.srtt, f.rttvar = 0, 0
+	f.rto, f.backoff = InitialRTO, 1
+	f.rtoTimer = emu.TimerHandle{}
+	f.rcvNext = 0
+	f.started, f.finished, f.done = f.sim.Now(), 0, false
+	f.SentSegments, f.RetxSegments, f.TimeoutEvents, f.FastRetxEvents = 0, 0, 0, 0
+	f.maybeSend()
 }
 
 // Done reports completion.
@@ -148,15 +196,38 @@ func (f *Flow) sendSegment(seq int, retx bool) {
 	} else {
 		f.sendTimes[seq] = f.sim.Now()
 	}
-	pkt := &emu.Packet{
-		Path:    f.cfg.Path,
-		Class:   f.cfg.Class,
-		Seq:     seq,
-		Size:    MSS,
-		Retx:    retx,
-		Deliver: f.onDataArrive,
-	}
+	pkt := f.net.NewPacket()
+	pkt.Path = f.cfg.Path
+	pkt.Class = f.cfg.Class
+	pkt.Seq = seq
+	pkt.Size = MSS
+	pkt.Retx = retx
+	pkt.Epoch = f.epoch
+	pkt.Dst = f
 	f.net.SendData(pkt)
+}
+
+// HandlePacket implements emu.PacketHandler: data packets arrive at the
+// receiver side, ACKs at the sender side. Packets from a previous
+// transfer of a recycled Flow carry a stale epoch and are ignored.
+func (f *Flow) HandlePacket(p *emu.Packet) {
+	if p.Epoch != f.epoch {
+		return
+	}
+	if p.IsAck {
+		f.onAckArrive(p)
+	} else {
+		f.onDataArrive(p)
+	}
+}
+
+// OnEvent implements emu.Handler: the retransmission timer.
+func (f *Flow) OnEvent(kind emu.EventKind, _ int32) {
+	if kind != emu.KindRTOFire {
+		return
+	}
+	f.rtoTimer = emu.TimerHandle{}
+	f.onTimeout()
 }
 
 // onDataArrive is the receiver side: cumulative ACK generation.
@@ -173,14 +244,14 @@ func (f *Flow) onDataArrive(p *emu.Packet) {
 	} else if p.Seq > f.rcvNext {
 		f.buffered[p.Seq] = true
 	}
-	ack := &emu.Packet{
-		Path:    f.cfg.Path,
-		Class:   f.cfg.Class,
-		Ack:     f.rcvNext,
-		Size:    AckSize,
-		IsAck:   true,
-		Deliver: f.onAckArrive,
-	}
+	ack := f.net.NewPacket()
+	ack.Path = f.cfg.Path
+	ack.Class = f.cfg.Class
+	ack.Ack = f.rcvNext
+	ack.Size = AckSize
+	ack.IsAck = true
+	ack.Epoch = f.epoch
+	ack.Dst = f
 	f.net.SendAck(ack)
 }
 
@@ -295,7 +366,7 @@ func (f *Flow) armRTO() {
 		return
 	}
 	f.rtoTimer.Cancel()
-	f.rtoTimer = nil
+	f.rtoTimer = emu.TimerHandle{}
 	if f.highestAcked >= f.nextSeq {
 		return // nothing outstanding
 	}
@@ -303,19 +374,18 @@ func (f *Flow) armRTO() {
 	if d > MaxRTO {
 		d = MaxRTO
 	}
-	f.rtoTimer = f.sim.After(d, f.onTimeout)
+	f.rtoTimer = f.sim.AfterEvent(d, emu.KindRTOFire, f, 0)
 }
 
 // armRTOIfIdle starts the timer only when none is pending, so that a
 // deliberately un-reset timer (Impatient NewReno) keeps ticking.
 func (f *Flow) armRTOIfIdle() {
-	if f.rtoTimer == nil {
+	if f.rtoTimer == (emu.TimerHandle{}) {
 		f.armRTO()
 	}
 }
 
 func (f *Flow) onTimeout() {
-	f.rtoTimer = nil
 	if f.done || f.highestAcked >= f.nextSeq {
 		return
 	}
@@ -339,7 +409,7 @@ func (f *Flow) complete() {
 	f.done = true
 	f.finished = f.sim.Now()
 	f.rtoTimer.Cancel()
-	f.rtoTimer = nil
+	f.rtoTimer = emu.TimerHandle{}
 	if f.cfg.OnComplete != nil {
 		f.cfg.OnComplete(f)
 	}

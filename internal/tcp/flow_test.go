@@ -184,6 +184,69 @@ func TestMinimumSizeClamped(t *testing.T) {
 	}
 }
 
+// TestRestartRecyclesFlow: a finished flow restarted on the same slot
+// behaves exactly like a fresh one — state, stats, and controller are
+// reset — and completes a second transfer.
+func TestRestartRecyclesFlow(t *testing.T) {
+	sim, net := dumbNet(t, 10e6, 1<<20)
+	completions := 0
+	cfg := FlowConfig{Path: 0, SizeSegments: 200, CC: "cubic",
+		OnComplete: func(*Flow) { completions++ }}
+	f := Start(net, cfg)
+	sim.Run(30)
+	if !f.Done() || completions != 1 {
+		t.Fatalf("first transfer incomplete (done=%v completions=%d)", f.Done(), completions)
+	}
+	firstSent := f.SentSegments
+	f.Restart(cfg)
+	if f.Done() || f.SentSegments >= firstSent+200 {
+		t.Fatalf("restart did not reset state (done=%v sent=%d)", f.Done(), f.SentSegments)
+	}
+	if f.cc.Cwnd() > InitialWindow {
+		t.Fatalf("restart kept an inflated cwnd %v", f.cc.Cwnd())
+	}
+	sim.Run(60)
+	if !f.Done() || completions != 2 {
+		t.Fatalf("second transfer incomplete (done=%v completions=%d)", f.Done(), completions)
+	}
+	if f.SentSegments < 200 {
+		t.Fatalf("second transfer sent %d < 200", f.SentSegments)
+	}
+}
+
+// TestRestartSwitchesCC: restarting with a different controller name
+// builds the new controller.
+func TestRestartSwitchesCC(t *testing.T) {
+	sim, net := dumbNet(t, 10e6, 1<<20)
+	f := Start(net, FlowConfig{Path: 0, SizeSegments: 50, CC: "newreno"})
+	sim.Run(30)
+	if !f.Done() {
+		t.Fatal("first transfer incomplete")
+	}
+	f.Restart(FlowConfig{Path: 0, SizeSegments: 50, CC: "cubic"})
+	if f.cc.Name() != "cubic" {
+		t.Fatalf("controller is %s after restart", f.cc.Name())
+	}
+	sim.Run(60)
+	if !f.Done() {
+		t.Fatal("second transfer incomplete")
+	}
+}
+
+// TestRestartUnfinishedPanics: recycling a live flow is a programming
+// error.
+func TestRestartUnfinishedPanics(t *testing.T) {
+	sim, net := dumbNet(t, 10e6, 1<<20)
+	f := Start(net, FlowConfig{Path: 0, SizeSegments: 5000, CC: "cubic"})
+	sim.Run(0.01) // still transferring
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic restarting an unfinished flow")
+		}
+	}()
+	f.Restart(FlowConfig{Path: 0, SizeSegments: 10, CC: "cubic"})
+}
+
 func TestUnknownCCPanics(t *testing.T) {
 	sim, net := dumbNet(t, 10e6, 1<<20)
 	_ = sim

@@ -67,10 +67,46 @@ type Runner struct {
 	net *emu.Network
 	rng *stats.Rand
 
+	slots []*slotRunner
+
 	// FlowsCompleted counts finished transfers per path.
 	FlowsCompleted map[graph.PathID]int
 	// FlowsStarted counts started transfers per path.
 	FlowsStarted map[graph.PathID]int
+}
+
+// slotRunner is the persistent state of one flow slot: it schedules its
+// next transfer as a typed KindFlowStart event and recycles a single
+// tcp.Flow across consecutive transfers (a slot runs one at a time), so
+// the transfer–idle–transfer loop allocates nothing per flow.
+type slotRunner struct {
+	r    *Runner
+	pid  graph.PathID
+	slot Slot
+	flow *tcp.Flow
+	// onComplete is bound once and reused for every transfer.
+	onComplete func(*tcp.Flow)
+}
+
+// OnEvent implements emu.Handler: start the slot's next transfer.
+func (sr *slotRunner) OnEvent(emu.EventKind, int32) { sr.start() }
+
+func (sr *slotRunner) start() {
+	r := sr.r
+	r.FlowsStarted[sr.pid]++
+	size := sr.slot.Size(r.rng)
+	cfg := tcp.FlowConfig{
+		Path:         sr.pid,
+		Class:        r.net.Graph.ClassOf(sr.pid),
+		SizeSegments: size,
+		CC:           sr.slot.CC,
+		OnComplete:   sr.onComplete,
+	}
+	if sr.flow == nil {
+		sr.flow = tcp.Start(r.net, cfg)
+	} else {
+		sr.flow.Restart(cfg)
+	}
 }
 
 // NewRunner installs the workload on the network. Slots start at slightly
@@ -98,26 +134,16 @@ func NewRunner(net *emu.Network, loads []PathLoad, rng *stats.Rand) (*Runner, er
 			if s.CC == "" {
 				s.CC = "cubic"
 			}
-			pid := load.Path
+			sr := &slotRunner{r: r, pid: load.Path, slot: s}
+			sr.onComplete = func(*tcp.Flow) {
+				r.FlowsCompleted[sr.pid]++
+				gap := r.rng.Exponential(sr.slot.GapMean)
+				r.net.Sim.AfterEvent(gap, emu.KindFlowStart, sr, 0)
+			}
+			r.slots = append(r.slots, sr)
 			start := r.rng.Float64() * 0.1 // up to 100 ms stagger
-			net.Sim.After(start, func() { r.startFlow(pid, s) })
+			net.Sim.AfterEvent(start, emu.KindFlowStart, sr, 0)
 		}
 	}
 	return r, nil
-}
-
-func (r *Runner) startFlow(pid graph.PathID, slot Slot) {
-	r.FlowsStarted[pid]++
-	size := slot.Size(r.rng)
-	tcp.Start(r.net, tcp.FlowConfig{
-		Path:         pid,
-		Class:        r.net.Graph.ClassOf(pid),
-		SizeSegments: size,
-		CC:           slot.CC,
-		OnComplete: func(*tcp.Flow) {
-			r.FlowsCompleted[pid]++
-			gap := r.rng.Exponential(slot.GapMean)
-			r.net.Sim.After(gap, func() { r.startFlow(pid, slot) })
-		},
-	})
 }

@@ -12,9 +12,11 @@
 //
 // With -baseline FILE, the parsed results are additionally compared
 // against a recorded BENCH json: for every benchmark present in both,
-// the run fails (exit 1, after still emitting the JSON) if allocs_op
-// regresses more than the allowed slack above the recorded value. CI
-// uses this to pin the allocation budget of the emulation benches.
+// the run fails (exit 1, after still emitting the JSON) if allocs_op or
+// B_op regresses more than the allowed slack above the recorded value,
+// or events_per_sec drops more than the allowed slack below it. CI uses
+// this to pin the allocation budget and event-engine throughput of the
+// emulation benches.
 package main
 
 import (
@@ -28,11 +30,28 @@ import (
 	"strings"
 )
 
-// allocSlack is the tolerated fractional growth of allocs_op over the
-// baseline before the check fails. Allocation counts are nearly
-// deterministic; the slack absorbs goroutine-scheduling variance in the
-// parallel sweep paths.
-const allocSlack = 0.10
+// regressionSlack is the tolerated fractional drift of a gated metric
+// from its baseline before the check fails. Allocation counts are nearly
+// deterministic and the slack absorbs goroutine-scheduling variance in
+// the parallel sweep paths; for the throughput gate it also absorbs
+// machine-speed jitter on shared CI runners.
+const regressionSlack = 0.10
+
+// gatedMetric describes one baseline-compared metric.
+type gatedMetric struct {
+	unit string
+	// higherIsWorse: the gate fails when current > base*(1+slack);
+	// otherwise it fails when current < base*(1-slack).
+	higherIsWorse bool
+}
+
+// gatedMetrics are the metrics compared against the baseline, in report
+// order: allocation count, bytes allocated, and event throughput.
+var gatedMetrics = []gatedMetric{
+	{unit: "allocs_op", higherIsWorse: true},
+	{unit: "B_op", higherIsWorse: true},
+	{unit: "events_per_sec", higherIsWorse: false},
+}
 
 func main() {
 	baseline := flag.String("baseline", "", "recorded BENCH json; fail if allocs_op regresses above it")
@@ -73,7 +92,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", *baseline, err)
 			os.Exit(1)
 		}
-		if regressions := checkAllocRegression(benches, base); len(regressions) > 0 {
+		if regressions := checkRegressions(benches, base); len(regressions) > 0 {
 			for _, r := range regressions {
 				fmt.Fprintf(os.Stderr, "benchjson: %s\n", r)
 			}
@@ -82,12 +101,13 @@ func main() {
 	}
 }
 
-// checkAllocRegression compares allocs_op for every baseline benchmark
-// against the current results, reporting entries that exceed the baseline
-// by more than allocSlack. A baseline benchmark that is absent from the
-// current run (renamed, or its bench crashed upstream) is itself a
-// failure — otherwise the gate would silently stop enforcing anything.
-func checkAllocRegression(cur, base map[string]map[string]float64) []string {
+// checkRegressions compares every gated metric of every baseline
+// benchmark against the current results, reporting entries that drift
+// past the slack in the failing direction. A baseline metric that is
+// absent from the current run (renamed, or its bench crashed upstream)
+// is itself a failure — otherwise the gate would silently stop
+// enforcing anything.
+func checkRegressions(cur, base map[string]map[string]float64) []string {
 	var out []string
 	names := make([]string, 0, len(base))
 	for name := range base {
@@ -95,18 +115,25 @@ func checkAllocRegression(cur, base map[string]map[string]float64) []string {
 	}
 	sort.Strings(names)
 	for _, name := range names {
-		b, ok := base[name]["allocs_op"]
-		if !ok {
-			continue
-		}
-		c, ok := cur[name]["allocs_op"]
-		if !ok {
-			out = append(out, fmt.Sprintf("%s: baseline has allocs_op %.0f but the benchmark is missing from the current run", name, b))
-			continue
-		}
-		if limit := b * (1 + allocSlack); c > limit {
-			out = append(out, fmt.Sprintf("%s: allocs_op %.0f exceeds baseline %.0f (+%d%% slack)",
-				name, c, b, int(allocSlack*100)))
+		for _, gm := range gatedMetrics {
+			b, ok := base[name][gm.unit]
+			if !ok {
+				continue
+			}
+			c, ok := cur[name][gm.unit]
+			if !ok {
+				out = append(out, fmt.Sprintf("%s: baseline has %s %.0f but the metric is missing from the current run", name, gm.unit, b))
+				continue
+			}
+			if gm.higherIsWorse {
+				if limit := b * (1 + regressionSlack); c > limit {
+					out = append(out, fmt.Sprintf("%s: %s %.0f exceeds baseline %.0f (+%d%% slack)",
+						name, gm.unit, c, b, int(regressionSlack*100)))
+				}
+			} else if limit := b * (1 - regressionSlack); c < limit {
+				out = append(out, fmt.Sprintf("%s: %s %.0f drops below baseline %.0f (-%d%% slack)",
+					name, gm.unit, c, b, int(regressionSlack*100)))
+			}
 		}
 	}
 	return out

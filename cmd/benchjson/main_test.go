@@ -5,34 +5,79 @@ import (
 	"testing"
 )
 
-func TestCheckAllocRegression(t *testing.T) {
+func TestCheckRegressions(t *testing.T) {
 	base := map[string]map[string]float64{
-		"Fig8Set4":       {"allocs_op": 1000000, "ns_op": 5e8},
+		"Fig8Set4":       {"allocs_op": 1000000, "B_op": 6e6, "events_per_sec": 9e6, "ns_op": 5e8},
 		"Table1Defaults": {"allocs_op": 50},
 		"NsOnly":         {"ns_op": 100},
 	}
 	ok := map[string]map[string]float64{
-		"Fig8Set4":       {"allocs_op": 1000000 * 1.05}, // within slack
-		"Table1Defaults": {"allocs_op": 40},             // improved
-		"NsOnly":         {"ns_op": 500},                // no alloc metric in baseline: ignored
-		"NewBench":       {"allocs_op": 1e12},           // not in baseline: ignored
+		"Fig8Set4": { // every gate within slack
+			"allocs_op":      1000000 * 1.05,
+			"B_op":           6e6 * 1.09,
+			"events_per_sec": 9e6 * 0.92,
+		},
+		"Table1Defaults": {"allocs_op": 40},                        // improved
+		"NsOnly":         {"ns_op": 500},                           // no gated metric in baseline: ignored
+		"NewBench":       {"allocs_op": 1e12, "events_per_sec": 1}, // not in baseline: ignored
 	}
-	if got := checkAllocRegression(ok, base); len(got) != 0 {
+	if got := checkRegressions(ok, base); len(got) != 0 {
 		t.Fatalf("false regression: %v", got)
 	}
+
 	bad := map[string]map[string]float64{
-		"Fig8Set4":       {"allocs_op": 1000000 * 1.5},
+		"Fig8Set4":       {"allocs_op": 1000000 * 1.5, "B_op": 6e6, "events_per_sec": 9e6},
 		"Table1Defaults": {"allocs_op": 50},
 	}
-	got := checkAllocRegression(bad, base)
-	if len(got) != 1 {
-		t.Fatalf("regressions = %v, want exactly one", got)
+	if got := checkRegressions(bad, base); len(got) != 1 || !strings.Contains(got[0], "allocs_op") {
+		t.Fatalf("alloc regression not flagged exactly once: %v", got)
+	}
+}
+
+func TestCheckRegressionsBytesGate(t *testing.T) {
+	base := map[string]map[string]float64{"Fig8Set4": {"B_op": 6e6}}
+	bad := map[string]map[string]float64{"Fig8Set4": {"B_op": 6e6 * 1.2}}
+	if got := checkRegressions(bad, base); len(got) != 1 || !strings.Contains(got[0], "B_op") {
+		t.Fatalf("B_op regression not flagged: %v", got)
+	}
+	ok := map[string]map[string]float64{"Fig8Set4": {"B_op": 6e6 * 0.2}}
+	if got := checkRegressions(ok, base); len(got) != 0 {
+		t.Fatalf("improved B_op flagged: %v", got)
+	}
+}
+
+func TestCheckRegressionsThroughputGate(t *testing.T) {
+	base := map[string]map[string]float64{"Fig8Set4": {"events_per_sec": 9e6}}
+	// Throughput gates in the opposite direction: lower is worse.
+	bad := map[string]map[string]float64{"Fig8Set4": {"events_per_sec": 9e6 * 0.8}}
+	if got := checkRegressions(bad, base); len(got) != 1 || !strings.Contains(got[0], "events_per_sec") {
+		t.Fatalf("throughput regression not flagged: %v", got)
+	}
+	ok := map[string]map[string]float64{"Fig8Set4": {"events_per_sec": 9e6 * 2}}
+	if got := checkRegressions(ok, base); len(got) != 0 {
+		t.Fatalf("improved throughput flagged: %v", got)
+	}
+	// A faster-but-within-slack run passes.
+	edge := map[string]map[string]float64{"Fig8Set4": {"events_per_sec": 9e6 * 0.91}}
+	if got := checkRegressions(edge, base); len(got) != 0 {
+		t.Fatalf("within-slack throughput flagged: %v", got)
+	}
+}
+
+func TestCheckRegressionsMissing(t *testing.T) {
+	base := map[string]map[string]float64{
+		"Fig8Set4": {"allocs_op": 1000000, "events_per_sec": 9e6},
 	}
 	// A gated benchmark vanishing from the current run must fail, or the
 	// gate fails open when a bench is renamed or crashes upstream.
-	got = checkAllocRegression(map[string]map[string]float64{"Table1Defaults": {"allocs_op": 50}}, base)
-	if len(got) != 1 || !strings.Contains(got[0], "Fig8Set4") {
-		t.Fatalf("missing gated bench not flagged: %v", got)
+	got := checkRegressions(map[string]map[string]float64{"Other": {"allocs_op": 1}}, base)
+	if len(got) != 2 || !strings.Contains(got[0], "Fig8Set4") {
+		t.Fatalf("missing gated bench not flagged per metric: %v", got)
+	}
+	// A single gated metric vanishing (benchmark still present) fails too.
+	got = checkRegressions(map[string]map[string]float64{"Fig8Set4": {"allocs_op": 1000000}}, base)
+	if len(got) != 1 || !strings.Contains(got[0], "events_per_sec") {
+		t.Fatalf("missing gated metric not flagged: %v", got)
 	}
 }
 

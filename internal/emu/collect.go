@@ -2,6 +2,7 @@ package emu
 
 import (
 	"math"
+	"sort"
 
 	"neutrality/internal/graph"
 	"neutrality/internal/measure"
@@ -16,6 +17,12 @@ import (
 //     "directly measured by the network", used only for reporting
 //     (Figure 10(a)) and for scoring the algorithm;
 //   - queue-occupancy traces for selected links (Figure 11).
+//
+// Ground truth is dense: links and paths are small dense ids, so each
+// sample interval owns a flat [link][path] array of counters and every
+// packet event is two array stores — no per-packet map operations exist
+// anywhere on the forwarding path. Interval rows are appended as
+// simulated time crosses interval boundaries.
 type Collector struct {
 	Interval Time
 	paths    int
@@ -24,11 +31,18 @@ type Collector struct {
 	sent [][]int // [interval][path]
 	lost [][]int
 
-	// Ground truth: key(interval, link, path) -> {arrived, dropped}.
-	gtArr map[int64][2]int
+	// gt[t] is the ground-truth counter row of interval t, indexed
+	// link*paths+path.
+	gt [][]gtCell
 
 	traces map[graph.LinkID]*QueueTrace
 	delay  *delayTracker
+}
+
+// gtCell is one ground-truth counter pair.
+type gtCell struct {
+	arrived int32
+	dropped int32
 }
 
 // QueueTrace is a sampled queue-occupancy time series.
@@ -46,44 +60,50 @@ func NewCollector(n *Network, interval Time) *Collector {
 		Interval: interval,
 		paths:    n.Graph.NumPaths(),
 		links:    n.Graph.NumLinks(),
-		gtArr:    make(map[int64][2]int),
 		traces:   map[graph.LinkID]*QueueTrace{},
 	}
 	n.Hooks.DataSent = func(p *Packet) {
-		t := c.intervalOf(n.Sim.Now())
+		t := c.intervalOf(n.Sim.now)
 		c.ensure(t)
 		c.sent[t][p.Path]++
 	}
 	n.Hooks.DataDropped = func(p *Packet, at *Link) {
-		t := c.intervalOf(n.Sim.Now())
+		t := c.intervalOf(n.Sim.now)
 		c.ensure(t)
 		c.lost[t][p.Path]++
-		k := c.key(t, int(at.ID), int(p.Path))
-		e := c.gtArr[k]
-		e[1]++
-		c.gtArr[k] = e
+		c.ensureGT(t)
+		c.gt[t][int(at.ID)*c.paths+int(p.Path)].dropped++
 	}
 	n.Hooks.LinkArrival = func(p *Packet, at *Link) {
-		t := c.intervalOf(n.Sim.Now())
-		k := c.key(t, int(at.ID), int(p.Path))
-		e := c.gtArr[k]
-		e[0]++
-		c.gtArr[k] = e
+		t := c.intervalOf(n.Sim.now)
+		c.ensureGT(t)
+		c.gt[t][int(at.ID)*c.paths+int(p.Path)].arrived++
 	}
 	return c
 }
 
 func (c *Collector) intervalOf(now Time) int { return int(now / c.Interval) }
 
-func (c *Collector) key(interval, link, path int) int64 {
-	return (int64(interval)*int64(c.links)+int64(link))*int64(c.paths) + int64(path)
-}
-
 func (c *Collector) ensure(t int) {
 	for len(c.sent) <= t {
 		c.sent = append(c.sent, make([]int, c.paths))
 		c.lost = append(c.lost, make([]int, c.paths))
 	}
+}
+
+func (c *Collector) ensureGT(t int) {
+	for len(c.gt) <= t {
+		c.gt = append(c.gt, make([]gtCell, c.links*c.paths))
+	}
+}
+
+// gtAt returns the ground-truth counters for (interval, link, path);
+// intervals never touched by a packet read as zero.
+func (c *Collector) gtAt(t, link, path int) gtCell {
+	if t >= len(c.gt) {
+		return gtCell{}
+	}
+	return c.gt[t][link*c.paths+path]
 }
 
 // queueSampler drives a QueueTrace via KindSampleTick events: each tick
@@ -147,15 +167,32 @@ func (c *Collector) Measurements(duration Time, paths []graph.PathID) *measure.M
 	return m
 }
 
+// PathProb pairs a path with its congestion probability.
+type PathProb struct {
+	Path graph.PathID
+	Prob float64
+}
+
 // LinkClassTruth summarizes ground truth for one link: the per-path
 // congestion probabilities, i.e. for each path through the link, the
 // fraction of intervals in which the link dropped at least lossThreshold of
 // the path's arriving packets. This is the data behind Figure 10(a).
 type LinkClassTruth struct {
 	Link graph.LinkID
-	// PerPath[p] is the congestion probability of the link w.r.t. path p
-	// (only paths that traverse the link are present).
-	PerPath map[graph.PathID]float64
+	// PerPath holds the congestion probability of the link w.r.t. each
+	// path that traverses it, in ascending PathID order — a deterministic
+	// serialization order by construction.
+	PerPath []PathProb
+}
+
+// Prob returns the congestion probability of the link w.r.t. path p, or
+// NaN when the path does not traverse the link.
+func (lt *LinkClassTruth) Prob(p graph.PathID) float64 {
+	i := sort.Search(len(lt.PerPath), func(i int) bool { return lt.PerPath[i].Path >= p })
+	if i < len(lt.PerPath) && lt.PerPath[i].Path == p {
+		return lt.PerPath[i].Prob
+	}
+	return math.NaN()
 }
 
 // GroundTruth computes per-link per-path congestion probabilities over the
@@ -167,28 +204,29 @@ func (c *Collector) GroundTruth(n *Network, duration Time, lossThreshold float64
 	}
 	out := make([]LinkClassTruth, c.links)
 	for l := 0; l < c.links; l++ {
-		lt := LinkClassTruth{Link: graph.LinkID(l), PerPath: map[graph.PathID]float64{}}
-		for _, p := range n.Graph.PathsThrough(graph.LinkID(l)) {
+		paths := n.Graph.PathsThrough(graph.LinkID(l))
+		lt := LinkClassTruth{Link: graph.LinkID(l), PerPath: make([]PathProb, 0, len(paths))}
+		for _, p := range paths {
 			congested, usable := 0, 0
 			for t := 0; t < T; t++ {
-				e := c.gtArr[c.key(t, l, int(p))]
+				e := c.gtAt(t, l, int(p))
 				// LinkArrival fires before the drop decision, so arrived
 				// already includes every packet later dropped here.
-				arrived, dropped := e[0], e[1]
-				if arrived == 0 {
+				if e.arrived == 0 {
 					continue
 				}
 				usable++
-				if float64(dropped)/float64(arrived) >= lossThreshold {
+				if float64(e.dropped)/float64(e.arrived) >= lossThreshold {
 					congested++
 				}
 			}
+			prob := math.NaN()
 			if usable > 0 {
-				lt.PerPath[p] = float64(congested) / float64(usable)
-			} else {
-				lt.PerPath[p] = math.NaN()
+				prob = float64(congested) / float64(usable)
 			}
+			lt.PerPath = append(lt.PerPath, PathProb{Path: p, Prob: prob})
 		}
+		sort.Slice(lt.PerPath, func(i, j int) bool { return lt.PerPath[i].Path < lt.PerPath[j].Path })
 		out[l] = lt
 	}
 	return out

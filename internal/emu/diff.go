@@ -61,9 +61,15 @@ func (l *Link) attachDiff(d *Differentiation) error {
 	if burstSec <= 0 {
 		burstSec = DefaultBurstSec
 	}
+	// Per-class regulators are dense slices indexed by ClassID so the
+	// forwarding path never probes a map per packet.
+	classes := l.net.Graph.NumClasses()
 	for class, frac := range d.Rate {
 		if frac <= 0 || frac > 1 {
 			return fmt.Errorf("emu: link %s: class %d rate fraction %v out of (0,1]", l.Name, class, frac)
+		}
+		if int(class) >= classes {
+			return fmt.Errorf("emu: link %s: class %d outside the network's %d classes", l.Name, class, classes)
 		}
 		rate := l.Cap * frac // bits/s
 		bucket := rate * burstSec / 8
@@ -73,17 +79,18 @@ func (l *Link) attachDiff(d *Differentiation) error {
 		tb := &tokenBucket{rate: rate / 8, bucket: bucket, tokens: bucket}
 		switch d.Kind {
 		case Police:
-			if l.policer == nil {
-				l.policer = map[graph.ClassID]*tokenBucket{}
+			if l.policers == nil {
+				l.policers = make([]*tokenBucket, classes)
 			}
-			l.policer[class] = tb
+			l.policers[class] = tb
 		case Shape:
-			if l.shaper == nil {
-				l.shaper = map[graph.ClassID]*shaperQueue{}
+			if l.shapers == nil {
+				l.shapers = make([]*shaperQueue, classes)
 			}
-			limit := d.ShaperQueueBytes
-			sq := &shaperQueue{tb: tb, link: l, qLimit: limit}
-			l.shaper[class] = sq
+			sq := &shaperQueue{tb: tb, link: l, qLimit: d.ShaperQueueBytes}
+			sq.id = int32(len(l.net.shapers))
+			l.net.shapers = append(l.net.shapers, sq)
+			l.shapers[class] = sq
 		default:
 			return fmt.Errorf("emu: link %s: unknown differentiation kind %v", l.Name, d.Kind)
 		}
@@ -137,11 +144,15 @@ func (tb *tokenBucket) wait(now Time, size int) Time {
 }
 
 // shaperQueue delays excess packets of one class until tokens accumulate,
-// then feeds them to the link's main queue.
+// then feeds them to the link's main queue. The queue holds packet arena
+// indices; drain events reference the shaper by its dense id on the
+// network, so the shaping path is pointer- and allocation-free in steady
+// state.
 type shaperQueue struct {
 	tb     *tokenBucket
 	link   *Link
-	queue  []*Packet
+	id     int32 // index in Network.shapers, for evShaperDrain operands
+	queue  idxRing
 	qBytes int
 	qLimit int
 	armed  bool
@@ -177,45 +188,50 @@ func (s *shaperQueue) limit() int {
 }
 
 // submit runs a packet through the shaper.
-func (s *shaperQueue) submit(p *Packet) {
-	now := s.link.sim.Now()
-	if len(s.queue) == 0 && s.tb.take(now, p.Size) {
-		s.link.enqueue(p)
+func (s *shaperQueue) submit(idx int32, p *Packet) {
+	now := s.link.sim.now
+	if s.queue.count == 0 && s.tb.take(now, p.Size) {
+		s.link.enqueue(idx, p)
 		return
 	}
 	if s.qBytes+p.Size > s.limit() {
-		s.link.drop(p)
+		s.link.drop(idx, p)
 		return
 	}
-	s.queue = append(s.queue, p)
+	s.queue.push(idx)
 	s.qBytes += p.Size
 	s.arm()
 }
 
+// headSize returns the wire size of the head-of-queue packet.
+func (s *shaperQueue) headSize() int {
+	return s.link.net.pkts[s.queue.peek()].Size
+}
+
 // arm schedules the next evShaperDrain release if not already scheduled.
 func (s *shaperQueue) arm() {
-	if s.armed || len(s.queue) == 0 {
+	if s.armed || s.queue.count == 0 {
 		return
 	}
 	s.armed = true
-	now := s.link.sim.Now()
-	d := s.tb.wait(now, s.queue[0].Size)
+	now := s.link.sim.now
+	d := s.tb.wait(now, s.headSize())
 	if d < minDrainDelay {
 		d = minDrainDelay
 	}
-	s.link.sim.atShaperDrain(now+d, s)
+	s.link.sim.atShaperDrain(now+d, s.link.net.id, s.id)
 }
 
 // drain releases every head-of-queue packet the bucket can pay for, then
 // re-arms for the next deficit.
 func (s *shaperQueue) drain() {
 	s.armed = false
-	now := s.link.sim.Now()
-	for len(s.queue) > 0 && s.tb.take(now, s.queue[0].Size) {
-		p := s.queue[0]
-		s.queue = s.queue[1:]
+	now := s.link.sim.now
+	for s.queue.count > 0 && s.tb.take(now, s.headSize()) {
+		idx := s.queue.pop()
+		p := &s.link.net.pkts[idx]
 		s.qBytes -= p.Size
-		s.link.enqueue(p)
+		s.link.enqueue(idx, p)
 	}
 	s.arm()
 }

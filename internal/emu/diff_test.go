@@ -47,11 +47,13 @@ func diffNet(t *testing.T, diff *Differentiation) (*Sim, *Network) {
 // blast sends n packets on the path at the given rate (pkts/s).
 func blast(sim *Sim, net *Network, path graph.PathID, class graph.ClassID, n int, rate float64) *int {
 	delivered := new(int)
+	dst := net.RegisterHandler(DeliverFunc(func(p *Packet) { *delivered++ }))
 	for i := 0; i < n; i++ {
 		i := i
 		sim.At(float64(i)/rate, func() {
-			net.SendData(&Packet{Path: path, Class: class, Seq: i, Size: 1500,
-				Dst: DeliverFunc(func(p *Packet) { *delivered++ })})
+			p, h := net.NewPacket()
+			p.Path, p.Class, p.Seq, p.Size, p.Dst = path, class, i, 1500, dst
+			net.SendData(h)
 		})
 	}
 	return delivered
@@ -104,11 +106,13 @@ func TestShaperRateEnforced(t *testing.T) {
 	var last float64
 	n := 200
 	delivered := 0
+	dst := net.RegisterHandler(DeliverFunc(func(p *Packet) { delivered++; last = sim.Now() }))
 	for i := 0; i < n; i++ {
 		i := i
 		sim.At(float64(i)/1000, func() {
-			net.SendData(&Packet{Path: 1, Class: 1, Seq: i, Size: 1500,
-				Dst: DeliverFunc(func(p *Packet) { delivered++; last = sim.Now() })})
+			p, h := net.NewPacket()
+			p.Path, p.Class, p.Seq, p.Size, p.Dst = 1, 1, i, 1500, dst
+			net.SendData(h)
 		})
 	}
 	sim.Run(10)

@@ -28,14 +28,21 @@ func twoHop(t *testing.T, cfg1, cfg2 LinkConfig, rtt float64) (*Sim, *Network) {
 	return sim, net
 }
 
+// sendData allocates a data packet from the arena and injects it.
+func sendData(net *Network, path graph.PathID, seq, size int, dst HandlerID) {
+	p, h := net.NewPacket()
+	p.Path, p.Seq, p.Size, p.Dst = path, seq, size, dst
+	net.SendData(h)
+}
+
 func TestDeliveryLatency(t *testing.T) {
 	// 1500-byte packet over two 1 Mbps links with 10 ms propagation each:
 	// tx 12 ms per hop + 10 ms prop per hop = 44 ms.
 	cfg := LinkConfig{Capacity: 1e6, Delay: 0.01}
 	sim, net := twoHop(t, cfg, cfg, 0.1)
 	var deliveredAt float64
-	pkt := &Packet{Path: 0, Size: 1500, Dst: DeliverFunc(func(p *Packet) { deliveredAt = sim.Now() })}
-	net.SendData(pkt)
+	dst := net.RegisterHandler(DeliverFunc(func(p *Packet) { deliveredAt = sim.Now() }))
+	sendData(net, 0, 0, 1500, dst)
 	sim.Run(1)
 	want := 2*(1500*8/1e6) + 2*0.01
 	if math.Abs(deliveredAt-want) > 1e-9 {
@@ -50,11 +57,12 @@ func TestThroughputMatchesCapacity(t *testing.T) {
 	sim, net := twoHop(t, cfg, LinkConfig{Capacity: 1e9, Delay: 0}, 0.1)
 	delivered := 0
 	var last float64
+	dst := net.RegisterHandler(DeliverFunc(func(p *Packet) {
+		delivered++
+		last = sim.Now()
+	}))
 	for i := 0; i < 1000; i++ {
-		net.SendData(&Packet{Path: 0, Seq: i, Size: 1500, Dst: DeliverFunc(func(p *Packet) {
-			delivered++
-			last = sim.Now()
-		})})
+		sendData(net, 0, i, 1500, dst)
 	}
 	sim.Run(10)
 	if delivered != 1000 {
@@ -73,8 +81,9 @@ func TestQueueOverflowDrops(t *testing.T) {
 	sim, net := twoHop(t, cfg, LinkConfig{Capacity: 1e9, Delay: 0, QueueBytes: 1 << 20}, 0.1)
 	delivered, dropped := 0, 0
 	net.Hooks.DataDropped = func(p *Packet, at *Link) { dropped++ }
+	dst := net.RegisterHandler(DeliverFunc(func(p *Packet) { delivered++ }))
 	for i := 0; i < 10; i++ {
-		net.SendData(&Packet{Path: 0, Seq: i, Size: 1500, Dst: DeliverFunc(func(p *Packet) { delivered++ })})
+		sendData(net, 0, i, 1500, dst)
 	}
 	sim.Run(10)
 	if delivered != 3 || dropped != 7 {
@@ -86,9 +95,9 @@ func TestFIFOOrder(t *testing.T) {
 	cfg := LinkConfig{Capacity: 1e6, Delay: 0.001, QueueBytes: 1 << 20}
 	sim, net := twoHop(t, cfg, cfg, 0.1)
 	var got []int
+	dst := net.RegisterHandler(DeliverFunc(func(p *Packet) { got = append(got, p.Seq) }))
 	for i := 0; i < 20; i++ {
-		i := i
-		net.SendData(&Packet{Path: 0, Seq: i, Size: 1500, Dst: DeliverFunc(func(p *Packet) { got = append(got, i) })})
+		sendData(net, 0, i, 1500, dst)
 	}
 	sim.Run(10)
 	for i, v := range got {
@@ -102,7 +111,10 @@ func TestAckChannelDelay(t *testing.T) {
 	cfg := LinkConfig{Capacity: 1e9, Delay: 0.001}
 	sim, net := twoHop(t, cfg, cfg, 0.050)
 	var at float64
-	net.SendAck(&Packet{Path: 0, IsAck: true, Size: 40, Dst: DeliverFunc(func(p *Packet) { at = sim.Now() })})
+	p, h := net.NewPacket()
+	p.Path, p.IsAck, p.Size = 0, true, 40
+	p.Dst = net.RegisterHandler(DeliverFunc(func(p *Packet) { at = sim.Now() }))
+	net.SendAck(h)
 	sim.Run(1)
 	want := 0.050 - 0.002 // RTT minus forward propagation
 	if math.Abs(at-want) > 1e-9 {
@@ -151,7 +163,7 @@ func TestHooksFire(t *testing.T) {
 	net.Hooks.DataSent = func(p *Packet) { sent++ }
 	net.Hooks.LinkArrival = func(p *Packet, at *Link) { arrivals++ }
 	net.Hooks.Delivered = func(p *Packet) { delivered++ }
-	net.SendData(&Packet{Path: 0, Size: 1500, Dst: DeliverFunc(func(p *Packet) {})})
+	sendData(net, 0, 0, 1500, net.RegisterHandler(DeliverFunc(func(p *Packet) {})))
 	sim.Run(1)
 	if sent != 1 || arrivals != 2 || delivered != 1 {
 		t.Fatalf("sent=%d arrivals=%d delivered=%d", sent, arrivals, delivered)
@@ -161,13 +173,14 @@ func TestHooksFire(t *testing.T) {
 func TestLinkStats(t *testing.T) {
 	cfg := LinkConfig{Capacity: 1e6, Delay: 0, QueueBytes: 3000}
 	sim, net := twoHop(t, cfg, LinkConfig{Capacity: 1e9, Delay: 0, QueueBytes: 1 << 20}, 0.1)
+	dst := net.RegisterHandler(DeliverFunc(func(p *Packet) {}))
 	for i := 0; i < 10; i++ {
-		net.SendData(&Packet{Path: 0, Size: 1500, Dst: DeliverFunc(func(p *Packet) {})})
+		sendData(net, 0, 0, 1500, dst)
 	}
 	sim.Run(10)
 	la, _ := net.Graph.LinkByName("la")
 	l := net.Link(la.ID)
-	if l.Forwarded != 3 || l.Dropped != 7 {
-		t.Fatalf("forwarded=%d dropped=%d", l.Forwarded, l.Dropped)
+	if l.Forwarded() != 3 || l.Dropped() != 7 {
+		t.Fatalf("forwarded=%d dropped=%d", l.Forwarded(), l.Dropped())
 	}
 }

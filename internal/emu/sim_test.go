@@ -210,6 +210,23 @@ func TestNegativeZeroTime(t *testing.T) {
 	}
 }
 
+// TestRunNegativeZeroDeadline: Run(-0.0) must behave like Run(0.0) —
+// firing only t=0 events — not drain the whole schedule (the raw bit
+// pattern of -0.0 compares above every finite time key).
+func TestRunNegativeZeroDeadline(t *testing.T) {
+	s := NewSim()
+	fired := 0
+	s.At(0, func() { fired++ })
+	s.At(1, func() { fired++ })
+	s.Run(math.Copysign(0, -1))
+	if fired != 1 {
+		t.Fatalf("Run(-0.0) fired %d events, want only the t=0 event", fired)
+	}
+	if s.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", s.Pending())
+	}
+}
+
 func TestPastSchedulingPanics(t *testing.T) {
 	s := NewSim()
 	s.At(5, func() {})

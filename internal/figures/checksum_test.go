@@ -1,0 +1,51 @@
+package figures
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestFig8AllQuickChecksum runs all nine Fig 8 quick sets and compares a
+// single digest of their concatenated rendered output against a recorded
+// value. The digest was recorded from the engine BEFORE the cache-linear
+// data-path rewrite (dense ground-truth collector, packet arena with
+// index rings, pointer-free key-in-heap timer arena, TCP window rings),
+// so a match proves the rewrite byte-identical across every experiment
+// set — policing and shaping sweeps included — not just the set pinned
+// by the full-text golden.
+//
+// If an intentional behaviour change ever invalidates the digest,
+// regenerate it with:
+//
+//	go test ./internal/figures -run TestFig8AllQuickChecksum -update-golden
+func TestFig8AllQuickChecksum(t *testing.T) {
+	results, err := Fig8All(Exec{}, Quick, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 9 {
+		t.Fatalf("Fig8All returned %d sets, want 9", len(results))
+	}
+	var sb strings.Builder
+	for _, r := range results {
+		sb.WriteString(r.String())
+	}
+	got := fmt.Sprintf("%x", sha256.Sum256([]byte(sb.String())))
+	path := filepath.Join("testdata", "fig8_all_quick_seed1.sha256")
+	if *updateGolden {
+		if err := os.WriteFile(path, []byte(got+"\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != strings.TrimSpace(string(want)) {
+		t.Fatalf("all-sets digest %s does not match the recorded pre-rewrite digest %s:\n%s", got, strings.TrimSpace(string(want)), sb.String())
+	}
+}

@@ -282,11 +282,11 @@ func fig10Actual(run *lab.Result, b *topo.TopologyB, policers graph.LinkSet) []B
 	truth := run.GroundTruth(0.01)
 	for _, lt := range truth {
 		byClass := map[graph.ClassID][]float64{}
-		for pid, prob := range lt.PerPath {
-			if prob != prob { // NaN: no traffic
+		for _, pp := range lt.PerPath {
+			if pp.Prob != pp.Prob { // NaN: no traffic
 				continue
 			}
-			byClass[b.Net.ClassOf(pid)] = append(byClass[b.Net.ClassOf(pid)], prob)
+			byClass[b.Net.ClassOf(pp.Path)] = append(byClass[b.Net.ClassOf(pp.Path)], pp.Prob)
 		}
 		if len(byClass) == 0 {
 			continue

@@ -258,8 +258,8 @@ func TestGroundTruthSeparatesClasses(t *testing.T) {
 	res, a := runSpec(t, p, "gt")
 	gt := res.GroundTruth(0.01)
 	shared := gt[a.Shared]
-	c1 := (shared.PerPath[a.Paths[0]] + shared.PerPath[a.Paths[1]]) / 2
-	c2 := (shared.PerPath[a.Paths[2]] + shared.PerPath[a.Paths[3]]) / 2
+	c1 := (shared.Prob(a.Paths[0]) + shared.Prob(a.Paths[1])) / 2
+	c2 := (shared.Prob(a.Paths[2]) + shared.Prob(a.Paths[3])) / 2
 	if c2 < 2*c1 || c2 < 0.05 {
 		t.Fatalf("ground truth gap missing: c1=%v c2=%v", c1, c2)
 	}

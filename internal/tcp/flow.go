@@ -33,17 +33,99 @@ type FlowConfig struct {
 	OnComplete func(f *Flow)
 }
 
+// Per-segment sender-state flags (segRing.flags).
+const (
+	segHasTime uint8 = 1 << iota // first-transmission time recorded
+	segRetxed                    // Karn's algorithm: no sampling from retransmits
+)
+
+// segRing stores per-segment sender state (first-transmission time and
+// retransmission marks) for the outstanding window [highestAcked,
+// maxSent) in a power-of-two ring indexed by sequence number, replacing
+// per-segment map operations on the ACK-clocked hot path. Entries are
+// cleared as the cumulative ACK advances, exactly where the map-based
+// implementation deleted them.
+type segRing struct {
+	sentAt []float64
+	flags  []uint8
+}
+
+func (r *segRing) init() {
+	if r.sentAt == nil {
+		r.sentAt = make([]float64, 64)
+		r.flags = make([]uint8, 64)
+	}
+}
+
+// grow doubles the ring until span sequence numbers fit, reindexing the
+// live window [lo, hi).
+func (r *segRing) grow(span, lo, hi int) {
+	n := len(r.flags)
+	for n <= span {
+		n *= 2
+	}
+	sentAt := make([]float64, n)
+	flags := make([]uint8, n)
+	oldMask := len(r.flags) - 1
+	for seq := lo; seq < hi; seq++ {
+		sentAt[seq&(n-1)] = r.sentAt[seq&oldMask]
+		flags[seq&(n-1)] = r.flags[seq&oldMask]
+	}
+	r.sentAt, r.flags = sentAt, flags
+}
+
+func (r *segRing) reset() {
+	clear(r.flags)
+}
+
+// boolRing is a window-relative set of sequence numbers (the receiver's
+// out-of-order buffer), a power-of-two ring of presence bits.
+type boolRing struct {
+	set []bool
+}
+
+func (r *boolRing) init() {
+	if r.set == nil {
+		r.set = make([]bool, 64)
+	}
+}
+
+// grow doubles the ring until span fits, reindexing the live window.
+// Every stored sequence satisfied seq-lo < cap when stored and lo only
+// advances, so the live entries all fall in (lo, lo+cap] and each old
+// slot corresponds to exactly one sequence in that range.
+func (r *boolRing) grow(span, lo int) {
+	old := r.set
+	n := len(old)
+	for n <= span {
+		n *= 2
+	}
+	set := make([]bool, n)
+	oldMask := len(old) - 1
+	for seq := lo + 1; seq <= lo+len(old); seq++ {
+		set[seq&(n-1)] = old[seq&oldMask]
+	}
+	r.set = set
+}
+
+func (r *boolRing) reset() {
+	clear(r.set)
+}
+
 // Flow is one TCP connection: sender and receiver state folded into a
 // single object, exchanging packets through the emulated network (data
 // forward, ACKs over the reverse channel). Flows pull packets from the
-// network's free list and arm the retransmission timer as a typed
-// KindRTOFire event, so a running flow allocates nothing per segment.
-// A finished Flow can be recycled for a new transfer with Restart.
+// network's arena and arm the retransmission timer as a typed
+// KindRTOFire event; per-segment state lives in window rings, so a
+// running flow performs no per-segment map operations and allocates
+// nothing per segment. A finished Flow can be recycled for a new
+// transfer with Restart.
 type Flow struct {
 	net *emu.Network
 	sim *emu.Sim
 	cfg FlowConfig
 	cc  CongestionControl
+	dst emu.HandlerID
 
 	// epoch is the transfer generation: packets carry it, and arrivals
 	// from a previous transfer of a recycled Flow are ignored, exactly as
@@ -58,8 +140,7 @@ type Flow struct {
 	inRecovery       bool
 	recover          int
 	firstPartialSeen bool
-	sendTimes        map[int]float64 // first-transmission times for RTT sampling
-	retxed           map[int]bool    // Karn's algorithm: no sampling from retransmits
+	segs             segRing // first-tx times + retx marks for the window
 
 	srtt, rttvar, rto float64
 	rtoTimer          emu.TimerHandle
@@ -67,7 +148,7 @@ type Flow struct {
 
 	// Receiver state.
 	rcvNext  int
-	buffered map[int]bool
+	buffered boolRing
 
 	started  float64
 	finished float64
@@ -90,22 +171,22 @@ func Start(net *emu.Network, cfg FlowConfig) *Flow {
 		cfg.SizeSegments = 1
 	}
 	f := &Flow{
-		net:       net,
-		sim:       net.Sim,
-		cfg:       cfg,
-		cc:        cc,
-		sendTimes: make(map[int]float64),
-		retxed:    make(map[int]bool),
-		buffered:  make(map[int]bool),
-		rto:       InitialRTO,
-		backoff:   1,
-		started:   net.Sim.Now(),
+		net:     net,
+		sim:     net.Sim,
+		cfg:     cfg,
+		cc:      cc,
+		rto:     InitialRTO,
+		backoff: 1,
+		started: net.Sim.Now(),
 	}
+	f.dst = net.RegisterHandler(f)
+	f.segs.init()
+	f.buffered.init()
 	f.maybeSend()
 	return f
 }
 
-// Restart begins a new transfer on a finished flow, reusing its maps,
+// Restart begins a new transfer on a finished flow, reusing its rings,
 // congestion controller, and identity on the network. Workload slots run
 // one transfer at a time, so recycling the Flow keeps long runs from
 // allocating per transfer; the epoch bump makes packets still in flight
@@ -133,9 +214,8 @@ func (f *Flow) Restart(cfg FlowConfig) {
 	f.dupAcks = 0
 	f.inRecovery, f.firstPartialSeen = false, false
 	f.recover = 0
-	clear(f.sendTimes)
-	clear(f.retxed)
-	clear(f.buffered)
+	f.segs.reset()
+	f.buffered.reset()
 	f.srtt, f.rttvar = 0, 0
 	f.rto, f.backoff = InitialRTO, 1
 	f.rtoTimer = emu.TimerHandle{}
@@ -190,21 +270,35 @@ func (f *Flow) maybeSend() {
 
 func (f *Flow) sendSegment(seq int, retx bool) {
 	f.SentSegments++
+	if span := seq - f.highestAcked; span >= len(f.segs.flags) {
+		f.segs.grow(span, f.highestAcked, f.maxSent)
+	}
 	if retx {
 		f.RetxSegments++
-		f.retxed[seq] = true
+		// Record the retransmission mark only for segments at or above the
+		// cumulative ACK. After a timeout rewind, a cumulative ACK jump can
+		// overtake the rewound send pointer, and the go-back-N loop then
+		// re-sends already-acknowledged segments; their per-segment state is
+		// never consulted again (RTT sampling and window clearing only look
+		// at [highestAcked, maxSent)), so recording it would only poison the
+		// ring slot for the sequence that reuses it a window later.
+		if seq >= f.highestAcked {
+			f.segs.flags[seq&(len(f.segs.flags)-1)] |= segRetxed
+		}
 	} else {
-		f.sendTimes[seq] = f.sim.Now()
+		slot := seq & (len(f.segs.flags) - 1)
+		f.segs.sentAt[slot] = f.sim.Now()
+		f.segs.flags[slot] = segHasTime
 	}
-	pkt := f.net.NewPacket()
+	pkt, h := f.net.NewPacket()
 	pkt.Path = f.cfg.Path
 	pkt.Class = f.cfg.Class
 	pkt.Seq = seq
 	pkt.Size = MSS
 	pkt.Retx = retx
 	pkt.Epoch = f.epoch
-	pkt.Dst = f
-	f.net.SendData(pkt)
+	pkt.Dst = f.dst
+	f.net.SendData(h)
 }
 
 // HandlePacket implements emu.PacketHandler: data packets arrive at the
@@ -235,24 +329,29 @@ func (f *Flow) onDataArrive(p *emu.Packet) {
 	if f.done {
 		return
 	}
-	if p.Seq == f.rcvNext {
+	seq := p.Seq
+	if seq == f.rcvNext {
 		f.rcvNext++
-		for f.buffered[f.rcvNext] {
-			delete(f.buffered, f.rcvNext)
+		mask := len(f.buffered.set) - 1
+		for f.buffered.set[f.rcvNext&mask] {
+			f.buffered.set[f.rcvNext&mask] = false
 			f.rcvNext++
 		}
-	} else if p.Seq > f.rcvNext {
-		f.buffered[p.Seq] = true
+	} else if seq > f.rcvNext {
+		if span := seq - f.rcvNext; span >= len(f.buffered.set) {
+			f.buffered.grow(span, f.rcvNext)
+		}
+		f.buffered.set[seq&(len(f.buffered.set)-1)] = true
 	}
-	ack := f.net.NewPacket()
+	ack, h := f.net.NewPacket()
 	ack.Path = f.cfg.Path
 	ack.Class = f.cfg.Class
 	ack.Ack = f.rcvNext
 	ack.Size = AckSize
 	ack.IsAck = true
 	ack.Epoch = f.epoch
-	ack.Dst = f
-	f.net.SendAck(ack)
+	ack.Dst = f.dst
+	f.net.SendAck(h)
 }
 
 // onAckArrive is the sender side: NewReno-style ACK clocking.
@@ -270,18 +369,18 @@ func (f *Flow) onAckArrive(p *emu.Packet) {
 }
 
 func (f *Flow) newAck(ack int) {
+	mask := len(f.segs.flags) - 1
 	// RTT sample: only when the ACK advances by exactly one segment.
 	// After a recovery hole fills, the cumulative ACK jumps over segments
 	// that sat in the receiver's reorder buffer; timing those would
 	// charge the whole recovery episode to the path RTT.
 	if ack == f.highestAcked+1 {
-		if t, ok := f.sendTimes[ack-1]; ok && !f.retxed[ack-1] {
-			f.updateRTT(f.sim.Now() - t)
+		if fl := f.segs.flags[(ack-1)&mask]; fl&segHasTime != 0 && fl&segRetxed == 0 {
+			f.updateRTT(f.sim.Now() - f.segs.sentAt[(ack-1)&mask])
 		}
 	}
 	for seq := f.highestAcked; seq < ack; seq++ {
-		delete(f.sendTimes, seq)
-		delete(f.retxed, seq)
+		f.segs.flags[seq&mask] = 0
 	}
 	f.highestAcked = ack
 	f.dupAcks = 0

@@ -17,10 +17,12 @@ package neutrality_test
 // Run with: go test -bench=. -benchmem
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
 
+	"neutrality"
 	"neutrality/internal/figures"
 )
 
@@ -231,5 +233,38 @@ func BenchmarkBaselineBooleanTomography(b *testing.B) {
 		if !r.Pass {
 			b.Fatalf("baseline comparison failed:\n%s", r)
 		}
+	}
+}
+
+// Sweep orchestration engine.
+
+// BenchmarkSweepGrid drives a small in-memory grid (the rate × dfrac
+// plane on the policed dumbbell) through the full sweep engine —
+// lazy cell expansion, the streaming executor, online aggregation —
+// and reports sweep_cells_per_sec, the engine-level throughput the
+// benchjson baseline gates alongside events_per_sec.
+func BenchmarkSweepGrid(b *testing.B) {
+	g := neutrality.NewGrid("bench-sweep", neutrality.GridBase{
+		ScaleFactor: 0.05,
+		DurationSec: 10,
+	})
+	g.Add("diff", neutrality.GridStr("police"))
+	g.Add("rate", neutrality.GridNum(0.2), neutrality.GridNum(0.3), neutrality.GridNum(0.4))
+	g.Add("dfrac", neutrality.GridNum(0.3), neutrality.GridNum(0.5), neutrality.GridNum(0.7))
+	b.ReportAllocs()
+	cells := 0
+	for i := 0; i < b.N; i++ {
+		res, err := neutrality.RunSweep(context.Background(), g, neutrality.SweepOptions{BaseSeed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Agg.Cells() != g.Cells() {
+			b.Fatalf("aggregated %d of %d cells", res.Agg.Cells(), g.Cells())
+		}
+		cells += res.Total
+		once("sweep-grid", res.Agg.Summary)
+	}
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(cells)/sec, "sweep_cells_per_sec")
 	}
 }

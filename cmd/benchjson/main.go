@@ -14,9 +14,10 @@
 // against a recorded BENCH json: for every benchmark present in both,
 // the run fails (exit 1, after still emitting the JSON) if allocs_op or
 // B_op regresses more than the allowed slack above the recorded value,
-// or events_per_sec drops more than the allowed slack below it. CI uses
-// this to pin the allocation budget and event-engine throughput of the
-// emulation benches.
+// or events_per_sec / sweep_cells_per_sec drops more than the allowed
+// slack below it. CI uses this to pin the allocation budget, the
+// event-engine throughput of the emulation benches, and the sweep
+// engine's cell throughput.
 package main
 
 import (
@@ -46,11 +47,13 @@ type gatedMetric struct {
 }
 
 // gatedMetrics are the metrics compared against the baseline, in report
-// order: allocation count, bytes allocated, and event throughput.
+// order: allocation count, bytes allocated, event-engine throughput,
+// and sweep-engine cell throughput.
 var gatedMetrics = []gatedMetric{
 	{unit: "allocs_op", higherIsWorse: true},
 	{unit: "B_op", higherIsWorse: true},
 	{unit: "events_per_sec", higherIsWorse: false},
+	{unit: "sweep_cells_per_sec", higherIsWorse: false},
 }
 
 func main() {

@@ -122,3 +122,27 @@ func TestParseBenchLineRejectsNoise(t *testing.T) {
 		}
 	}
 }
+
+func TestCheckRegressionsSweepThroughputGate(t *testing.T) {
+	base := map[string]map[string]float64{"SweepGrid": {"sweep_cells_per_sec": 250}}
+
+	bad := map[string]map[string]float64{"SweepGrid": {"sweep_cells_per_sec": 250 * 0.8}}
+	if got := checkRegressions(bad, base); len(got) != 1 || !strings.Contains(got[0], "sweep_cells_per_sec") {
+		t.Fatalf("sweep throughput drop not caught: %v", got)
+	}
+
+	ok := map[string]map[string]float64{"SweepGrid": {"sweep_cells_per_sec": 250 * 1.5}}
+	if got := checkRegressions(ok, base); len(got) != 0 {
+		t.Fatalf("faster sweep flagged: %v", got)
+	}
+
+	within := map[string]map[string]float64{"SweepGrid": {"sweep_cells_per_sec": 250 * 0.91}}
+	if got := checkRegressions(within, base); len(got) != 0 {
+		t.Fatalf("within-slack drift flagged: %v", got)
+	}
+
+	missing := map[string]map[string]float64{"SweepGrid": {"ns_op": 1}}
+	if got := checkRegressions(missing, base); len(got) != 1 || !strings.Contains(got[0], "missing") {
+		t.Fatalf("missing sweep metric not caught: %v", got)
+	}
+}

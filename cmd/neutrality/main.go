@@ -11,9 +11,14 @@
 //	                   [-duration 90] [-scale 0.1] [-seed 1]
 //	                   [-runs 1] [-workers 0]
 //	neutrality infer   -net ... [-gap 0.5] [-intervals 6000] [-seed 1]
+//	neutrality sweep   -grid spec.json|-demo [-out dir] [-workers 0]
+//	                   [-shards 1] [-seed 1] [-resume] [-print-spec]
 //
 // `emulate` runs packet-level TCP emulation and then inference; `infer`
-// uses the fast synthetic substrate with a configurable violation gap.
+// uses the fast synthetic substrate with a configurable violation gap;
+// `sweep` executes a declarative scenario grid on the sweep
+// orchestration engine (sharded JSONL records, online aggregation,
+// resumable checkpoints — byte-identical for every -workers value).
 // With -runs N > 1, emulate replicates the experiment N times with
 // per-run seeds derived from (-seed, run index), fans the replicas out
 // across a bounded worker pool (-workers, default one per CPU), and
@@ -51,10 +56,12 @@ func main() {
 		cmdEmulate(ctx, args)
 	case "infer":
 		cmdInfer(args)
+	case "sweep":
+		cmdSweep(ctx, args)
 	case "help", "-h", "--help":
 		usage()
 	default:
-		log.Fatalf("unknown command %q (try: topo, theory, emulate, infer)", cmd)
+		log.Fatalf("unknown command %q (try: topo, theory, emulate, infer, sweep)", cmd)
 	}
 }
 
@@ -66,6 +73,9 @@ commands:
   theory   observability and identifiability analysis of a topology
   emulate  run packet-level TCP emulation + inference (topologies a|b)
   infer    run inference on fast synthetic observations
+  sweep    run a declarative scenario grid: sharded JSONL records,
+           online aggregation, resumable checkpoints (-demo for the
+           built-in 1,000-cell grid, -print-spec for the JSON format)
 
 run 'neutrality <command> -h' for command flags`)
 	os.Exit(2)

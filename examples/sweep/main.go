@@ -1,0 +1,67 @@
+// Sweep: explore a policer-rate × discrimination-fraction plane with
+// the sweep orchestration engine, using only the public API.
+//
+// Instead of hand-rolling nested loops over emulation runs, the
+// scenario space is declared as a grid — each axis a knob, the
+// Cartesian product the experiment cells. The engine expands the grid
+// lazily, fans cells across the worker pool, derives every cell's
+// seed from (baseSeed, cellIndex) so any cell is reproducible in
+// isolation, and folds each result into bounded-memory online
+// aggregates (streaming mean/variance plus quantile sketches per axis
+// slice). The summary below is byte-identical for every worker count.
+//
+// The same grid can be persisted and resumed from the command line:
+//
+//	go run ./cmd/neutrality sweep -demo -out /tmp/sweep -shards 4
+//
+// Run with: go run ./examples/sweep
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"neutrality"
+)
+
+func main() {
+	// 1. Declare the scenario grid: a policed dumbbell at 5% of the
+	//    paper's capacity, 10 emulated seconds per cell; 3 policing
+	//    rates × 3 discrimination fractions × 2 replicas = 18 cells.
+	g := neutrality.NewGrid("rate-dfrac-demo", neutrality.GridBase{
+		ScaleFactor: 0.05,
+		DurationSec: 10,
+	})
+	g.Add("diff", neutrality.GridStr("police"))
+	g.Add("rate",
+		neutrality.GridNum(0.1).WithLabel("10%"),
+		neutrality.GridNum(0.3).WithLabel("30%"),
+		neutrality.GridNum(0.5).WithLabel("50%"))
+	g.Add("dfrac", neutrality.GridNum(0.25), neutrality.GridNum(0.5), neutrality.GridNum(0.75))
+	g.Add("rep", neutrality.GridNum(0), neutrality.GridNum(1))
+	if err := neutrality.ValidateSweepGrid(g); err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Execute: cells stream through the pool in cell order; the
+	//    callback observes each record as it is committed.
+	fmt.Printf("running %d cells…\n", g.Cells())
+	res, err := neutrality.RunSweep(context.Background(), g, neutrality.SweepOptions{
+		BaseSeed: 1,
+		OnRecord: func(r neutrality.SweepRecord) {
+			if r.Verdict {
+				fmt.Printf("  cell %2d %v: NON-NEUTRAL (unsolvability %.3f)\n",
+					r.Cell, r.Axes, r.Unsolvability)
+			}
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. The online aggregates: global quality plus marginal curves
+	//    along every axis.
+	fmt.Println()
+	fmt.Print(res.Agg.Summary())
+}

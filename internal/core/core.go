@@ -132,11 +132,16 @@ func (v *Verdict) ClassEstimates(topClass graph.ClassID) map[graph.ClassID][]flo
 // Result is the full output of Infer.
 type Result struct {
 	Net *graph.Network
-	// Candidates are the slices admitted by Algorithm 1 (>= 2 path pairs),
-	// in deterministic order, with their verdicts.
+	// Candidates are the slices admitted by Algorithm 1 (>= 2 path
+	// pairs), with their verdicts, sorted by the slice's link-sequence
+	// key (nslice.Key over the ID-sorted sequence — the order
+	// nslice.Enumerate yields). The documented key makes the order a
+	// property of the network alone: it never depends on map iteration
+	// or on how many workers ran the surrounding sweep.
 	Candidates []*Verdict
 	// TooFewPairs lists the slices discarded by line 10 of Algorithm 1
-	// (fewer than 5 pathsets, i.e. fewer than 2 path pairs).
+	// (fewer than 5 pathsets, i.e. fewer than 2 path pairs), in the
+	// same key order as Candidates.
 	TooFewPairs []*nslice.Slice
 	// Cluster is the unsolvability split used (Clustered mode).
 	Cluster cluster.Result

@@ -196,7 +196,10 @@ func (lt *LinkClassTruth) Prob(p graph.PathID) float64 {
 }
 
 // GroundTruth computes per-link per-path congestion probabilities over the
-// first T intervals of the run.
+// first T intervals of the run. The result is sorted by ascending
+// LinkID (one entry per link), and each entry's PerPath by ascending
+// PathID — documented keys, so exports never depend on map or
+// scheduling order.
 func (c *Collector) GroundTruth(n *Network, duration Time, lossThreshold float64) []LinkClassTruth {
 	T := int(duration / c.Interval)
 	if T > len(c.sent) {

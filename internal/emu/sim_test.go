@@ -1,6 +1,8 @@
 package emu
 
 import (
+	"context"
+	"errors"
 	"math"
 	"math/rand"
 	"sort"
@@ -400,3 +402,66 @@ func BenchmarkTimerChurn(b *testing.B) {
 type benchHandler struct{ fired uint64 }
 
 func (h *benchHandler) OnEvent(EventKind, int32) { h.fired++ }
+
+// TestRunCtx: a nil context behaves exactly like Run; a cancelled
+// context stops the event loop between batches with the context's
+// error, leaving the simulation mid-run rather than drained.
+func TestRunCtx(t *testing.T) {
+	s := NewSim()
+	fired := 0
+	for i := 0; i < 10; i++ {
+		s.After(float64(i), func() { fired++ })
+	}
+	if err := s.RunCtx(nil, 4.5); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 5 || s.Now() != 4.5 {
+		t.Fatalf("nil ctx: fired=%d now=%v", fired, s.Now())
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	before := fired
+	if err := s.RunCtx(ctx, 100); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	if fired != before {
+		t.Fatal("events fired after cancellation")
+	}
+	if s.Pending() == 0 {
+		t.Fatal("cancelled run drained the schedule")
+	}
+
+	// The uncancelled context completes the run.
+	if err := s.RunCtx(context.Background(), 100); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 10 || s.Now() != 100 {
+		t.Fatalf("fired=%d now=%v", fired, s.Now())
+	}
+}
+
+// TestRunCtxInterruptsBatch: cancellation lands mid-run — between
+// event batches — not only at batch boundaries aligned with Run calls.
+func TestRunCtxInterruptsBatch(t *testing.T) {
+	s := NewSim()
+	ctx, cancel := context.WithCancel(context.Background())
+	n := 0
+	// Self-rescheduling event chain: ~10 batches worth of events, with
+	// the cancel pulled a third of the way in.
+	var step func()
+	step = func() {
+		n++
+		if n == 10*ctxCheckEvents/3 {
+			cancel()
+		}
+		s.After(1e-9, step)
+	}
+	s.After(0, step)
+	if err := s.RunCtx(ctx, 1); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	if n >= 10*ctxCheckEvents {
+		t.Fatalf("ran %d events after mid-run cancel", n)
+	}
+}

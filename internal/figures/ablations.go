@@ -7,7 +7,7 @@ import (
 
 	"neutrality/internal/core"
 	"neutrality/internal/graph"
-	"neutrality/internal/lab"
+	"neutrality/internal/grid"
 	"neutrality/internal/matrix"
 	"neutrality/internal/measure"
 	"neutrality/internal/routing"
@@ -47,52 +47,31 @@ func AblationNormalization(sc Scale, seed int64) (*AblationResult, error) {
 	return AblationNormalizationExec(Exec{}, sc, seed)
 }
 
-// AblationNormalizationExec is AblationNormalization with explicit
-// execution control: one emulation, with the normalize-on and
-// normalize-off inference passes as parallel units.
+// AblationNormalizationExec is AblationNormalization as a two-cell
+// grid over the normalize axis, run on the sweep engine: both cells
+// re-emulate the identical fixed-seed neutral experiment (emulation is
+// deterministic) and differ only in the inference pass.
 func AblationNormalizationExec(x Exec, sc Scale, seed int64) (*AblationResult, error) {
-	if err := x.context().Err(); err != nil {
-		return nil, err
-	}
-	p := lab.DefaultParamsA().Scale(sc.Factor, sc.DurationSec)
-	p.MeanFlowMb = [2]float64{0.1 * sc.Factor * 10, 100 * sc.Factor * 10} // 1 Mb vs 1 Gb at paper scale
-	p.Seed = seed
-	e, a := p.Experiment("ablation-normalization")
-	run, err := lab.Run(e)
+	g := grid.New("ablation-normalization", grid.Base{
+		ScaleFactor: sc.Factor,
+		DurationSec: sc.DurationSec,
+		SeedMode:    grid.SeedFixed,
+	}).
+		Add("c1mb", grid.Num(0.1*sc.Factor*10)). // 1 Mb at paper scale
+		Add("c2mb", grid.Num(100*sc.Factor*10)). // 1 Gb at paper scale
+		Add("normalize", grid.Str("on"), grid.Str("off"))
+	recs, err := runGridRows(x, g, seed)
 	if err != nil {
 		return nil, err
 	}
 	out := &AblationResult{Title: "Ablation: Algorithm 2 normalization (neutral link, 1 Mb vs 1 Gb classes)"}
-
-	type variant struct {
-		row string
-		u   float64
-	}
-	variants := []bool{true, false}
-	results, err := runner.Map(x.context(), x.Workers, len(variants), func(_ context.Context, i int) (variant, error) {
-		normalize := variants[i]
-		opts := measure.DefaultOptions()
-		opts.Normalize = normalize
-		res := core.Infer(a.Net, core.MeasurementObserver{Meas: run.Meas, Opts: opts}, core.DefaultConfig())
-		u := 0.0
-		if len(res.Candidates) > 0 {
-			u = res.Candidates[0].Unsolvability
-		}
-		return variant{
-			row: fmt.Sprintf("normalize=%-5v unsolvability=%.4f verdict(non-neutral)=%v",
-				normalize, u, res.NetworkNonNeutral()),
-			u: u,
-		}, nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	uWith, uWithout := results[0].u, results[1].u
-	for _, v := range results {
-		out.Rows = append(out.Rows, v.row)
+	for i, r := range recs {
+		out.Rows = append(out.Rows, fmt.Sprintf("normalize=%-5v unsolvability=%.4f verdict(non-neutral)=%v",
+			i == 0, r.Unsolvability, r.Verdict))
 	}
 	// The design holds if normalization keeps the inconsistency smaller
 	// than the raw comparison (and below the decision gap).
+	uWith, uWithout := recs[0].Unsolvability, recs[1].Unsolvability
 	out.Pass = uWith < uWithout && uWith < 0.1
 	return out, nil
 }

@@ -14,9 +14,9 @@ import (
 // from (baseSeed, unitIndex) and collects results in unit order, so the
 // output is bit-identical for every Workers setting.
 type Exec struct {
-	// Ctx cancels the sweep between units (nil = context.Background()).
-	// In-flight emulations are not interrupted; pending ones are not
-	// started.
+	// Ctx cancels the sweep (nil = context.Background()): pending units
+	// are not started, and in-flight emulations abort mid-run (the
+	// event loop polls the context between batches).
 	Ctx context.Context
 	// Workers bounds the worker pool (0 = runtime.NumCPU()).
 	Workers int

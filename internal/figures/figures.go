@@ -98,8 +98,8 @@ func Fig8Exec(x Exec, set int, sc Scale, seed int64) (*Fig8Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	rows, err := runner.Map(x.context(), x.Workers, len(specs), func(_ context.Context, i int) (Fig8Row, error) {
-		return fig8Unit(set, specs[i], i, sc, seed)
+	rows, err := runner.Map(x.context(), x.Workers, len(specs), func(uctx context.Context, i int) (Fig8Row, error) {
+		return fig8Unit(uctx, set, specs[i], i, sc, seed)
 	})
 	if err != nil {
 		return nil, err
@@ -126,8 +126,8 @@ func Fig8All(x Exec, sc Scale, seed int64) ([]*Fig8Result, error) {
 			units = append(units, unit{set: set, idx: i, spec: spec})
 		}
 	}
-	rows, err := runner.Map(x.context(), x.Workers, len(units), func(_ context.Context, u int) (Fig8Row, error) {
-		return fig8Unit(units[u].set, units[u].spec, units[u].idx, sc, seed)
+	rows, err := runner.Map(x.context(), x.Workers, len(units), func(uctx context.Context, u int) (Fig8Row, error) {
+		return fig8Unit(uctx, units[u].set, units[u].spec, units[u].idx, sc, seed)
 	})
 	if err != nil {
 		return nil, err
@@ -147,8 +147,8 @@ func Fig8All(x Exec, sc Scale, seed int64) ([]*Fig8Result, error) {
 // inference, producing one Figure 8 row. It is a pure function of its
 // arguments (the per-unit seed is derived from the set's base seed and
 // the experiment index), which is what lets Fig8Exec fan units out in
-// any order.
-func fig8Unit(set int, spec lab.SpecA, i int, sc Scale, seed int64) (Fig8Row, error) {
+// any order; ctx only interrupts it mid-emulation.
+func fig8Unit(ctx context.Context, set int, spec lab.SpecA, i int, sc Scale, seed int64) (Fig8Row, error) {
 	p := spec.Params.Scale(sc.Factor, sc.DurationSec)
 	p.Seed = seed + int64(i)
 	if set == 5 || set == 8 {
@@ -159,7 +159,7 @@ func fig8Unit(set int, spec lab.SpecA, i int, sc Scale, seed int64) (Fig8Row, er
 		p.IntervalSec = 0.5
 	}
 	e, a := p.Experiment(fmt.Sprintf("fig8-set%d-%s", set, spec.Label))
-	run, err := lab.Run(e)
+	run, err := lab.RunCtx(ctx, e)
 	if err != nil {
 		return Fig8Row{}, err
 	}
@@ -253,10 +253,7 @@ func Fig10Exec(x Exec, sc Scale, seed int64) (*Fig10Result, error) {
 	p := lab.DefaultParamsB().Scale(sc.Factor, sc.DurationSec)
 	p.Seed = seed
 	e, b := p.Experiment("fig10")
-	if err := x.context().Err(); err != nil {
-		return nil, err
-	}
-	run, err := lab.Run(e)
+	run, err := lab.RunCtx(x.context(), e)
 	if err != nil {
 		return nil, err
 	}
@@ -398,11 +395,9 @@ func Fig11(sc Scale, seed int64) (*Fig11Result, error) {
 }
 
 // Fig11Exec is Fig11 with explicit execution control (the run is a
-// single unit; Exec only contributes cancellation).
+// single unit; Exec contributes cancellation, which aborts the
+// emulation mid-run).
 func Fig11Exec(x Exec, sc Scale, seed int64) (*Fig11Result, error) {
-	if err := x.context().Err(); err != nil {
-		return nil, err
-	}
 	p := lab.DefaultParamsB().Scale(sc.Factor, sc.DurationSec)
 	p.Seed = seed
 	e, b := p.Experiment("fig11")
@@ -410,7 +405,7 @@ func Fig11Exec(x Exec, sc Scale, seed int64) (*Fig11Result, error) {
 	policerLink, _ := b.Net.LinkByName("l20")
 	e.TraceLinks = []graph.LinkID{neutralLink.ID, policerLink.ID}
 	e.TraceInterval = sc.DurationSec / 600 // 600 samples like the paper's plots
-	run, err := lab.Run(e)
+	run, err := lab.RunCtx(x.context(), e)
 	if err != nil {
 		return nil, err
 	}

@@ -1,16 +1,13 @@
 package figures
 
 import (
-	"context"
 	"fmt"
 	"math"
 	"strings"
 
-	"neutrality/internal/core"
+	"neutrality/internal/grid"
 	"neutrality/internal/lab"
-	"neutrality/internal/measure"
-	"neutrality/internal/runner"
-	"neutrality/internal/topo"
+	"neutrality/internal/sweep"
 )
 
 // Table1 renders the parameter grid of the paper's Table 1 with the
@@ -72,39 +69,74 @@ type SweepResult struct {
 	Stable bool
 }
 
-// LossThresholdSweep re-analyzes one policed run under the paper's loss
+// policedGrid is the shared base of the Section 6.5 robustness sweeps
+// as a declarative grid: the policed topology-A operating point (30 %
+// policing, 20 Mb flows at paper scale) with a fixed seed, so every
+// cell re-analyzes the same emulated randomness under a varying
+// processing knob. The hand-rolled sweep loops these functions used to
+// carry are now one axis declaration each over the sweep engine.
+func policedGrid(name string, sc Scale) *grid.Grid {
+	return grid.New(name, grid.Base{
+		ScaleFactor: sc.Factor,
+		DurationSec: sc.DurationSec,
+		SeedMode:    grid.SeedFixed,
+	}).
+		Add("diff", grid.Str("police")).
+		Add("rate", grid.Num(0.3)).
+		Add("flowmb", grid.Num(2*sc.Factor*10)) // 20 Mb at paper scale
+}
+
+// runGridRows executes an in-memory sweep of g and returns its records
+// in cell order.
+func runGridRows(x Exec, g *grid.Grid, seed int64) ([]sweep.Record, error) {
+	var recs []sweep.Record
+	_, err := sweep.Run(x.context(), g, sweep.Options{
+		Workers:  x.Workers,
+		BaseSeed: seed,
+		OnRecord: func(r sweep.Record) { recs = append(recs, r) },
+	})
+	if err != nil {
+		return nil, err
+	}
+	return recs, nil
+}
+
+// sweepRowsOf converts sweep records into the rendered rows, labeling
+// each by its value on the grid's last (varying) axis.
+func sweepRowsOf(recs []sweep.Record) []SweepRow {
+	rows := make([]SweepRow, len(recs))
+	for i, r := range recs {
+		rows[i] = SweepRow{
+			Label:         r.Axes[len(r.Axes)-1],
+			Verdict:       r.Verdict,
+			Unsolvability: r.Unsolvability,
+		}
+	}
+	return rows
+}
+
+// LossThresholdSweep re-analyzes the policed run under the paper's loss
 // thresholds {1, 5, 10} % (Section 6.5: "no significant change").
 func LossThresholdSweep(sc Scale, seed int64) (*SweepResult, error) {
 	return LossThresholdSweepExec(Exec{}, sc, seed)
 }
 
-// LossThresholdSweepExec is LossThresholdSweep with explicit execution
-// control: one emulation, with the per-threshold inference passes fanned
-// out as parallel units.
+// LossThresholdSweepExec is LossThresholdSweep as a three-cell grid
+// over the lossthr axis: every cell re-emulates the identical
+// fixed-seed experiment (emulation is deterministic, so the
+// measurements are bit-equal across cells) and re-infers under its
+// threshold.
 func LossThresholdSweepExec(x Exec, sc Scale, seed int64) (*SweepResult, error) {
-	if err := x.context().Err(); err != nil {
-		return nil, err
-	}
-	run, a, err := policedRun(sc, seed)
+	g := policedGrid("loss-threshold-sweep", sc).
+		Add("lossthr",
+			grid.Num(0.01).WithLabel("1%"),
+			grid.Num(0.05).WithLabel("5%"),
+			grid.Num(0.10).WithLabel("10%"))
+	recs, err := runGridRows(x, g, seed)
 	if err != nil {
 		return nil, err
 	}
-	thresholds := []float64{0.01, 0.05, 0.10}
-	rows, err := runner.Map(x.context(), x.Workers, len(thresholds), func(_ context.Context, i int) (SweepRow, error) {
-		thr := thresholds[i]
-		opts := measure.DefaultOptions()
-		opts.LossThreshold = thr
-		res := core.Infer(a.Net, core.MeasurementObserver{Meas: run.Meas, Opts: opts}, core.DefaultConfig())
-		row := SweepRow{Label: fmt.Sprintf("%g%%", thr*100), Verdict: res.NetworkNonNeutral()}
-		if len(res.Candidates) > 0 {
-			row.Unsolvability = res.Candidates[0].Unsolvability
-		}
-		return row, nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	return assembleSweep("Section 6.5: loss-threshold sweep (policing at 30%)", rows), nil
+	return assembleSweep("Section 6.5: loss-threshold sweep (policing at 30%)", sweepRowsOf(recs)), nil
 }
 
 // IntervalSweep re-runs the policed experiment under measurement intervals
@@ -113,31 +145,19 @@ func IntervalSweep(sc Scale, seed int64) (*SweepResult, error) {
 	return IntervalSweepExec(Exec{}, sc, seed)
 }
 
-// IntervalSweepExec is IntervalSweep with explicit execution control:
-// the three interval configurations are independent emulation+inference
-// units and run in parallel.
+// IntervalSweepExec is IntervalSweep as a three-cell grid over the
+// interval axis, run on the sweep engine.
 func IntervalSweepExec(x Exec, sc Scale, seed int64) (*SweepResult, error) {
-	intervals := []float64{0.1, 0.2, 0.5}
-	rows, err := runner.Map(x.context(), x.Workers, len(intervals), func(_ context.Context, i int) (SweepRow, error) {
-		iv := intervals[i]
-		p := policedParams(sc, seed)
-		p.IntervalSec = iv
-		e, a := p.Experiment(fmt.Sprintf("interval-%gms", iv*1000))
-		run, err := lab.Run(e)
-		if err != nil {
-			return SweepRow{}, err
-		}
-		res := core.Infer(a.Net, core.MeasurementObserver{Meas: run.Meas, Opts: measure.DefaultOptions()}, core.DefaultConfig())
-		row := SweepRow{Label: fmt.Sprintf("%gms", iv*1000), Verdict: res.NetworkNonNeutral()}
-		if len(res.Candidates) > 0 {
-			row.Unsolvability = res.Candidates[0].Unsolvability
-		}
-		return row, nil
-	})
+	g := policedGrid("interval-sweep", sc).
+		Add("interval",
+			grid.Num(0.1).WithLabel("100ms"),
+			grid.Num(0.2).WithLabel("200ms"),
+			grid.Num(0.5).WithLabel("500ms"))
+	recs, err := runGridRows(x, g, seed)
 	if err != nil {
 		return nil, err
 	}
-	return assembleSweep("Section 6.5: measurement-interval sweep (policing at 30%)", rows), nil
+	return assembleSweep("Section 6.5: measurement-interval sweep (policing at 30%)", sweepRowsOf(recs)), nil
 }
 
 // assembleSweep builds a sweep result from its ordered rows and checks
@@ -150,21 +170,6 @@ func assembleSweep(title string, rows []SweepRow) *SweepResult {
 		}
 	}
 	return out
-}
-
-func policedParams(sc Scale, seed int64) lab.ParamsA {
-	p := lab.DefaultParamsA().Scale(sc.Factor, sc.DurationSec)
-	p.MeanFlowMb = [2]float64{2 * sc.Factor * 10, 2 * sc.Factor * 10} // 20 Mb at paper scale
-	p.Diff = lab.PoliceClass2(0.3)
-	p.Seed = seed
-	return p
-}
-
-func policedRun(sc Scale, seed int64) (*lab.Result, *topo.TopologyA, error) {
-	p := policedParams(sc, seed)
-	e, a := p.Experiment("sweep-base")
-	run, err := lab.Run(e)
-	return run, a, err
 }
 
 // String renders the sweep.

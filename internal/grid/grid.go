@@ -1,0 +1,274 @@
+// Package grid is the declarative scenario-grid specification behind
+// the sweep orchestration engine (internal/sweep). A Grid names a set
+// of axes — each a scenario knob with an explicit value list — whose
+// Cartesian product is the set of experiment cells. The package is a
+// leaf: it knows nothing about emulation or inference, so both the
+// experiment definitions (internal/lab) and the sweep engine can build
+// on it without import cycles.
+//
+// Grids are never materialized: Cells reports the product size and
+// Cell(i) decodes cell i lazily with a mixed-radix decomposition, the
+// first axis varying slowest (row-major order, like nested loops).
+// Cell order is therefore a pure function of the spec, which is what
+// lets the sweep engine derive per-cell seeds from (baseSeed, cell
+// index), shard cells deterministically, and resume an interrupted
+// sweep from a completed-cell count.
+//
+// A grid has two forms: the Go builder (New + Add) and a JSON file
+// (see ParseJSON), so sweeps can be declared in code or shipped as
+// artifacts next to their results.
+package grid
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"strconv"
+)
+
+// Value is one setting of an axis: either a number or a string, plus an
+// optional display label. The label is what appears in sweep records
+// and aggregation slices; it defaults to the value's canonical
+// rendering.
+type Value struct {
+	// Str is the string payload (string-valued axes).
+	Str string
+	// Num is the numeric payload (numeric axes).
+	Num float64
+	// IsNum distinguishes the two payloads.
+	IsNum bool
+	// label overrides Label() when non-empty.
+	label string
+}
+
+// Num returns a numeric value.
+func Num(v float64) Value { return Value{Num: v, IsNum: true} }
+
+// Str returns a string value.
+func Str(s string) Value { return Value{Str: s} }
+
+// WithLabel returns a copy of v with an explicit display label.
+func (v Value) WithLabel(label string) Value {
+	v.label = label
+	return v
+}
+
+// Label renders the value for records and summaries: the explicit
+// label when set, otherwise the shortest exact decimal for numbers
+// (strconv 'g') or the string itself.
+func (v Value) Label() string {
+	if v.label != "" {
+		return v.label
+	}
+	if v.IsNum {
+		return strconv.FormatFloat(v.Num, 'g', -1, 64)
+	}
+	return v.Str
+}
+
+// Nums converts a float list into values.
+func Nums(vs ...float64) []Value {
+	out := make([]Value, len(vs))
+	for i, v := range vs {
+		out[i] = Num(v)
+	}
+	return out
+}
+
+// Strs converts a string list into values.
+func Strs(ss ...string) []Value {
+	out := make([]Value, len(ss))
+	for i, s := range ss {
+		out[i] = Str(s)
+	}
+	return out
+}
+
+// Axis is one dimension of the grid: a named scenario knob and the
+// values it sweeps over. A single-value axis pins the knob without
+// multiplying the grid.
+type Axis struct {
+	Name   string
+	Values []Value
+}
+
+// SeedMode selects how the sweep engine derives per-cell seeds.
+type SeedMode string
+
+const (
+	// SeedDerived derives each cell's seed from (baseSeed, cellIndex)
+	// with the runner pool's splitmix64 derivation, so every cell is an
+	// independent random replica reproducible in isolation. This is the
+	// default.
+	SeedDerived SeedMode = "derived"
+	// SeedFixed gives every cell the base seed verbatim. Used by grids
+	// that re-analyze the same emulation under varying processing knobs
+	// (e.g. the Section 6.5 robustness sweeps), where cells must share
+	// their randomness.
+	SeedFixed SeedMode = "fixed"
+)
+
+// Base is the per-grid execution scale shared by every cell: the
+// capacity/flow-size scale factor, the emulated duration, and the seed
+// derivation mode.
+type Base struct {
+	// ScaleFactor multiplies capacities and flow sizes (1.0 = the
+	// paper's 100 Mbps operating point).
+	ScaleFactor float64
+	// DurationSec is the emulated run length per cell.
+	DurationSec float64
+	// SeedMode is the per-cell seed derivation (default SeedDerived).
+	SeedMode SeedMode
+}
+
+// Grid is a declarative scenario grid: a name, the execution base, and
+// the axes whose Cartesian product defines the cells.
+type Grid struct {
+	Name string
+	Base Base
+	Axes []Axis
+}
+
+// New starts a grid with the given name and base.
+func New(name string, base Base) *Grid {
+	return &Grid{Name: name, Base: base}
+}
+
+// Add appends an axis and returns the grid for chaining.
+func (g *Grid) Add(name string, values ...Value) *Grid {
+	g.Axes = append(g.Axes, Axis{Name: name, Values: values})
+	return g
+}
+
+// maxCells bounds the grid product so a typo'd spec cannot overflow
+// cell indexing or the manifest arithmetic. A billion cells is far
+// beyond any sweep the engine will be asked to run in one go.
+const maxCells = 1 << 30
+
+// Validate checks the structural invariants: a non-empty name, a
+// positive scale and duration, a known seed mode, at least one axis,
+// no duplicate or empty axes, homogeneous value types per axis, and a
+// product within maxCells.
+func (g *Grid) Validate() error {
+	if g.Name == "" {
+		return fmt.Errorf("grid: missing name")
+	}
+	if g.Base.ScaleFactor <= 0 {
+		return fmt.Errorf("grid %s: scale factor %g must be > 0", g.Name, g.Base.ScaleFactor)
+	}
+	if g.Base.DurationSec <= 0 {
+		return fmt.Errorf("grid %s: duration %g must be > 0", g.Name, g.Base.DurationSec)
+	}
+	switch g.Base.SeedMode {
+	case "", SeedDerived, SeedFixed:
+	default:
+		return fmt.Errorf("grid %s: unknown seed mode %q", g.Name, g.Base.SeedMode)
+	}
+	if len(g.Axes) == 0 {
+		return fmt.Errorf("grid %s: no axes", g.Name)
+	}
+	seen := map[string]bool{}
+	cells := 1
+	for _, ax := range g.Axes {
+		if ax.Name == "" {
+			return fmt.Errorf("grid %s: axis with empty name", g.Name)
+		}
+		if seen[ax.Name] {
+			return fmt.Errorf("grid %s: duplicate axis %q", g.Name, ax.Name)
+		}
+		seen[ax.Name] = true
+		if len(ax.Values) == 0 {
+			return fmt.Errorf("grid %s: axis %q has no values", g.Name, ax.Name)
+		}
+		for _, v := range ax.Values {
+			if v.IsNum != ax.Values[0].IsNum {
+				return fmt.Errorf("grid %s: axis %q mixes numeric and string values", g.Name, ax.Name)
+			}
+		}
+		if cells > maxCells/len(ax.Values) {
+			return fmt.Errorf("grid %s: more than %d cells", g.Name, maxCells)
+		}
+		cells *= len(ax.Values)
+	}
+	return nil
+}
+
+// Cells returns the number of cells (the product of axis sizes). The
+// grid must have passed Validate.
+func (g *Grid) Cells() int {
+	n := 1
+	for _, ax := range g.Axes {
+		n *= len(ax.Values)
+	}
+	return n
+}
+
+// SeedMode returns the effective seed mode (defaulting to SeedDerived).
+func (g *Grid) SeedMode() SeedMode {
+	if g.Base.SeedMode == "" {
+		return SeedDerived
+	}
+	return g.Base.SeedMode
+}
+
+// Cell is one decoded grid cell: its index plus the per-axis value
+// indices.
+type Cell struct {
+	// Index is the cell's position in row-major grid order.
+	Index int
+	g     *Grid
+	vals  []int
+}
+
+// Cell decodes cell i (0 <= i < Cells) with the first axis varying
+// slowest, exactly like nested loops over the axes in declaration
+// order.
+func (g *Grid) Cell(i int) Cell {
+	if i < 0 || i >= g.Cells() {
+		panic(fmt.Sprintf("grid %s: cell %d out of range [0,%d)", g.Name, i, g.Cells()))
+	}
+	vals := make([]int, len(g.Axes))
+	rem := i
+	for a := len(g.Axes) - 1; a >= 0; a-- {
+		n := len(g.Axes[a].Values)
+		vals[a] = rem % n
+		rem /= n
+	}
+	return Cell{Index: i, g: g, vals: vals}
+}
+
+// Value returns the cell's value on axis a (by declaration position).
+func (c Cell) Value(a int) Value { return c.g.Axes[a].Values[c.vals[a]] }
+
+// ValueIndex returns the cell's value index on axis a.
+func (c Cell) ValueIndex(a int) int { return c.vals[a] }
+
+// Labels renders the cell's per-axis value labels in axis order.
+func (c Cell) Labels() []string {
+	out := make([]string, len(c.g.Axes))
+	for a := range c.g.Axes {
+		out[a] = c.Value(a).Label()
+	}
+	return out
+}
+
+// Lookup returns the cell's value on the named axis.
+func (c Cell) Lookup(name string) (Value, bool) {
+	for a, ax := range c.g.Axes {
+		if ax.Name == name {
+			return c.Value(a), true
+		}
+	}
+	return Value{}, false
+}
+
+// Fingerprint is a stable digest of the full spec (name, base, axes,
+// values, labels). The sweep engine stores it in the checkpoint
+// manifest and refuses to resume a sweep directory recorded under a
+// different spec.
+func (g *Grid) Fingerprint() string {
+	h := sha256.New()
+	// The canonical JSON form encodes everything that affects cell
+	// decoding and labeling, with a fixed field order.
+	h.Write(g.MarshalCanonical())
+	return fmt.Sprintf("%x", h.Sum(nil))
+}

@@ -1,0 +1,159 @@
+package grid
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func demoGrid() *Grid {
+	return New("t", Base{ScaleFactor: 0.1, DurationSec: 30}).
+		Add("topo", Strs("a", "b")...).
+		Add("rate", Nums(0.2, 0.3, 0.4)...).
+		Add("rep", Nums(0, 1)...)
+}
+
+func TestCellsAndDecodeOrder(t *testing.T) {
+	g := demoGrid()
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := g.Cells(); got != 12 {
+		t.Fatalf("Cells = %d, want 12", got)
+	}
+	// Row-major: first axis slowest. Reconstruct nested-loop order and
+	// compare against Cell decoding.
+	i := 0
+	for _, topo := range []string{"a", "b"} {
+		for _, rate := range []float64{0.2, 0.3, 0.4} {
+			for _, rep := range []float64{0, 1} {
+				c := g.Cell(i)
+				if v, _ := c.Lookup("topo"); v.Str != topo {
+					t.Fatalf("cell %d topo = %q, want %q", i, v.Str, topo)
+				}
+				if v, _ := c.Lookup("rate"); v.Num != rate {
+					t.Fatalf("cell %d rate = %g, want %g", i, v.Num, rate)
+				}
+				if v, _ := c.Lookup("rep"); v.Num != rep {
+					t.Fatalf("cell %d rep = %g, want %g", i, v.Num, rep)
+				}
+				if c.Index != i {
+					t.Fatalf("cell index %d != %d", c.Index, i)
+				}
+				i++
+			}
+		}
+	}
+}
+
+func TestLabels(t *testing.T) {
+	g := New("t", Base{ScaleFactor: 1, DurationSec: 1}).
+		Add("rate", Num(0.2).WithLabel("20%"), Num(0.35))
+	if got := g.Cell(0).Labels()[0]; got != "20%" {
+		t.Fatalf("label = %q", got)
+	}
+	if got := g.Cell(1).Labels()[0]; got != "0.35" {
+		t.Fatalf("label = %q", got)
+	}
+	if _, ok := g.Cell(0).Lookup("nope"); ok {
+		t.Fatal("Lookup of unknown axis succeeded")
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *Grid
+		want string
+	}{
+		{"no name", New("", Base{ScaleFactor: 1, DurationSec: 1}).Add("a", Num(1)), "missing name"},
+		{"bad scale", New("g", Base{DurationSec: 1}).Add("a", Num(1)), "scale factor"},
+		{"bad duration", New("g", Base{ScaleFactor: 1}).Add("a", Num(1)), "duration"},
+		{"bad seed mode", New("g", Base{ScaleFactor: 1, DurationSec: 1, SeedMode: "zig"}).Add("a", Num(1)), "seed mode"},
+		{"no axes", New("g", Base{ScaleFactor: 1, DurationSec: 1}), "no axes"},
+		{"empty axis name", New("g", Base{ScaleFactor: 1, DurationSec: 1}).Add("", Num(1)), "empty name"},
+		{"dup axis", New("g", Base{ScaleFactor: 1, DurationSec: 1}).Add("a", Num(1)).Add("a", Num(2)), "duplicate"},
+		{"empty axis", New("g", Base{ScaleFactor: 1, DurationSec: 1}).Add("a"), "no values"},
+		{"mixed axis", New("g", Base{ScaleFactor: 1, DurationSec: 1}).Add("a", Num(1), Str("x")), "mixes"},
+	}
+	for _, tc := range cases {
+		err := tc.g.Validate()
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want containing %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestValidateCellBound(t *testing.T) {
+	g := New("g", Base{ScaleFactor: 1, DurationSec: 1})
+	vals := make([]Value, 1<<11)
+	for i := range vals {
+		vals[i] = Num(float64(i))
+	}
+	g.Add("a", vals...).Add("b", vals...).Add("c", vals...)
+	if err := g.Validate(); err == nil || !strings.Contains(err.Error(), "cells") {
+		t.Fatalf("oversized grid: err = %v", err)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	g := New("demo", Base{ScaleFactor: 0.05, DurationSec: 20, SeedMode: SeedFixed}).
+		Add("topo", Strs("a", "b")...).
+		Add("rate", Num(0.2).WithLabel("20%"), Num(0.3).WithLabel("30%"))
+	data := g.MarshalCanonical()
+	g2, err := ParseJSON(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(g2.MarshalCanonical(), data) {
+		t.Fatalf("round trip diverged:\n%s\nvs\n%s", g2.MarshalCanonical(), data)
+	}
+	if g2.Fingerprint() != g.Fingerprint() {
+		t.Fatal("fingerprint changed across round trip")
+	}
+}
+
+func TestParseJSONErrors(t *testing.T) {
+	cases := []struct {
+		name, in, want string
+	}{
+		{"syntax", `{`, "parsing spec"},
+		{"unknown field", `{"name":"x","scale":1,"duration":1,"zap":1,"axes":[]}`, "parsing spec"},
+		{"bad value type", `{"name":"x","scale":1,"duration":1,"axes":[{"name":"a","values":[true]}]}`, "neither number nor string"},
+		{"label mismatch", `{"name":"x","scale":1,"duration":1,"axes":[{"name":"a","values":[1,2],"labels":["one"]}]}`, "labels"},
+		{"invalid grid", `{"name":"x","scale":1,"duration":1,"axes":[]}`, "no axes"},
+	}
+	for _, tc := range cases {
+		_, err := ParseJSON(strings.NewReader(tc.in))
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want containing %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestFingerprintSensitivity(t *testing.T) {
+	g := demoGrid()
+	base := g.Fingerprint()
+	if g.Fingerprint() != base {
+		t.Fatal("fingerprint not stable")
+	}
+	g2 := demoGrid()
+	g2.Axes[1].Values[0] = Num(0.25)
+	if g2.Fingerprint() == base {
+		t.Fatal("fingerprint insensitive to value change")
+	}
+	g3 := demoGrid()
+	g3.Base.DurationSec = 31
+	if g3.Fingerprint() == base {
+		t.Fatal("fingerprint insensitive to duration change")
+	}
+}
+
+func TestCellPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for out-of-range cell")
+		}
+	}()
+	demoGrid().Cell(12)
+}

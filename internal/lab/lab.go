@@ -69,6 +69,15 @@ type Result struct {
 
 // Run executes the experiment.
 func Run(e *Experiment) (*Result, error) {
+	return RunCtx(context.Background(), e)
+}
+
+// RunCtx executes the experiment under a cancellable context: the
+// emulation polls ctx between event batches (see emu.Sim.RunCtx) and
+// aborts mid-run with the context's error when it is cancelled, so an
+// interrupted batch or sweep stops within milliseconds instead of
+// draining every in-flight run to completion.
+func RunCtx(ctx context.Context, e *Experiment) (*Result, error) {
 	if e.Duration <= 0 {
 		return nil, fmt.Errorf("lab: experiment %q has no duration", e.Name)
 	}
@@ -98,7 +107,9 @@ func Run(e *Experiment) (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("lab: %s: %w", e.Name, err)
 	}
-	sim.Run(e.Duration)
+	if err := sim.RunCtx(ctx, e.Duration); err != nil {
+		return nil, fmt.Errorf("lab: %s interrupted: %w", e.Name, err)
+	}
 
 	meas := col.Measurements(e.Duration, e.MeasuredPaths)
 	var delayMeas *measure.Measurements
@@ -132,13 +143,15 @@ func Run(e *Experiment) (*Result, error) {
 
 // RunBatch executes independent experiments across a bounded worker
 // pool (workers <= 0 means one per CPU) and returns the results in
-// input order. Each experiment is self-seeding (Experiment.Seed), so
-// the batch output is identical for every worker count. The first
-// failing experiment cancels dispatch of the remaining ones; in-flight
-// runs finish. Cancelling ctx likewise stops dispatch between runs.
+// input order (results[i] belongs to exps[i]; the runner pool
+// guarantees index order regardless of completion order). Each
+// experiment is self-seeding (Experiment.Seed), so the batch output is
+// identical for every worker count. The first failing experiment
+// cancels dispatch of the remaining ones and aborts the in-flight
+// runs; cancelling ctx does the same.
 func RunBatch(ctx context.Context, workers int, exps []*Experiment) ([]*Result, error) {
-	return runner.Map(ctx, workers, len(exps), func(_ context.Context, i int) (*Result, error) {
-		return Run(exps[i])
+	return runner.Map(ctx, workers, len(exps), func(uctx context.Context, i int) (*Result, error) {
+		return RunCtx(uctx, exps[i])
 	})
 }
 

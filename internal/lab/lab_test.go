@@ -2,8 +2,10 @@ package lab
 
 import (
 	"context"
+	"errors"
 	"strings"
 	"testing"
+	"time"
 
 	"neutrality/internal/core"
 	"neutrality/internal/graph"
@@ -329,3 +331,72 @@ func TestRunBatchError(t *testing.T) {
 
 // coreLinkID aliases the graph link ID for test brevity.
 type coreLinkID = graph.LinkID
+
+// TestRunCtxCancelsInFlight: cancelling the batch context aborts an
+// experiment that is already emulating — the run returns promptly with
+// the context error instead of draining the event queue (ISSUE 4
+// satellite: cancellation must propagate into in-flight units).
+func TestRunCtxCancelsInFlight(t *testing.T) {
+	p := quickParams()
+	p.DurationSec = 3600 // far more emulated time than the test allows
+	p.Seed = 1
+	e, _ := p.Experiment("cancel-in-flight")
+
+	ctx, cancel := context.WithCancel(context.Background())
+	started := time.Now()
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	_, err := RunBatch(ctx, 1, []*Experiment{e})
+	if err == nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// The hour-long emulation must not have been drained: aborting
+	// within a generous real-time bound proves the cancellation landed
+	// mid-run. (The full run takes minutes of real time.)
+	if elapsed := time.Since(started); elapsed > 10*time.Second {
+		t.Fatalf("cancellation took %v", elapsed)
+	}
+}
+
+// TestTableTwoGridSpec: TableTwo is now a thin expansion of its
+// declarative grid specs — the grid's cell count, labels, and
+// materialized parameters are the single source of the 34-experiment
+// table. (Byte-identity of the resulting Fig 8 output with the
+// pre-grid hand-rolled loops is pinned by the figures checksum test.)
+func TestTableTwoGridSpec(t *testing.T) {
+	totalCells := 0
+	for set := 1; set <= 9; set++ {
+		g, err := TableTwoGrid(set)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("set %d grid invalid: %v", set, err)
+		}
+		specs, err := TableTwo(set)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.Cells() != len(specs) {
+			t.Fatalf("set %d: grid has %d cells, TableTwo %d specs", set, g.Cells(), len(specs))
+		}
+		totalCells += g.Cells()
+		for i, spec := range specs {
+			if got := g.Cell(i).Value(len(g.Axes) - 1).Label(); got != spec.Label {
+				t.Fatalf("set %d cell %d: grid label %q, spec label %q", set, i, got, spec.Label)
+			}
+		}
+	}
+	if totalCells != 34 {
+		t.Fatalf("Table 2 grids cover %d cells, want the paper's 34", totalCells)
+	}
+	// Spot-check a materialized cell: set 4's third experiment polices
+	// at 30% with 40 Mb flows on both classes.
+	specs, _ := TableTwo(4)
+	p := specs[2].Params
+	if p.MeanFlowMb != [2]float64{40, 40} || p.Diff == nil || p.Diff.Rate[topo.C2] != 0.3 {
+		t.Fatalf("set 4 cell 2 params: %+v", p)
+	}
+}

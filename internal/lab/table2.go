@@ -5,6 +5,7 @@ import (
 
 	"neutrality/internal/emu"
 	"neutrality/internal/graph"
+	"neutrality/internal/grid"
 	"neutrality/internal/topo"
 	"neutrality/internal/workload"
 )
@@ -161,82 +162,125 @@ type SpecA struct {
 	NonNeutral bool
 }
 
-// TableTwo returns the experiments of Table 2's set (1–9), at the paper's
-// full-scale defaults. Callers shrink with Params.Scale for fast runs.
-func TableTwo(set int) ([]SpecA, error) {
-	base := DefaultParamsA()
-	var specs []SpecA
-	add := func(label string, p ParamsA, nonNeutral bool) {
-		specs = append(specs, SpecA{Set: set, Label: label, Params: p, NonNeutral: nonNeutral})
+// TableTwoGrid returns the declarative scenario grid of Table 2's set
+// (1–9): fixed knobs are single-value axes, the set's varying
+// parameter is the last axis, and value labels carry the paper's row
+// labels. The grid is declared at paper scale (callers shrink with
+// ParamsA.Scale); TableTwo expands it into concrete experiment specs,
+// and the sweep engine can run the same grids directly — Table 2 is
+// just a 34-cell sweep.
+func TableTwoGrid(set int) (*grid.Grid, error) {
+	mb := func(v float64) grid.Value { return grid.Num(v).WithLabel(fmt.Sprintf("%gMb", v)) }
+	ms := func(v float64) grid.Value { return grid.Num(v).WithLabel(fmt.Sprintf("%gms", v*1000)) }
+	pct := func(v float64) grid.Value { return grid.Num(v).WithLabel(fmt.Sprintf("%g%%", v*100)) }
+	mbs := func(vs ...float64) []grid.Value {
+		var out []grid.Value
+		for _, v := range vs {
+			out = append(out, mb(v))
+		}
+		return out
+	}
+	mss := func(vs ...float64) []grid.Value {
+		var out []grid.Value
+		for _, v := range vs {
+			out = append(out, ms(v))
+		}
+		return out
 	}
 	flowSizes := []float64{1, 10, 40, 10000}
 	rtts := []float64{0.05, 0.08, 0.12, 0.2}
-	rates := []float64{0.2, 0.3, 0.4, 0.5}
 	const defaultRate = 0.3
 
+	d := DefaultParamsA()
+	g := grid.New(fmt.Sprintf("table2-set%d", set), grid.Base{ScaleFactor: 1, DurationSec: d.DurationSec})
 	switch set {
 	case 1: // neutral; c1 flows 1 Mb, c2 varies
-		for _, mb := range flowSizes {
-			p := base
-			p.MeanFlowMb = [2]float64{1, mb}
-			add(fmt.Sprintf("%gMb", mb), p, false)
-		}
+		g.Add("c1mb", mb(1)).Add("c2mb", mbs(flowSizes...)...)
 	case 2: // neutral; c1 RTT 50 ms, c2 varies
-		for _, r := range rtts {
-			p := base
-			p.RTTSec = [2]float64{0.05, r}
-			add(fmt.Sprintf("%gms", r*1000), p, false)
-		}
+		g.Add("c2rtt", mss(rtts...)...)
 	case 3: // neutral; c1 CUBIC, c2 varies
-		for _, cca := range []string{"cubic", "newreno"} {
-			p := base
-			p.CCA = [2]string{"cubic", cca}
-			add("cubic/"+cca, p, false)
-		}
+		g.Add("c2cca",
+			grid.Str("cubic").WithLabel("cubic/cubic"),
+			grid.Str("newreno").WithLabel("cubic/newreno"))
 	case 4: // policing; both classes' flow size varies together
-		for _, mb := range flowSizes {
-			p := base
-			p.MeanFlowMb = [2]float64{mb, mb}
-			p.Diff = PoliceClass2(defaultRate)
-			add(fmt.Sprintf("%gMb", mb), p, true)
-		}
+		g.Add("diff", grid.Str("police")).Add("rate", pct(defaultRate)).
+			Add("flowmb", mbs(flowSizes...)...)
 	case 5: // policing; both classes' RTT varies together
-		for _, r := range rtts {
-			p := base
-			p.RTTSec = [2]float64{r, r}
-			p.Diff = PoliceClass2(defaultRate)
-			add(fmt.Sprintf("%gms", r*1000), p, true)
-		}
+		g.Add("diff", grid.Str("police")).Add("rate", pct(defaultRate)).
+			Add("rtt", mss(rtts...)...)
 	case 6: // policing; rate varies
-		for _, rate := range rates {
-			p := base
-			p.Diff = PoliceClass2(rate)
-			add(fmt.Sprintf("%g%%", rate*100), p, true)
-		}
+		g.Add("diff", grid.Str("police")).
+			Add("rate", pct(0.2), pct(0.3), pct(0.4), pct(0.5))
 	case 7: // shaping; flow size varies
-		for _, mb := range flowSizes {
-			p := base
-			p.MeanFlowMb = [2]float64{mb, mb}
-			p.Diff = ShapeBothClasses(defaultRate)
-			add(fmt.Sprintf("%gMb", mb), p, true)
-		}
+		g.Add("diff", grid.Str("shape")).Add("rate", pct(defaultRate)).
+			Add("flowmb", mbs(flowSizes...)...)
 	case 8: // shaping; RTT varies
-		for _, r := range rtts {
-			p := base
-			p.RTTSec = [2]float64{r, r}
-			p.Diff = ShapeBothClasses(defaultRate)
-			add(fmt.Sprintf("%gms", r*1000), p, true)
-		}
+		g.Add("diff", grid.Str("shape")).Add("rate", pct(defaultRate)).
+			Add("rtt", mss(rtts...)...)
 	case 9: // shaping; rate varies (50 % is the neutral-equivalent corner)
-		for _, rate := range []float64{0.5, 0.4, 0.3, 0.2} {
-			p := base
-			p.Diff = ShapeBothClasses(rate)
-			// At R = 0.5 both classes are shaped identically; the link
-			// treats them the same and should look neutral (Fig. 8(i)).
-			add(fmt.Sprintf("%g%%", rate*100), p, rate != 0.5)
-		}
+		g.Add("diff", grid.Str("shape")).
+			Add("rate", pct(0.5), pct(0.4), pct(0.3), pct(0.2))
 	default:
 		return nil, fmt.Errorf("lab: Table 2 has sets 1..9, got %d", set)
+	}
+	return g, nil
+}
+
+// tableTwoNonNeutral is the paper's ground-truth label for a cell:
+// sets 1–3 are neutral, the differentiation sets non-neutral — except
+// the R = 0.5 corner of set 9, where both classes are shaped
+// identically and the paper calls the link neutral (see SpecA).
+func tableTwoNonNeutral(set int, c grid.Cell) bool {
+	if set <= 3 {
+		return false
+	}
+	if set == 9 {
+		rate, _ := c.Lookup("rate")
+		return rate.Num != 0.5
+	}
+	return true
+}
+
+// TableTwo returns the experiments of Table 2's set (1–9), at the
+// paper's full-scale defaults, by expanding the set's scenario grid:
+// each cell's axis values are applied to the default parameters and
+// the cell's label is the varying axis's value label. Callers shrink
+// with Params.Scale for fast runs.
+func TableTwo(set int) ([]SpecA, error) {
+	g, err := TableTwoGrid(set)
+	if err != nil {
+		return nil, err
+	}
+	specs := make([]SpecA, g.Cells())
+	for i := range specs {
+		c := g.Cell(i)
+		p := DefaultParamsA()
+		diff, rate := "none", 0.0
+		for a, ax := range g.Axes {
+			v := c.Value(a)
+			switch ax.Name {
+			case "diff":
+				diff = v.Str
+			case "rate":
+				rate = v.Num
+			default:
+				if _, err := ApplyAxisA(&p, ax.Name, v); err != nil {
+					return nil, err
+				}
+			}
+		}
+		switch diff {
+		case "police":
+			p.Diff = PoliceClass2(rate)
+		case "shape":
+			p.Diff = ShapeBothClasses(rate)
+		}
+		specs[i] = SpecA{
+			Set:        set,
+			Label:      c.Value(len(g.Axes) - 1).Label(),
+			Params:     p,
+			NonNeutral: tableTwoNonNeutral(set, c),
+		}
 	}
 	return specs, nil
 }

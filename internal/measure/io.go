@@ -48,6 +48,14 @@ func ReadCSV(r io.Reader) (*Measurements, error) {
 		return nil, fmt.Errorf("measure: malformed header %q", sc.Text())
 	}
 	paths := (len(header) - 1) / 2
+	// Validate the column names too: a header truncated mid-field
+	// (e.g. "interval,path0_sent,") still has a plausible field count
+	// but must not be accepted as a narrower file.
+	for p := 0; p < paths; p++ {
+		if header[1+2*p] != fmt.Sprintf("path%d_sent", p) || header[2+2*p] != fmt.Sprintf("path%d_lost", p) {
+			return nil, fmt.Errorf("measure: malformed header %q", sc.Text())
+		}
+	}
 
 	m := &Measurements{}
 	line := 1

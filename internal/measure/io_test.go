@@ -2,6 +2,7 @@ package measure
 
 import (
 	"bytes"
+	"errors"
 	"strings"
 	"testing"
 )
@@ -36,19 +37,113 @@ func TestCSVRoundTrip(t *testing.T) {
 }
 
 func TestReadCSVErrors(t *testing.T) {
-	cases := map[string]string{
-		"empty":           "",
-		"bad header":      "time,x\n",
-		"odd columns":     "interval,path0_sent\n",
-		"wrong field cnt": "interval,path0_sent,path0_lost\n0,1\n",
-		"out of order":    "interval,path0_sent,path0_lost\n1,5,0\n",
-		"bad number":      "interval,path0_sent,path0_lost\n0,x,0\n",
-		"lost>sent":       "interval,path0_sent,path0_lost\n0,1,2\n",
+	cases := []struct {
+		name, in string
+		// want is a substring the error must carry, so failures are
+		// diagnosable, not just non-nil.
+		want string
+	}{
+		{"empty", "", "empty input"},
+		{"whitespace only", "   \n", "malformed header"},
+		{"bad header", "time,x\n", "malformed header"},
+		{"odd columns", "interval,path0_sent\n", "malformed header"},
+		{"header only trailing junk", "interval,path0_sent,path0_lost,extra\n", "malformed header"},
+		{"wrong field cnt", "interval,path0_sent,path0_lost\n0,1\n", "2 fields, want 3"},
+		{"truncated row", "interval,path0_sent,path0_lost,path1_sent,path1_lost\n0,5,0,6\n", "4 fields, want 5"},
+		{"out of order", "interval,path0_sent,path0_lost\n1,5,0\n", "out of order"},
+		{"duplicate interval", "interval,path0_sent,path0_lost\n0,5,0\n0,5,0\n", "out of order"},
+		{"bad index", "interval,path0_sent,path0_lost\nzero,5,0\n", "out of order"},
+		{"bad number", "interval,path0_sent,path0_lost\n0,x,0\n", "bad counts"},
+		{"float count", "interval,path0_sent,path0_lost\n0,1.5,0\n", "bad counts"},
+		{"lost>sent", "interval,path0_sent,path0_lost\n0,1,2\n", "lost 2 > sent"},
+		{"negative count", "interval,path0_sent,path0_lost\n0,-1,-2\n", "negative count"},
 	}
-	for name, in := range cases {
-		if _, err := ReadCSV(strings.NewReader(in)); err == nil {
-			t.Errorf("%s: accepted", name)
+	for _, tc := range cases {
+		_, err := ReadCSV(strings.NewReader(tc.in))
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
 		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want containing %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestReadCSVTruncationsNeverPanic: every byte-level truncation of a
+// valid file either parses to a valid prefix or returns an error —
+// never a panic, and never silently invalid data.
+func TestReadCSVTruncationsNeverPanic(t *testing.T) {
+	m := NewMeasurements(4, 3)
+	for ti := 0; ti < 4; ti++ {
+		for p := 0; p < 3; p++ {
+			m.Sent[ti][p] = 100*ti + 10*p
+			m.Lost[ti][p] = ti
+		}
+	}
+	var buf bytes.Buffer
+	if err := m.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.String()
+	for cut := 0; cut <= len(full); cut++ {
+		in := full[:cut]
+		got, err := ReadCSV(strings.NewReader(in))
+		if err != nil {
+			continue
+		}
+		// Accepted: must be a valid interval-prefix of the original
+		// (a header-only prefix parses to zero intervals).
+		if got.Intervals() > 0 && got.NumPaths() != 3 {
+			t.Fatalf("cut %d: accepted %d paths", cut, got.NumPaths())
+		}
+		if err := got.Validate(); err != nil {
+			t.Fatalf("cut %d: accepted invalid measurements: %v", cut, err)
+		}
+		for ti := 0; ti < got.Intervals(); ti++ {
+			for p := 0; p < 3; p++ {
+				if got.Sent[ti][p] != m.Sent[ti][p] || got.Lost[ti][p] != m.Lost[ti][p] {
+					t.Fatalf("cut %d: interval %d path %d diverged", cut, ti, p)
+				}
+			}
+		}
+	}
+}
+
+// failingReader exposes ReadCSV's handling of transport-level errors.
+type failingReader struct{ data string }
+
+func (r *failingReader) Read(p []byte) (int, error) {
+	if r.data == "" {
+		return 0, errors.New("connection reset")
+	}
+	n := copy(p, r.data)
+	r.data = r.data[n:]
+	return n, nil
+}
+
+func TestReadCSVReaderError(t *testing.T) {
+	_, err := ReadCSV(&failingReader{data: "interval,path0_sent,path0_lost\n0,5,0\n"})
+	if err == nil || !strings.Contains(err.Error(), "connection reset") {
+		t.Fatalf("err = %v, want the transport error surfaced", err)
+	}
+}
+
+// TestCSVRoundTripZeroTraffic: an all-zero (yet shaped) measurement
+// set survives the round trip — the "no traffic yet" corner an
+// external platform can legitimately produce.
+func TestCSVRoundTripZeroTraffic(t *testing.T) {
+	m := NewMeasurements(2, 1)
+	var buf bytes.Buffer
+	if err := m.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Intervals() != 2 || back.NumPaths() != 1 || back.Sent[1][0] != 0 {
+		t.Fatalf("round trip shape %dx%d", back.Intervals(), back.NumPaths())
 	}
 }
 

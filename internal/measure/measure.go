@@ -70,7 +70,7 @@ func (m *Measurements) Validate() error {
 		}
 		for p := range m.Sent[t] {
 			if m.Lost[t][p] > m.Sent[t][p] {
-				return fmt.Errorf("measure: interval %d path %d: lost %d > sent %d", t, m.Lost[t][p], m.Sent[t][p], m.Sent[t][p])
+				return fmt.Errorf("measure: interval %d path %d: lost %d > sent %d", t, p, m.Lost[t][p], m.Sent[t][p])
 			}
 			if m.Sent[t][p] < 0 || m.Lost[t][p] < 0 {
 				return fmt.Errorf("measure: interval %d path %d: negative count", t, p)

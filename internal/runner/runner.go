@@ -15,8 +15,16 @@
 //     first.
 //   - Containment. A panicking unit is converted into a per-unit
 //     *PanicError instead of killing the whole sweep, and cancelling the
-//     context stops dispatching new units while letting in-flight units
-//     finish.
+//     context stops dispatching new units. In-flight units receive the
+//     cancelled context and abort as soon as they observe it (the
+//     emulation layer polls it between event batches); units that
+//     ignore the context simply finish.
+//
+// Collect and Map materialize one result per unit, which is right for
+// figure-sized batches. Stream is the engine's third primitive, built
+// for grids too large to hold: it emits each unit's result in index
+// order as soon as its predecessors have been emitted, holding at most
+// a bounded reorder window of completed units in memory.
 package runner
 
 import (
@@ -186,4 +194,139 @@ func Map[T any](ctx context.Context, workers, n int, fn func(ctx context.Context
 // cancellation/deadline error, as opposed to a genuine unit failure.
 func isContextErr(err error) bool {
 	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// Stream runs units start..n-1 across a bounded worker pool and calls
+// emit(i, value, unitErr) for consecutive indices i = start, start+1, …
+// — strictly in order, on the caller's goroutine, as soon as unit i and
+// all its predecessors have finished. Unlike Collect, Stream never
+// materializes the result set: at most window completed units wait in
+// the reorder buffer, and the dispatcher stalls rather than run more
+// than window units ahead of the emission frontier, so memory is
+// O(window), not O(n).
+//
+// A unit failure or panic does not stop the stream; it is delivered to
+// emit as that unit's error (panics as *PanicError) and the caller
+// decides whether to continue. emit returning a non-nil error stops
+// the stream: no further units are dispatched, in-flight units are
+// cancelled, nothing more is emitted, and Stream returns the emit
+// error. Cancelling ctx stops dispatch and propagates to in-flight
+// units; those units' results (typically carrying the context error)
+// are still delivered to emit in order, so a checkpointing caller
+// keeps every completed record and sees exactly where the run stopped.
+// Exactly one of the following holds on return: every unit in
+// [start, n) was emitted and the result is nil, or the stream stopped
+// early and the result is the first emit error or the context cause.
+//
+// Determinism: emission order is the unit order, so a caller that
+// writes records as they are emitted produces byte-identical output
+// for every workers setting.
+func Stream[T any](ctx context.Context, workers, start, n, window int, fn func(ctx context.Context, index int) (T, error), emit func(index int, value T, err error) error) error {
+	if start < 0 || start > n {
+		return fmt.Errorf("runner: stream start %d out of range [0,%d]", start, n)
+	}
+	if start == n {
+		return nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > n-start {
+		workers = n - start
+	}
+	if window < workers {
+		// The window must at least cover the in-flight set or the
+		// dispatcher would deadlock waiting for tokens held by results
+		// that cannot complete.
+		window = workers
+	}
+
+	// sctx cancels dispatch AND in-flight units when emit fails; plain
+	// ctx cancellation flows through it too.
+	sctx, cancel := context.WithCancelCause(ctx)
+	defer cancel(nil)
+
+	idx := make(chan int)
+	done := make(chan Result[T], window)
+	// tokens implements the reorder-window backpressure: the dispatcher
+	// takes one per dispatched unit, the emitter returns one per
+	// emitted unit.
+	tokens := make(chan struct{}, window)
+	for i := 0; i < window; i++ {
+		tokens <- struct{}{}
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				done <- runUnit(sctx, i, fn)
+			}
+		}()
+	}
+
+	// The dispatcher feeds indices as window tokens free up; it closes
+	// idx when the range is exhausted or the stream is cancelled, then
+	// the workers drain and close done.
+	go func() {
+	feed:
+		for i := start; i < n; i++ {
+			if sctx.Err() != nil {
+				break feed
+			}
+			select {
+			case <-tokens:
+			case <-sctx.Done():
+				break feed
+			}
+			select {
+			case idx <- i:
+			case <-sctx.Done():
+				break feed
+			}
+		}
+		close(idx)
+		wg.Wait()
+		close(done)
+	}()
+
+	// The emitter (this goroutine) reorders completions and advances
+	// the frontier. Buffered results beyond the frontier at shutdown
+	// are discarded — they are exactly the units a resumed run must
+	// redo, because emission is what commits a unit.
+	pending := make(map[int]Result[T], window)
+	next := start
+	var emitErr error
+	for r := range done {
+		if emitErr != nil {
+			continue // drain
+		}
+		pending[r.Index] = r
+		for {
+			r, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			if err := emit(r.Index, r.Value, r.Err); err != nil {
+				emitErr = err
+				cancel(fmt.Errorf("runner: emit at unit %d: %w", r.Index, err))
+				break
+			}
+			next++
+			tokens <- struct{}{}
+		}
+	}
+	switch {
+	case emitErr != nil:
+		return emitErr
+	case next < n:
+		return fmt.Errorf("runner: stream stopped at unit %d of %d: %w", next, n, context.Cause(sctx))
+	}
+	return nil
 }

@@ -1,0 +1,208 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestStreamOrderedEmission: emission is strictly in unit order for
+// every worker count, even when units finish wildly out of order.
+func TestStreamOrderedEmission(t *testing.T) {
+	const n = 100
+	for _, workers := range []int{1, 3, 8} {
+		var got []int
+		err := Stream(context.Background(), workers, 0, n, 2*workers,
+			func(_ context.Context, i int) (int, error) {
+				// Reverse the natural completion order inside each
+				// dispatch window.
+				time.Sleep(time.Duration((i*7)%13) * time.Microsecond)
+				return i * i, nil
+			},
+			func(i, v int, err error) error {
+				if err != nil {
+					return err
+				}
+				if v != i*i {
+					t.Fatalf("unit %d value %d", i, v)
+				}
+				got = append(got, i)
+				return nil
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != n {
+			t.Fatalf("workers=%d emitted %d units", workers, len(got))
+		}
+		for i, v := range got {
+			if v != i {
+				t.Fatalf("workers=%d emission out of order at %d: %v", workers, i, got[:i+1])
+			}
+		}
+	}
+}
+
+// TestStreamStart: a non-zero start skips the completed prefix, which
+// is how a resumed sweep continues.
+func TestStreamStart(t *testing.T) {
+	var got []int
+	err := Stream(context.Background(), 4, 37, 50, 8,
+		func(_ context.Context, i int) (int, error) { return i, nil },
+		func(i, v int, err error) error { got = append(got, i); return err })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 13 || got[0] != 37 || got[12] != 49 {
+		t.Fatalf("emitted %v", got)
+	}
+	if err := Stream(context.Background(), 4, 5, 5, 8,
+		func(_ context.Context, i int) (int, error) { return i, nil },
+		func(i, v int, err error) error { t.Fatal("emit on empty range"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := Stream[int](context.Background(), 4, 9, 5, 8, nil, nil); err == nil {
+		t.Fatal("start past n succeeded")
+	}
+}
+
+// TestStreamWindowBound: the dispatcher never runs more than window
+// units ahead of the emission frontier, so the reorder buffer (and
+// hence memory) stays bounded even when unit 0 is the slowest.
+func TestStreamWindowBound(t *testing.T) {
+	const n, window = 100, 7
+	release := make(chan struct{})
+	var maxAhead atomic.Int64
+	var emitted atomic.Int64
+	err := Stream(context.Background(), 4, 0, n, window,
+		func(_ context.Context, i int) (int, error) {
+			if ahead := int64(i) - emitted.Load(); ahead > maxAhead.Load() {
+				maxAhead.Store(ahead)
+			}
+			if i == 0 {
+				<-release // hold the frontier at 0
+			}
+			if i == window-1 {
+				// The last unit the window admits while the frontier is
+				// stuck at 0; anything beyond it must wait for unit 0.
+				close(release)
+			}
+			return i, nil
+		},
+		func(i, v int, err error) error { emitted.Add(1); return err })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The strict bound: a unit may only dispatch while
+	// dispatched - emitted < window, so i - emitted <= window.
+	if got := maxAhead.Load(); got > window {
+		t.Fatalf("dispatcher ran %d units ahead of the frontier, window is %d", got, window)
+	}
+}
+
+// TestStreamEmitError: a failing emit stops the stream, cancels
+// in-flight units, and surfaces the emit error.
+func TestStreamEmitError(t *testing.T) {
+	boom := errors.New("disk full")
+	var emits atomic.Int64
+	var sawCancel atomic.Bool
+	err := Stream(context.Background(), 2, 0, 50, 4,
+		func(ctx context.Context, i int) (int, error) {
+			if i > 10 {
+				// Units dispatched after the failure observe the
+				// cancelled stream context.
+				if ctx.Err() != nil {
+					sawCancel.Store(true)
+				}
+			}
+			return i, nil
+		},
+		func(i, v int, err error) error {
+			emits.Add(1)
+			if i == 3 {
+				return boom
+			}
+			return err
+		})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if got := emits.Load(); got != 4 {
+		t.Fatalf("emit called %d times, want 4 (units 0..3)", got)
+	}
+	_ = sawCancel.Load() // best-effort: cancellation is async
+}
+
+// TestStreamUnitError: unit failures and panics are delivered to emit
+// in order without stopping the stream.
+func TestStreamUnitError(t *testing.T) {
+	fail := errors.New("unit failed")
+	var seen []string
+	err := Stream(context.Background(), 3, 0, 6, 6,
+		func(_ context.Context, i int) (int, error) {
+			switch i {
+			case 2:
+				return 0, fail
+			case 4:
+				panic("kaboom")
+			}
+			return i, nil
+		},
+		func(i, v int, err error) error {
+			switch {
+			case err == nil:
+				seen = append(seen, fmt.Sprintf("%d=ok", i))
+			case errors.Is(err, fail):
+				seen = append(seen, fmt.Sprintf("%d=err", i))
+			default:
+				var pe *PanicError
+				if !errors.As(err, &pe) {
+					t.Fatalf("unit %d: unexpected error %v", i, err)
+				}
+				seen = append(seen, fmt.Sprintf("%d=panic", i))
+			}
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "[0=ok 1=ok 2=err 3=ok 4=panic 5=ok]"
+	if got := fmt.Sprintf("%v", seen); got != want {
+		t.Fatalf("got %s want %s", got, want)
+	}
+}
+
+// TestStreamCancellation: cancelling the context stops dispatch, the
+// contiguous completed prefix is still emitted, and the returned error
+// reports the cancellation cause.
+func TestStreamCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var okEmits atomic.Int64
+	err := Stream(ctx, 2, 0, 1000, 4,
+		func(ctx context.Context, i int) (int, error) {
+			if i == 5 {
+				cancel()
+			}
+			if err := ctx.Err(); err != nil {
+				return 0, err
+			}
+			return i, nil
+		},
+		func(i, v int, err error) error {
+			if err == nil {
+				okEmits.Add(1)
+				return nil
+			}
+			return err
+		})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	got := okEmits.Load()
+	if got < 1 || got > 20 {
+		t.Fatalf("emitted %d successful units after early cancel", got)
+	}
+}

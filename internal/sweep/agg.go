@@ -1,0 +1,242 @@
+package sweep
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"neutrality/internal/grid"
+)
+
+// Online aggregation: every record is folded into bounded-memory
+// streaming statistics as it is emitted, so a 100k-cell sweep produces
+// its summary in one pass without retaining records. Two structures do
+// the work: Welford mean/variance accumulators and fixed-bin quantile
+// sketches. Memory is O(axes × values), independent of cell count.
+//
+// Determinism: records are folded in cell order (the executor emits
+// them that way), and both structures are sequential folds, so the
+// summary is byte-identical for every worker and shard count.
+
+// Welford is the numerically stable streaming mean/variance
+// accumulator.
+type Welford struct {
+	N    int
+	Mean float64
+	m2   float64
+}
+
+// Add folds one observation in.
+func (w *Welford) Add(x float64) {
+	w.N++
+	d := x - w.Mean
+	w.Mean += d / float64(w.N)
+	w.m2 += d * (x - w.Mean)
+}
+
+// Var returns the population variance (0 for fewer than 2 samples).
+func (w *Welford) Var() float64 {
+	if w.N < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.N)
+}
+
+// StdDev returns the population standard deviation.
+func (w *Welford) StdDev() float64 { return math.Sqrt(w.Var()) }
+
+// sketchBins is the fixed resolution of a quantile sketch: quantile
+// estimates are exact to one part in sketchBins of the squashed value
+// range, which is far below the run-to-run noise of any sweep metric.
+const sketchBins = 256
+
+// Sketch is a bounded-memory streaming quantile estimator: a
+// fixed-bin histogram over [0,1) of the squashed observation
+// x/(1+x) for unbounded metrics, or of x itself for metrics already
+// in [0,1]. Exact min/max are tracked so the extreme quantiles stay
+// sharp. Unlike P², the fold is a pure bin increment, so sketches
+// built from the same ordered stream are bit-identical and two
+// sketches could even be merged bin-wise.
+type Sketch struct {
+	bins     [sketchBins]int
+	n        int
+	min, max float64
+	// squash marks the x/(1+x) transform for unbounded metrics.
+	squash bool
+}
+
+// NewUnitSketch sketches a metric already bounded in [0,1].
+func NewUnitSketch() *Sketch { return &Sketch{} }
+
+// NewSquashSketch sketches an unbounded non-negative metric through
+// the x/(1+x) transform.
+func NewSquashSketch() *Sketch { return &Sketch{squash: true} }
+
+// Add folds one observation in.
+func (s *Sketch) Add(x float64) {
+	if s.n == 0 || x < s.min {
+		s.min = x
+	}
+	if s.n == 0 || x > s.max {
+		s.max = x
+	}
+	s.n++
+	y := x
+	if s.squash {
+		y = x / (1 + x)
+	}
+	b := int(y * sketchBins)
+	if b < 0 {
+		b = 0
+	}
+	if b >= sketchBins {
+		b = sketchBins - 1
+	}
+	s.bins[b]++
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) by locating the bin
+// holding the q·n-th observation and interpolating linearly inside
+// it, clamped to the exact observed [min, max].
+func (s *Sketch) Quantile(q float64) float64 {
+	if s.n == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return s.min
+	}
+	if q >= 1 {
+		return s.max
+	}
+	rank := q * float64(s.n)
+	cum := 0.0
+	for b := 0; b < sketchBins; b++ {
+		c := float64(s.bins[b])
+		if c == 0 {
+			continue
+		}
+		if cum+c >= rank {
+			// Interpolate within the bin's value range.
+			frac := (rank - cum) / c
+			y := (float64(b) + frac) / sketchBins
+			x := y
+			if s.squash {
+				x = y / (1 - y)
+			}
+			if x < s.min {
+				x = s.min
+			}
+			if x > s.max {
+				x = s.max
+			}
+			return x
+		}
+		cum += c
+	}
+	return s.max
+}
+
+// metricAgg aggregates one slice of cells (the whole sweep, or the
+// cells sharing one axis value): verdict counts plus streaming moments
+// and sketches of the quality metrics.
+type metricAgg struct {
+	cells      int
+	nonNeutral int
+	fn, fp     Welford
+	gran       Welford
+	unsolv     Welford
+	unsolvSk   *Sketch
+	events     uint64
+}
+
+func newMetricAgg() *metricAgg {
+	return &metricAgg{unsolvSk: NewSquashSketch()}
+}
+
+func (a *metricAgg) add(r Record) {
+	a.cells++
+	if r.Verdict {
+		a.nonNeutral++
+	}
+	a.fn.Add(r.FN)
+	a.fp.Add(r.FP)
+	a.gran.Add(r.Granularity)
+	a.unsolv.Add(r.Unsolvability)
+	a.unsolvSk.Add(r.Unsolvability)
+	a.events += r.Events
+}
+
+// Agg folds sweep records into the global and per-axis-slice
+// aggregates. It consumes records strictly in cell order.
+type Agg struct {
+	g      *grid.Grid
+	global *metricAgg
+	// slices[a][v] aggregates the cells whose axis a takes value v —
+	// the marginal view along each axis.
+	slices [][]*metricAgg
+}
+
+// NewAgg prepares the aggregation for one grid.
+func NewAgg(g *grid.Grid) *Agg {
+	a := &Agg{g: g, global: newMetricAgg()}
+	for _, ax := range g.Axes {
+		row := make([]*metricAgg, len(ax.Values))
+		for i := range row {
+			row[i] = newMetricAgg()
+		}
+		a.slices = append(a.slices, row)
+	}
+	return a
+}
+
+// Add folds one record in.
+func (a *Agg) Add(r Record) {
+	a.global.add(r)
+	c := a.g.Cell(r.Cell)
+	for ax := range a.g.Axes {
+		a.slices[ax][c.ValueIndex(ax)].add(r)
+	}
+}
+
+// Summary renders the Table-2-style report: the global verdict and
+// quality numbers, then one marginal table per multi-value axis with a
+// row per axis value. The output is a pure function of the folded
+// record stream.
+func (a *Agg) Summary() string {
+	var sb strings.Builder
+	g := a.global
+	fmt.Fprintf(&sb, "sweep %s: %d cells aggregated\n", a.g.Name, g.cells)
+	if g.cells == 0 {
+		return sb.String()
+	}
+	fmt.Fprintf(&sb, "  non-neutral verdicts: %d/%d (%.1f%%)\n",
+		g.nonNeutral, g.cells, 100*float64(g.nonNeutral)/float64(g.cells))
+	fmt.Fprintf(&sb, "  FN mean=%.3f sd=%.3f   FP mean=%.3f sd=%.3f   granularity mean=%.2f\n",
+		g.fn.Mean, g.fn.StdDev(), g.fp.Mean, g.fp.StdDev(), g.gran.Mean)
+	fmt.Fprintf(&sb, "  unsolvability mean=%.4f p50=%.4f p90=%.4f max=%.4f\n",
+		g.unsolv.Mean, g.unsolvSk.Quantile(0.5), g.unsolvSk.Quantile(0.9), g.unsolvSk.max)
+	fmt.Fprintf(&sb, "  emulation events: %d\n", g.events)
+	for ax, axis := range a.g.Axes {
+		if len(axis.Values) < 2 {
+			continue // single-value axes pin knobs; no marginal to show
+		}
+		fmt.Fprintf(&sb, "  by %s:\n", axis.Name)
+		fmt.Fprintf(&sb, "    %-12s %7s %9s %7s %7s %9s %9s\n",
+			axis.Name, "cells", "nonneut", "FN", "FP", "unsolv", "u.p90")
+		for v, val := range axis.Values {
+			m := a.slices[ax][v]
+			if m.cells == 0 {
+				fmt.Fprintf(&sb, "    %-12s %7d\n", val.Label(), 0)
+				continue
+			}
+			fmt.Fprintf(&sb, "    %-12s %7d %8.1f%% %7.3f %7.3f %9.4f %9.4f\n",
+				val.Label(), m.cells,
+				100*float64(m.nonNeutral)/float64(m.cells),
+				m.fn.Mean, m.fp.Mean, m.unsolv.Mean, m.unsolvSk.Quantile(0.9))
+		}
+	}
+	return sb.String()
+}
+
+// Cells returns the number of records folded so far.
+func (a *Agg) Cells() int { return a.global.cells }

@@ -1,0 +1,37 @@
+package sweep
+
+import (
+	"fmt"
+
+	"neutrality/internal/grid"
+)
+
+// DemoGrid is the 1,000-cell demonstration sweep of the acceptance
+// scenario: policer rate × discrimination fraction × topology, with a
+// replica axis for variance — 10 × 10 × 2 × 5 cells. It runs at a
+// reduced operating point (5 % of paper capacity, 30 emulated
+// seconds per cell) so the full grid finishes in minutes on a laptop;
+// pass the spec through `neutrality sweep -print-spec` to edit the
+// scale or axes.
+//
+// The grid answers the question the fixed 34-experiment Table 2
+// cannot: how do detection quality (FN/FP) and violation strength
+// (unsolvability) vary across the whole policing-rate ×
+// discrimination-fraction plane, on both the dumbbell and the
+// backbone topology?
+func DemoGrid() *grid.Grid {
+	g := grid.New("demo-rate-dfrac-topo", grid.Base{
+		ScaleFactor: 0.05,
+		DurationSec: 30,
+	})
+	g.Add("topo", grid.Strs("a", "b")...)
+	g.Add("diff", grid.Str("police"))
+	var rates []grid.Value
+	for _, r := range []float64{0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.35, 0.4, 0.45, 0.5} {
+		rates = append(rates, grid.Num(r).WithLabel(fmt.Sprintf("%g%%", r*100)))
+	}
+	g.Add("rate", rates...)
+	g.Add("dfrac", grid.Nums(0.05, 0.15, 0.25, 0.35, 0.45, 0.55, 0.65, 0.75, 0.85, 0.95)...)
+	g.Add("rep", grid.Nums(0, 1, 2, 3, 4)...)
+	return g
+}

@@ -1,0 +1,472 @@
+// Package sweep is the sweep orchestration engine: it executes a
+// declarative scenario grid (internal/grid) — whose axes span
+// topologies, workload mixes, differentiation policies, and inference
+// knobs — as a sharded stream of independent experiment cells over the
+// parallel runner pool, folding every result into bounded-memory
+// online aggregates and (optionally) persisting one JSONL record per
+// cell with resumable checkpoints.
+//
+// The engine makes four guarantees:
+//
+//   - Reproducibility. A cell's record is a pure function of
+//     (grid, cell index, base seed): seeds derive from
+//     (baseSeed, cellIndex), so any cell of a 100k-cell sweep can be
+//     re-run in isolation.
+//   - Determinism. Records are emitted, written, and aggregated in
+//     cell order (the documented sort key of every record stream),
+//     whatever the worker count: shard files, manifest, and summary
+//     are byte-identical between -workers=1 and -workers=N.
+//   - Bounded memory. The grid is expanded lazily, records stream
+//     through a fixed reorder window, and aggregation is
+//     O(axes × values); nothing scales with the cell count.
+//   - Interruption safety. Cancelling the context aborts in-flight
+//     emulations mid-run (emu.Sim.RunCtx), flushes the completed
+//     prefix, and records it in the checkpoint manifest; a -resume
+//     run validates the spec fingerprint, replays the persisted
+//     records into the aggregates, and continues from the first
+//     missing cell.
+package sweep
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"neutrality/internal/grid"
+	"neutrality/internal/runner"
+)
+
+// Record is one cell's outcome: the scenario coordinates (cell index,
+// derived seed, axis value labels in axis order) and the inference
+// quality metrics scored against the cell's ground truth. Records in
+// every exported stream are ordered by Cell — the documented sort key
+// — regardless of completion order. All fields are deterministic
+// functions of the cell (wall-clock timing is deliberately excluded;
+// Events is the deterministic work measure), which is what keeps
+// sweep output byte-identical across worker counts.
+type Record struct {
+	Cell int   `json:"cell"`
+	Seed int64 `json:"seed"`
+	// Axes are the cell's axis value labels, in grid axis order.
+	Axes []string `json:"axes"`
+	// Verdict is the network-level non-neutrality verdict.
+	Verdict bool `json:"verdict"`
+	// Unsolvability is the maximum unsolvability across candidate
+	// sequences.
+	Unsolvability float64 `json:"unsolvability"`
+	// FN, FP, Granularity, Detected are the Section 6.4 quality
+	// metrics against the cell's ground-truth differentiating links.
+	FN          float64 `json:"fn"`
+	FP          float64 `json:"fp"`
+	Granularity float64 `json:"granularity"`
+	Detected    int     `json:"detected"`
+	// Sequences counts the candidate (identifiable) sequences.
+	Sequences int `json:"sequences"`
+	// Events is the number of discrete events the cell's emulation
+	// processed — the deterministic cost measure.
+	Events uint64 `json:"events"`
+}
+
+// Options configure one engine run.
+type Options struct {
+	// Workers bounds the worker pool (0 = one per CPU).
+	Workers int
+	// Shards partitions cells across output files: cell i belongs to
+	// shard i mod Shards (0 = 1). The partition is a function of the
+	// spec, never of Workers, so the shard layout is stable.
+	Shards int
+	// BaseSeed is the sweep's seed root.
+	BaseSeed int64
+	// Dir, when non-empty, persists shard JSONL files and the
+	// checkpoint manifest there. Empty runs in memory only (no
+	// checkpointing).
+	Dir string
+	// Resume continues a sweep previously interrupted in Dir: the
+	// manifest's spec fingerprint must match, persisted records are
+	// replayed into the aggregates, and execution starts at the first
+	// missing cell. Without Resume, Dir must not already contain a
+	// sweep.
+	Resume bool
+	// OnRecord, when set, observes every record in cell order —
+	// including, on resume, the replayed ones.
+	OnRecord func(Record)
+	// Progress, when set, is called after each emitted record with
+	// (completed cells, total cells). Completed includes resumed
+	// records.
+	Progress func(done, total int)
+}
+
+// Result is the outcome of an engine run.
+type Result struct {
+	// Agg holds the online aggregates over all records (replayed +
+	// executed); Summary() renders them.
+	Agg *Agg
+	// Total is the grid's cell count.
+	Total int
+	// Resumed is how many cells were restored from the checkpoint
+	// rather than executed.
+	Resumed int
+}
+
+// checkpointEvery is how many emitted records may elapse between
+// checkpoint flushes: shard writers are flushed and the manifest
+// rewritten, bounding how much completed work an abrupt kill can lose.
+const checkpointEvery = 64
+
+// Run executes the grid. See the package comment for the guarantees.
+// On cancellation it returns the context's error after flushing the
+// checkpoint; the partial results stay valid for Resume.
+func Run(ctx context.Context, g *grid.Grid, opt Options) (*Result, error) {
+	if err := Validate(g); err != nil {
+		return nil, err
+	}
+	shards := opt.Shards
+	if shards <= 0 {
+		shards = 1
+	}
+	if shards > 4096 {
+		return nil, fmt.Errorf("sweep: %d shards (max 4096)", shards)
+	}
+	total := g.Cells()
+	agg := NewAgg(g)
+	res := &Result{Agg: agg, Total: total}
+
+	var st *store
+	start := 0
+	if opt.Dir != "" {
+		var err error
+		st, err = openStore(g, opt, shards, total)
+		if err != nil {
+			return nil, err
+		}
+		defer st.closeFiles()
+		start = st.completed
+		res.Resumed = start
+		if err := st.replay(func(r Record) {
+			agg.Add(r)
+			if opt.OnRecord != nil {
+				opt.OnRecord(r)
+			}
+			if opt.Progress != nil {
+				opt.Progress(r.Cell+1, total)
+			}
+		}); err != nil {
+			return nil, err
+		}
+	}
+
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runner.DefaultWorkers()
+	}
+	window := 4 * workers
+	sinceCheckpoint := 0
+	streamErr := runner.Stream(ctx, workers, start, total, window,
+		func(uctx context.Context, i int) (Record, error) {
+			return runCell(uctx, g, i, opt.BaseSeed)
+		},
+		func(i int, r Record, err error) error {
+			if err != nil {
+				// A failing cell is a spec or engine defect (or the
+				// cancellation arriving); the checkpoint keeps the
+				// prefix before it.
+				return fmt.Errorf("sweep: cell %d: %w", i, err)
+			}
+			if st != nil {
+				if err := st.append(r); err != nil {
+					return err
+				}
+			}
+			agg.Add(r)
+			if opt.OnRecord != nil {
+				opt.OnRecord(r)
+			}
+			if opt.Progress != nil {
+				opt.Progress(i+1, total)
+			}
+			sinceCheckpoint++
+			if st != nil && sinceCheckpoint >= checkpointEvery {
+				sinceCheckpoint = 0
+				if err := st.checkpoint(); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	if st != nil {
+		if err := st.checkpoint(); err != nil && streamErr == nil {
+			streamErr = err
+		}
+	}
+	if streamErr != nil {
+		return nil, streamErr
+	}
+	return res, nil
+}
+
+// manifest is the checkpoint file: the spec identity and the progress
+// frontier. It contains no timestamps or host details, so manifests
+// are byte-identical across worker counts too.
+type manifest struct {
+	Name        string `json:"name"`
+	Fingerprint string `json:"fingerprint"`
+	Cells       int    `json:"cells"`
+	Shards      int    `json:"shards"`
+	BaseSeed    int64  `json:"base_seed"`
+	// Completed is the contiguous prefix of cells whose records are
+	// persisted: every cell < Completed is in its shard file.
+	Completed int `json:"completed"`
+	// PerShard are the per-shard persisted record counts (shard s
+	// holds the cells ≡ s mod Shards, in increasing order).
+	PerShard []int `json:"per_shard"`
+}
+
+// store persists shard JSONL files plus the manifest in one directory.
+type store struct {
+	dir       string
+	g         *grid.Grid
+	shards    int
+	total     int
+	baseSeed  int64
+	files     []*os.File
+	ws        []*bufio.Writer
+	completed int
+}
+
+func manifestPath(dir string) string { return filepath.Join(dir, "manifest.json") }
+
+func shardPath(dir string, s int) string {
+	return filepath.Join(dir, fmt.Sprintf("shard-%04d.jsonl", s))
+}
+
+// openStore prepares the sweep directory: fresh directories are
+// initialized, existing ones are validated against the spec and — with
+// Resume — recovered (partial trailing lines from an abrupt kill are
+// truncated away, and the completed frontier is re-derived from the
+// files themselves, never trusted from the manifest alone).
+func openStore(g *grid.Grid, opt Options, shards, total int) (*store, error) {
+	st := &store{dir: opt.Dir, g: g, shards: shards, total: total, baseSeed: opt.BaseSeed}
+	if err := os.MkdirAll(opt.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("sweep: %w", err)
+	}
+	mdata, err := os.ReadFile(manifestPath(opt.Dir))
+	switch {
+	case err == nil:
+		if !opt.Resume {
+			return nil, fmt.Errorf("sweep: %s already contains a sweep; resume it or use a fresh directory", opt.Dir)
+		}
+		var m manifest
+		if err := json.Unmarshal(mdata, &m); err != nil {
+			return nil, fmt.Errorf("sweep: corrupt manifest in %s: %w", opt.Dir, err)
+		}
+		if m.Fingerprint != g.Fingerprint() {
+			return nil, fmt.Errorf("sweep: %s was recorded for spec %s (fingerprint %.12s…), not this spec (%.12s…)",
+				opt.Dir, m.Name, m.Fingerprint, g.Fingerprint())
+		}
+		if m.Shards != shards || m.BaseSeed != opt.BaseSeed {
+			return nil, fmt.Errorf("sweep: %s was recorded with shards=%d seed=%d; resume must reuse them (got shards=%d seed=%d)",
+				opt.Dir, m.Shards, m.BaseSeed, shards, opt.BaseSeed)
+		}
+		if err := st.recover(); err != nil {
+			return nil, err
+		}
+	case os.IsNotExist(err):
+		// Fresh sweep (Resume on an empty directory is allowed — it
+		// makes restart loops idempotent).
+		for s := 0; s < shards; s++ {
+			if err := os.WriteFile(shardPath(opt.Dir, s), nil, 0o644); err != nil {
+				return nil, fmt.Errorf("sweep: %w", err)
+			}
+		}
+	default:
+		return nil, fmt.Errorf("sweep: %w", err)
+	}
+
+	st.files = make([]*os.File, shards)
+	st.ws = make([]*bufio.Writer, shards)
+	for s := 0; s < shards; s++ {
+		f, err := os.OpenFile(shardPath(opt.Dir, s), os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			st.closeFiles()
+			return nil, fmt.Errorf("sweep: %w", err)
+		}
+		st.files[s] = f
+		st.ws[s] = bufio.NewWriter(f)
+	}
+	if err := st.checkpoint(); err != nil {
+		st.closeFiles()
+		return nil, err
+	}
+	return st, nil
+}
+
+// linesOf counts how many records of the first k global cells land in
+// shard s: the cells i < k with i ≡ s (mod shards).
+func linesOf(k, s, shards int) int {
+	if k <= s {
+		return 0
+	}
+	return (k-1-s)/shards + 1
+}
+
+// recover derives the completed frontier from the shard files: count
+// complete lines per shard, drop a partial trailing line (a record cut
+// mid-write by a kill), take the smallest uncovered global index, and
+// truncate any record past that frontier (a shard can be at most one
+// record ahead of a crash point).
+func (st *store) recover() error {
+	counts := make([]int, st.shards)
+	ends := make([][]int64, st.shards) // byte offset after each complete line
+	for s := 0; s < st.shards; s++ {
+		data, err := os.ReadFile(shardPath(st.dir, s))
+		if err != nil {
+			return fmt.Errorf("sweep: resume: %w", err)
+		}
+		var off int64
+		for {
+			nl := bytes.IndexByte(data[off:], '\n')
+			if nl < 0 {
+				break
+			}
+			off += int64(nl) + 1
+			ends[s] = append(ends[s], off)
+		}
+		counts[s] = len(ends[s])
+		if off != int64(len(data)) {
+			// Partial trailing line: a kill landed mid-write.
+			if err := os.Truncate(shardPath(st.dir, s), off); err != nil {
+				return fmt.Errorf("sweep: resume: %w", err)
+			}
+		}
+	}
+	completed := st.total
+	for s := 0; s < st.shards; s++ {
+		if uncovered := s + counts[s]*st.shards; uncovered < completed {
+			completed = uncovered
+		}
+	}
+	st.completed = completed
+	for s := 0; s < st.shards; s++ {
+		if keep := linesOf(completed, s, st.shards); counts[s] > keep {
+			// Records past the frontier would duplicate cells the
+			// resumed run re-executes; drop them. keep can be zero: the
+			// shard writers' buffers flush independently between
+			// checkpoints, so after a hard kill one shard can hold
+			// records while an earlier shard's file is still empty.
+			var off int64
+			if keep > 0 {
+				off = ends[s][keep-1]
+			}
+			if err := os.Truncate(shardPath(st.dir, s), off); err != nil {
+				return fmt.Errorf("sweep: resume: %w", err)
+			}
+		}
+	}
+	return nil
+}
+
+// replay feeds the persisted records 0..completed-1, in cell order, to
+// fn — rebuilding the online aggregates of a resumed sweep — while
+// verifying each record sits in the expected slot of the expected
+// shard.
+func (st *store) replay(fn func(Record)) error {
+	if st.completed == 0 {
+		return nil
+	}
+	scanners := make([]*bufio.Scanner, st.shards)
+	for s := 0; s < st.shards; s++ {
+		f, err := os.Open(shardPath(st.dir, s))
+		if err != nil {
+			return fmt.Errorf("sweep: resume: %w", err)
+		}
+		defer f.Close()
+		sc := bufio.NewScanner(f)
+		sc.Buffer(make([]byte, 1<<16), 1<<24)
+		scanners[s] = sc
+	}
+	for i := 0; i < st.completed; i++ {
+		sc := scanners[i%st.shards]
+		if !sc.Scan() {
+			return fmt.Errorf("sweep: resume: shard %d ends before cell %d", i%st.shards, i)
+		}
+		var r Record
+		if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+			return fmt.Errorf("sweep: resume: shard %d cell %d: corrupt record: %w", i%st.shards, i, err)
+		}
+		if r.Cell != i {
+			return fmt.Errorf("sweep: resume: shard %d holds cell %d where cell %d belongs", i%st.shards, r.Cell, i)
+		}
+		fn(r)
+	}
+	return nil
+}
+
+// append writes the next record to its shard. Records arrive in cell
+// order (the stream emitter guarantees it), so each shard file is
+// written in increasing cell order too.
+func (st *store) append(r Record) error {
+	data, err := json.Marshal(r)
+	if err != nil {
+		return fmt.Errorf("sweep: %w", err)
+	}
+	w := st.ws[r.Cell%st.shards]
+	if _, err := w.Write(data); err != nil {
+		return fmt.Errorf("sweep: %w", err)
+	}
+	if err := w.WriteByte('\n'); err != nil {
+		return fmt.Errorf("sweep: %w", err)
+	}
+	st.completed = r.Cell + 1
+	return nil
+}
+
+// checkpoint flushes every shard writer, then rewrites the manifest to
+// the new frontier (write-then-rename, so a kill never leaves a torn
+// manifest). Flushing before the manifest keeps the invariant that the
+// manifest never claims records the files do not hold.
+func (st *store) checkpoint() error {
+	for _, w := range st.ws {
+		if w == nil {
+			continue
+		}
+		if err := w.Flush(); err != nil {
+			return fmt.Errorf("sweep: %w", err)
+		}
+	}
+	m := manifest{
+		Name:        st.g.Name,
+		Fingerprint: st.g.Fingerprint(),
+		Cells:       st.total,
+		Shards:      st.shards,
+		BaseSeed:    st.baseSeed,
+		Completed:   st.completed,
+		PerShard:    make([]int, st.shards),
+	}
+	for s := 0; s < st.shards; s++ {
+		m.PerShard[s] = linesOf(st.completed, s, st.shards)
+	}
+	data, err := json.MarshalIndent(&m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("sweep: %w", err)
+	}
+	tmp := manifestPath(st.dir) + ".tmp"
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("sweep: %w", err)
+	}
+	if err := os.Rename(tmp, manifestPath(st.dir)); err != nil {
+		return fmt.Errorf("sweep: %w", err)
+	}
+	return nil
+}
+
+func (st *store) closeFiles() {
+	for _, f := range st.files {
+		if f != nil {
+			f.Close()
+		}
+	}
+}

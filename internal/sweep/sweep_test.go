@@ -1,0 +1,451 @@
+package sweep
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"neutrality/internal/grid"
+)
+
+// microGrid is the execution-test grid: 12 topology-A cells at a very
+// reduced operating point, a few milliseconds per cell.
+func microGrid() *grid.Grid {
+	return grid.New("micro", grid.Base{ScaleFactor: 0.05, DurationSec: 10}).
+		Add("diff", grid.Str("police")).
+		Add("rate", grid.Num(0.2).WithLabel("20%"), grid.Num(0.4).WithLabel("40%")).
+		Add("dfrac", grid.Nums(0.3, 0.7)...).
+		Add("rep", grid.Nums(0, 1, 2)...)
+}
+
+// recordLines marshals records exactly as the shard writer does.
+func recordLines(recs []Record) string {
+	var sb strings.Builder
+	for _, r := range recs {
+		data, _ := json.Marshal(r)
+		sb.Write(data)
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// TestRunDeterministicAcrossWorkers: records and the aggregate summary
+// are byte-identical for every worker count, and records arrive sorted
+// by their documented key (cell index) even with a wide pool.
+func TestRunDeterministicAcrossWorkers(t *testing.T) {
+	g := microGrid()
+	run := func(workers int) ([]Record, string) {
+		var recs []Record
+		res, err := Run(context.Background(), g, Options{
+			Workers: workers, BaseSeed: 7,
+			OnRecord: func(r Record) { recs = append(recs, r) },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return recs, res.Agg.Summary()
+	}
+	refRecs, refSum := run(1)
+	if len(refRecs) != g.Cells() {
+		t.Fatalf("emitted %d records for %d cells", len(refRecs), g.Cells())
+	}
+	for i, r := range refRecs {
+		if r.Cell != i {
+			t.Fatalf("record %d carries cell %d: not sorted by cell", i, r.Cell)
+		}
+		if r.Events == 0 {
+			t.Fatalf("cell %d did no emulation work", i)
+		}
+	}
+	for _, workers := range []int{4, 0} {
+		recs, sum := run(workers)
+		if recordLines(recs) != recordLines(refRecs) {
+			t.Fatalf("workers=%d records diverged from workers=1", workers)
+		}
+		if sum != refSum {
+			t.Fatalf("workers=%d summary diverged:\n%s\nvs\n%s", workers, sum, refSum)
+		}
+	}
+	if !strings.Contains(refSum, "by rate:") || !strings.Contains(refSum, "20%") {
+		t.Fatalf("summary missing rate marginal:\n%s", refSum)
+	}
+}
+
+// readDir returns every sweep artifact in dir keyed by file name.
+func readDir(t *testing.T, dir string) map[string]string {
+	t.Helper()
+	out := map[string]string{}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[e.Name()] = string(data)
+	}
+	return out
+}
+
+// TestPersistedShardsByteIdentical: the shard files and manifest of a
+// persisted sweep are byte-identical across worker counts, and the
+// shard partition is by cell index mod shards.
+func TestPersistedShardsByteIdentical(t *testing.T) {
+	g := microGrid()
+	runTo := func(dir string, workers int) {
+		if _, err := Run(context.Background(), g, Options{
+			Workers: workers, Shards: 3, BaseSeed: 7, Dir: dir,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dir1, dir4 := t.TempDir(), t.TempDir()
+	runTo(dir1, 1)
+	runTo(dir4, 4)
+	files1, files4 := readDir(t, dir1), readDir(t, dir4)
+	if len(files1) != 4 { // 3 shards + manifest
+		t.Fatalf("unexpected artifacts: %v", files1)
+	}
+	for name, data := range files1 {
+		if files4[name] != data {
+			t.Fatalf("%s differs between workers=1 and workers=4", name)
+		}
+	}
+	// Shard 1 must hold cells 1, 4, 7, 10.
+	var cells []int
+	for _, line := range strings.Split(strings.TrimSpace(files1["shard-0001.jsonl"]), "\n") {
+		var r Record
+		if err := json.Unmarshal([]byte(line), &r); err != nil {
+			t.Fatal(err)
+		}
+		cells = append(cells, r.Cell)
+	}
+	if fmt.Sprint(cells) != "[1 4 7 10]" {
+		t.Fatalf("shard 1 holds cells %v", cells)
+	}
+	var m manifest
+	if err := json.Unmarshal([]byte(files1["manifest.json"]), &m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Completed != 12 || m.Fingerprint != g.Fingerprint() || fmt.Sprint(m.PerShard) != "[4 4 4]" {
+		t.Fatalf("manifest: %+v", m)
+	}
+}
+
+// TestResumeAfterInterrupt: a sweep cancelled mid-run checkpoints its
+// completed prefix; resuming completes it, and every artifact ends up
+// byte-identical to an uninterrupted run. This is the mid-sweep-kill
+// acceptance criterion.
+func TestResumeAfterInterrupt(t *testing.T) {
+	g := microGrid()
+	want := t.TempDir()
+	if _, err := Run(context.Background(), g, Options{Workers: 2, Shards: 3, BaseSeed: 7, Dir: want}); err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	_, err := Run(ctx, g, Options{
+		Workers: 2, Shards: 3, BaseSeed: 7, Dir: dir,
+		OnRecord: func(r Record) {
+			if r.Cell == 4 {
+				cancel() // interrupt mid-sweep
+			}
+		},
+	})
+	if err == nil {
+		t.Fatal("interrupted run reported success")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+
+	res, err := Run(context.Background(), g, Options{
+		Workers: 2, Shards: 3, BaseSeed: 7, Dir: dir, Resume: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Resumed < 5 || res.Resumed >= g.Cells() {
+		t.Fatalf("resumed %d cells", res.Resumed)
+	}
+	if res.Agg.Cells() != g.Cells() {
+		t.Fatalf("aggregated %d cells", res.Agg.Cells())
+	}
+	got, ref := readDir(t, dir), readDir(t, want)
+	for name, data := range ref {
+		if got[name] != data {
+			t.Fatalf("%s differs between resumed and uninterrupted sweep", name)
+		}
+	}
+
+	// Resuming a finished sweep is a no-op that replays everything.
+	res, err = Run(context.Background(), g, Options{Workers: 2, Shards: 3, BaseSeed: 7, Dir: dir, Resume: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Resumed != g.Cells() || res.Agg.Cells() != g.Cells() {
+		t.Fatalf("no-op resume: resumed=%d aggregated=%d", res.Resumed, res.Agg.Cells())
+	}
+}
+
+// TestResumeRecoversPartialLine: a record cut mid-write by an abrupt
+// kill is truncated away and its cell re-run.
+func TestResumeRecoversPartialLine(t *testing.T) {
+	g := microGrid()
+	want := t.TempDir()
+	if _, err := Run(context.Background(), g, Options{Shards: 2, BaseSeed: 7, Dir: want}); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if _, err := Run(context.Background(), g, Options{Shards: 2, BaseSeed: 7, Dir: dir}); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate the kill: drop the last two complete records from shard
+	// 0 (cells 8 and 10), leaving shard 1 one record "ahead" (cell 11),
+	// and append half a record to shard 0.
+	path := filepath.Join(dir, "shard-0000.jsonl")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(strings.TrimSuffix(string(data), "\n"), "\n")
+	trunc := strings.Join(lines[:len(lines)-2], "") + `{"cell":8,"seed":42,"ax`
+	if err := os.WriteFile(path, []byte(trunc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := Run(context.Background(), g, Options{Shards: 2, BaseSeed: 7, Dir: dir, Resume: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Resumed != 8 { // frontier: cells 0..7 survive
+		t.Fatalf("resumed %d cells, want 8", res.Resumed)
+	}
+	got, ref := readDir(t, dir), readDir(t, want)
+	for name, data := range ref {
+		if got[name] != data {
+			t.Fatalf("%s differs after partial-line recovery", name)
+		}
+	}
+}
+
+// TestResumeRecoversEmptyShard: the shard writers' buffers flush
+// independently between checkpoints, so a hard kill can leave one
+// shard file empty while a later shard already holds records; the
+// frontier is then zero and recovery must truncate the ahead shard
+// (not crash) and re-run everything.
+func TestResumeRecoversEmptyShard(t *testing.T) {
+	g := microGrid()
+	want := t.TempDir()
+	if _, err := Run(context.Background(), g, Options{Shards: 2, BaseSeed: 7, Dir: want}); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if _, err := Run(context.Background(), g, Options{Shards: 2, BaseSeed: 7, Dir: dir}); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "shard-0000.jsonl"), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(context.Background(), g, Options{Shards: 2, BaseSeed: 7, Dir: dir, Resume: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Resumed != 0 {
+		t.Fatalf("resumed %d cells, want 0 (shard 0 lost cell 0)", res.Resumed)
+	}
+	got, ref := readDir(t, dir), readDir(t, want)
+	for name, data := range ref {
+		if got[name] != data {
+			t.Fatalf("%s differs after empty-shard recovery", name)
+		}
+	}
+}
+
+// TestResumeValidation: resume refuses a different spec, different
+// sharding, or a directory that already holds a sweep when resume was
+// not requested.
+func TestResumeValidation(t *testing.T) {
+	g := microGrid()
+	dir := t.TempDir()
+	if _, err := Run(context.Background(), g, Options{Shards: 2, BaseSeed: 7, Dir: dir}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(context.Background(), g, Options{Shards: 2, BaseSeed: 7, Dir: dir}); err == nil ||
+		!strings.Contains(err.Error(), "already contains a sweep") {
+		t.Fatalf("overwrite err = %v", err)
+	}
+	g2 := microGrid()
+	g2.Base.DurationSec = 11
+	if _, err := Run(context.Background(), g2, Options{Shards: 2, BaseSeed: 7, Dir: dir, Resume: true}); err == nil ||
+		!strings.Contains(err.Error(), "fingerprint") {
+		t.Fatalf("spec mismatch err = %v", err)
+	}
+	if _, err := Run(context.Background(), g, Options{Shards: 3, BaseSeed: 7, Dir: dir, Resume: true}); err == nil ||
+		!strings.Contains(err.Error(), "shards") {
+		t.Fatalf("shard mismatch err = %v", err)
+	}
+	if _, err := Run(context.Background(), g, Options{Shards: 2, BaseSeed: 8, Dir: dir, Resume: true}); err == nil ||
+		!strings.Contains(err.Error(), "seed") {
+		t.Fatalf("seed mismatch err = %v", err)
+	}
+}
+
+// TestCellReproducibleInIsolation: any cell re-run alone yields the
+// record the full sweep produced — the (baseSeed, cellIndex) seed
+// derivation contract.
+func TestCellReproducibleInIsolation(t *testing.T) {
+	g := microGrid()
+	var recs []Record
+	if _, err := Run(context.Background(), g, Options{BaseSeed: 7,
+		OnRecord: func(r Record) { recs = append(recs, r) }}); err != nil {
+		t.Fatal(err)
+	}
+	for _, i := range []int{0, 5, 11} {
+		r, err := runCell(context.Background(), g, i, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if recordLines([]Record{r}) != recordLines([]Record{recs[i]}) {
+			t.Fatalf("cell %d re-run diverged", i)
+		}
+	}
+}
+
+// TestValidateRejects: bad axes fail before anything runs.
+func TestValidateRejects(t *testing.T) {
+	base := grid.Base{ScaleFactor: 0.05, DurationSec: 5}
+	cases := []struct {
+		name string
+		g    *grid.Grid
+		want string
+	}{
+		{"unknown axis", grid.New("g", base).Add("zap", grid.Num(1)), "unknown axis"},
+		{"bad topo", grid.New("g", base).Add("topo", grid.Str("c")), "topo"},
+		{"bad diff", grid.New("g", base).Add("diff", grid.Str("throttle")), "diff"},
+		{"rate range", grid.New("g", base).Add("rate", grid.Num(1.5)), "(0,1)"},
+		{"dfrac range", grid.New("g", base).Add("dfrac", grid.Num(0)), "(0,1)"},
+		{"bad normalize", grid.New("g", base).Add("normalize", grid.Str("yes")), "normalize"},
+		{"bad cca", grid.New("g", base).Add("c2cca", grid.Str("bbr")), "congestion controller"},
+		{"bad flows", grid.New("g", base).Add("flows", grid.Num(2.5)), "integer"},
+		{"string rtt", grid.New("g", base).Add("rtt", grid.Str("fast")), "numeric"},
+	}
+	for _, tc := range cases {
+		err := Validate(tc.g)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want containing %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestMaterializeCellErrors: cross-axis constraints surface with clear
+// errors when the offending cell materializes.
+func TestMaterializeCellErrors(t *testing.T) {
+	base := grid.Base{ScaleFactor: 0.05, DurationSec: 5}
+	cases := []struct {
+		name string
+		g    *grid.Grid
+		want string
+	}{
+		{"police without rate", grid.New("g", base).Add("diff", grid.Str("police")), "needs a rate"},
+		{"topo b shaped", grid.New("g", base).Add("topo", grid.Str("b")).Add("diff", grid.Str("shape")).Add("rate", grid.Num(0.3)), "diff=police"},
+		{"topo b per-class knob", grid.New("g", base).Add("topo", grid.Str("b")).Add("rate", grid.Num(0.3)).Add("c2mb", grid.Num(10)), "no topology-B counterpart"},
+	}
+	for _, tc := range cases {
+		if err := Validate(tc.g); err != nil {
+			t.Fatalf("%s: Validate = %v", tc.name, err)
+		}
+		_, err := materialize(tc.g, 0, 1)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want containing %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestMaterializeScenarioShape: spot-check that axis values land on
+// the right knobs for both topologies.
+func TestMaterializeScenarioShape(t *testing.T) {
+	g := grid.New("g", grid.Base{ScaleFactor: 0.1, DurationSec: 20}).
+		Add("topo", grid.Strs("a", "b")...).
+		Add("diff", grid.Str("police")).
+		Add("rate", grid.Num(0.25)).
+		Add("dfrac", grid.Num(0.25)).
+		Add("lossthr", grid.Num(0.05))
+	if err := Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	sa, err := materialize(g, 0, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sa.exp.Seed != 42 || len(sa.truth) != 1 || sa.opts.LossThreshold != 0.05 {
+		t.Fatalf("topology A scenario: %+v", sa)
+	}
+	if sa.exp.Duration != 20 {
+		t.Fatalf("duration %v", sa.exp.Duration)
+	}
+	sb, err := materialize(g, 1, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sb.truth) != 3 { // topology B's three policers
+		t.Fatalf("topology B truth links: %d", len(sb.truth))
+	}
+}
+
+// TestDemoGrid: the demonstration grid is valid, has at least the
+// 1,000 cells the acceptance criterion demands, and both topologies'
+// corner cells materialize.
+func TestDemoGrid(t *testing.T) {
+	g := DemoGrid()
+	if err := Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	if g.Cells() < 1000 {
+		t.Fatalf("demo grid has %d cells, want >= 1000", g.Cells())
+	}
+	for _, i := range []int{0, g.Cells() - 1} {
+		if _, err := materialize(g, i, 1); err != nil {
+			t.Fatalf("cell %d: %v", i, err)
+		}
+	}
+}
+
+// TestDemoGridFull optionally runs the whole 1,000-cell demonstration
+// grid (SWEEP_DEMO_FULL=1); by default it runs a 3-shard slice of the
+// topology-A half to keep the suite fast while still driving the
+// executor through a three-digit cell count.
+func TestDemoGridFull(t *testing.T) {
+	g := DemoGrid()
+	if os.Getenv("SWEEP_DEMO_FULL") == "" {
+		g.Axes[0].Values = g.Axes[0].Values[:1] // topology A only
+		g.Axes[4].Values = g.Axes[4].Values[:1] // one replica
+		g.Base.ScaleFactor, g.Base.DurationSec = 0.05, 5
+		if g.Cells() != 100 {
+			t.Fatalf("sliced demo grid has %d cells", g.Cells())
+		}
+	}
+	dir := t.TempDir()
+	res, err := Run(context.Background(), g, Options{Shards: 3, BaseSeed: 1, Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Agg.Cells() != g.Cells() {
+		t.Fatalf("aggregated %d of %d cells", res.Agg.Cells(), g.Cells())
+	}
+	sum := res.Agg.Summary()
+	for _, want := range []string{"by rate:", "by dfrac:", "non-neutral verdicts"} {
+		if !strings.Contains(sum, want) {
+			t.Fatalf("summary missing %q:\n%s", want, sum)
+		}
+	}
+}

@@ -46,14 +46,31 @@
 //     matter which experiment finished first.
 //   - Containment: a panicking experiment becomes a per-unit error
 //     instead of killing the sweep, and cancelling the context (e.g.
-//     Ctrl-C in the CLIs) stops dispatching new experiments while
-//     in-flight ones finish.
+//     Ctrl-C in the CLIs) stops dispatching new experiments and
+//     aborts in-flight emulations mid-run (the event loop polls the
+//     context between event batches).
 //
 // Batch entry points: RunExperimentBatch here, lab.RunBatch and the
 // figures.*Exec variants internally. Both CLIs expose the pool width:
 //
 //	go run ./cmd/experiments -workers 8        # whole evaluation, 8-wide
 //	go run ./cmd/neutrality emulate -runs 20 -workers 8   # 20 replicas
+//
+// # Sweep orchestration
+//
+// Beyond the paper's fixed 34-experiment evaluation, the sweep
+// subsystem (internal/grid + internal/sweep, re-exported here as
+// Grid/RunSweep/…) executes declarative scenario grids — axes over
+// topologies, workload mixes, differentiation policies, and inference
+// knobs — as sharded streams of independent cells with one JSONL
+// record per cell, bounded-memory online aggregation (streaming
+// moments and quantile sketches per axis slice), and resumable
+// checkpoints. Any cell is reproducible in isolation from
+// (baseSeed, cellIndex), and every artifact is byte-identical for
+// every worker count:
+//
+//	go run ./cmd/neutrality sweep -demo -out /tmp/demo -shards 4
+//	go run ./cmd/neutrality sweep -grid grid.json -out d -resume
 //
 // # Quick start
 //

@@ -1,0 +1,69 @@
+package neutrality
+
+import (
+	"context"
+	"io"
+
+	"neutrality/internal/grid"
+	"neutrality/internal/lab"
+	"neutrality/internal/sweep"
+)
+
+// Sweep orchestration, re-exported from internal/grid and
+// internal/sweep: declare a scenario grid (axes over topologies,
+// workload mixes, differentiation policies, and inference knobs),
+// then execute it as a sharded stream of independent cells with
+// online aggregation and resumable checkpoints. See the
+// `neutrality sweep` subcommand for the file-based workflow.
+type (
+	// Grid is a declarative scenario grid: axes whose Cartesian
+	// product defines the experiment cells, expanded lazily.
+	Grid = grid.Grid
+	// GridAxis is one grid dimension.
+	GridAxis = grid.Axis
+	// GridValue is one axis setting (number or string, plus label).
+	GridValue = grid.Value
+	// GridBase is the per-grid execution scale and seed mode.
+	GridBase = grid.Base
+	// SweepOptions configure a sweep run (workers, shards, seed,
+	// output directory, resume).
+	SweepOptions = sweep.Options
+	// SweepRecord is one cell's outcome (one JSONL line).
+	SweepRecord = sweep.Record
+	// SweepResult is a run's outcome: online aggregates plus resume
+	// accounting.
+	SweepResult = sweep.Result
+)
+
+// NewGrid starts a grid with the given name and base.
+func NewGrid(name string, base GridBase) *Grid { return grid.New(name, base) }
+
+// GridNum returns a numeric axis value.
+func GridNum(v float64) GridValue { return grid.Num(v) }
+
+// GridStr returns a string axis value.
+func GridStr(s string) GridValue { return grid.Str(s) }
+
+// ParseGridJSON reads and validates a grid spec in its JSON file form.
+func ParseGridJSON(r io.Reader) (*Grid, error) { return grid.ParseJSON(r) }
+
+// ValidateSweepGrid checks a grid against the sweep axis vocabulary
+// before anything runs.
+func ValidateSweepGrid(g *Grid) error { return sweep.Validate(g) }
+
+// RunSweep executes the grid on the sweep engine. Output (records,
+// shard files, aggregates) is byte-identical for every worker count;
+// cancelling ctx aborts in-flight emulations and leaves a resumable
+// checkpoint when SweepOptions.Dir is set.
+func RunSweep(ctx context.Context, g *Grid, opt SweepOptions) (*SweepResult, error) {
+	return sweep.Run(ctx, g, opt)
+}
+
+// DemoSweepGrid is the built-in 1,000-cell demonstration grid:
+// policer rate × discrimination fraction × topology × replicas.
+func DemoSweepGrid() *Grid { return sweep.DemoGrid() }
+
+// TableTwoGrid is Table 2's experiment set (1–9) as a declarative
+// grid spec — the paper's evaluation expressed in the sweep
+// vocabulary.
+func TableTwoGrid(set int) (*Grid, error) { return lab.TableTwoGrid(set) }

@@ -19,6 +19,8 @@ package neutrality_test
 import (
 	"context"
 	"fmt"
+	"os"
+	"path/filepath"
 	"sync"
 	"testing"
 
@@ -266,5 +268,57 @@ func BenchmarkSweepGrid(b *testing.B) {
 	}
 	if sec := b.Elapsed().Seconds(); sec > 0 {
 		b.ReportMetric(float64(cells)/sec, "sweep_cells_per_sec")
+	}
+}
+
+// BenchmarkSweepMerge measures the distributed-sweep merge path:
+// partition directories are built once (outside the timer), then each
+// iteration verifies, concatenates, and replays them into a fresh
+// merged directory. sweep_merge_cells_per_sec is the merge-side
+// throughput the benchjson baseline gates — it bounds how fast a
+// fleet's results can be reassembled, so it must not silently regress.
+func BenchmarkSweepMerge(b *testing.B) {
+	g := neutrality.NewGrid("bench-merge", neutrality.GridBase{
+		ScaleFactor: 0.05,
+		DurationSec: 10,
+	})
+	g.Add("diff", neutrality.GridStr("police"))
+	g.Add("rate", neutrality.GridNum(0.2), neutrality.GridNum(0.3), neutrality.GridNum(0.4))
+	g.Add("dfrac", neutrality.GridNum(0.3), neutrality.GridNum(0.5), neutrality.GridNum(0.7))
+	g.Add("rep", neutrality.GridNum(0), neutrality.GridNum(1))
+	const parts, shards = 3, 2
+	base := b.TempDir()
+	dirs := make([]string, parts)
+	for k := 1; k <= parts; k++ {
+		dirs[k-1] = filepath.Join(base, fmt.Sprintf("part-%d", k))
+		if _, err := neutrality.RunSweep(context.Background(), g, neutrality.SweepOptions{
+			Shards: shards, BaseSeed: 1, Dir: dirs[k-1],
+			Partition: neutrality.SweepPartition{K: k, N: parts},
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	cells := 0
+	for i := 0; i < b.N; i++ {
+		out := filepath.Join(base, fmt.Sprintf("merged-%d", i))
+		res, err := neutrality.MergeSweep(g, dirs, out)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Agg.Cells() != g.Cells() {
+			b.Fatalf("merged %d of %d cells", res.Agg.Cells(), g.Cells())
+		}
+		cells += res.Total
+		once("sweep-merge", res.Agg.Summary)
+		b.StopTimer()
+		if err := os.RemoveAll(out); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+	}
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(cells)/sec, "sweep_merge_cells_per_sec")
 	}
 }

@@ -146,3 +146,22 @@ func TestCheckRegressionsSweepThroughputGate(t *testing.T) {
 		t.Fatalf("missing sweep metric not caught: %v", got)
 	}
 }
+
+func TestCheckRegressionsMergeThroughputGate(t *testing.T) {
+	base := map[string]map[string]float64{"SweepMerge": {"sweep_merge_cells_per_sec": 10000}}
+
+	bad := map[string]map[string]float64{"SweepMerge": {"sweep_merge_cells_per_sec": 10000 * 0.8}}
+	if got := checkRegressions(bad, base); len(got) != 1 || !strings.Contains(got[0], "sweep_merge_cells_per_sec") {
+		t.Fatalf("merge throughput drop not caught: %v", got)
+	}
+
+	ok := map[string]map[string]float64{"SweepMerge": {"sweep_merge_cells_per_sec": 10000 * 2}}
+	if got := checkRegressions(ok, base); len(got) != 0 {
+		t.Fatalf("faster merge flagged: %v", got)
+	}
+
+	missing := map[string]map[string]float64{"SweepMerge": {"ns_op": 1}}
+	if got := checkRegressions(missing, base); len(got) != 1 || !strings.Contains(got[0], "missing") {
+		t.Fatalf("missing merge metric not caught: %v", got)
+	}
+}

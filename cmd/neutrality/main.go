@@ -13,12 +13,16 @@
 //	neutrality infer   -net ... [-gap 0.5] [-intervals 6000] [-seed 1]
 //	neutrality sweep   -grid spec.json|-demo [-out dir] [-workers 0]
 //	                   [-shards 1] [-seed 1] [-resume] [-print-spec]
+//	                   [-partition k/n]
+//	neutrality merge   -grid spec.json|-demo -out dir part1 part2 ...
 //
 // `emulate` runs packet-level TCP emulation and then inference; `infer`
 // uses the fast synthetic substrate with a configurable violation gap;
 // `sweep` executes a declarative scenario grid on the sweep
 // orchestration engine (sharded JSONL records, online aggregation,
-// resumable checkpoints — byte-identical for every -workers value).
+// resumable checkpoints — byte-identical for every -workers value);
+// `merge` reconstitutes the single-run artifacts from `sweep
+// -partition k/n` partition directories, byte-identically.
 // With -runs N > 1, emulate replicates the experiment N times with
 // per-run seeds derived from (-seed, run index), fans the replicas out
 // across a bounded worker pool (-workers, default one per CPU), and
@@ -58,10 +62,12 @@ func main() {
 		cmdInfer(args)
 	case "sweep":
 		cmdSweep(ctx, args)
+	case "merge":
+		cmdMerge(args)
 	case "help", "-h", "--help":
 		usage()
 	default:
-		log.Fatalf("unknown command %q (try: topo, theory, emulate, infer, sweep)", cmd)
+		log.Fatalf("unknown command %q (try: topo, theory, emulate, infer, sweep, merge)", cmd)
 	}
 }
 
@@ -75,7 +81,10 @@ commands:
   infer    run inference on fast synthetic observations
   sweep    run a declarative scenario grid: sharded JSONL records,
            online aggregation, resumable checkpoints (-demo for the
-           built-in 1,000-cell grid, -print-spec for the JSON format)
+           built-in 1,000-cell grid, -print-spec for the JSON format,
+           -partition k/n for one range of a distributed run)
+  merge    reconstitute the single-run artifacts from the partition
+           directories of a distributed sweep, byte-identically
 
 run 'neutrality <command> -h' for command flags`)
 	os.Exit(2)

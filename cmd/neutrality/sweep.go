@@ -7,43 +7,24 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"neutrality"
 )
 
-// cmdSweep runs a declarative scenario grid on the sweep orchestration
-// engine: sharded JSONL records, online aggregation, resumable
-// checkpoints.
-//
-//	neutrality sweep -demo -out DIR              # built-in 1,000-cell grid
-//	neutrality sweep -grid spec.json -out DIR    # a declared grid
-//	neutrality sweep -demo -print-spec           # emit the JSON spec
-//	neutrality sweep -grid spec.json -out DIR -resume   # continue
-//
-// The summary on stdout and every artifact in -out are byte-identical
-// for every -workers value; progress and timing go to stderr.
-func cmdSweep(ctx context.Context, args []string) {
-	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
-	gridFile := fs.String("grid", "", "grid spec JSON file (see -print-spec for the format)")
-	demo := fs.Bool("demo", false, "use the built-in demonstration grid (policer rate x discrimination fraction x topology)")
-	printSpec := fs.Bool("print-spec", false, "print the grid's JSON spec and exit (edit it, then pass via -grid)")
-	out := fs.String("out", "", "sweep directory for shard JSONL files and the checkpoint manifest (empty = in-memory)")
-	workers := fs.Int("workers", 0, "parallel workers (0 = one per CPU); never affects output bytes")
-	shards := fs.Int("shards", 1, "output shards; cell i lands in shard i mod shards")
-	seed := fs.Int64("seed", 1, "base seed; each cell derives its seed from (seed, cell)")
-	resume := fs.Bool("resume", false, "resume an interrupted sweep in -out (validates the spec fingerprint)")
-	quiet := fs.Bool("quiet", false, "suppress the progress meter on stderr")
-	fs.Parse(args)
-
+// loadGrid resolves the shared -demo/-grid flag pair of the sweep and
+// merge subcommands into a validated grid spec.
+func loadGrid(demo bool, gridFile string) *neutrality.Grid {
 	var g *neutrality.Grid
 	switch {
-	case *demo && *gridFile != "":
+	case demo && gridFile != "":
 		log.Fatal("pass either -demo or -grid, not both")
-	case *demo:
+	case demo:
 		g = neutrality.DemoSweepGrid()
-	case *gridFile != "":
-		f, err := os.Open(*gridFile)
+	case gridFile != "":
+		f, err := os.Open(gridFile)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -54,11 +35,66 @@ func cmdSweep(ctx context.Context, args []string) {
 		}
 		g = spec
 	default:
-		log.Fatal("pass -grid FILE or -demo (and see -print-spec)")
+		log.Fatal("pass -grid FILE or -demo (and see sweep -print-spec)")
 	}
 	if err := neutrality.ValidateSweepGrid(g); err != nil {
 		log.Fatal(err)
 	}
+	return g
+}
+
+// parsePartition parses a -partition k/n value strictly: any
+// malformed or trailing input is rejected rather than silently
+// running the wrong cell range of a fleet.
+func parsePartition(s string) (neutrality.SweepPartition, error) {
+	var p neutrality.SweepPartition
+	if s == "" {
+		return p, nil
+	}
+	ks, ns, ok := strings.Cut(s, "/")
+	if ok {
+		var errK, errN error
+		p.K, errK = strconv.Atoi(ks)
+		p.N, errN = strconv.Atoi(ns)
+		ok = errK == nil && errN == nil && p.K >= 1 && p.N >= 1 && p.K <= p.N
+	}
+	if !ok {
+		return neutrality.SweepPartition{}, fmt.Errorf("-partition must be k/n with 1 <= k <= n, got %q", s)
+	}
+	return p, nil
+}
+
+// cmdSweep runs a declarative scenario grid on the sweep orchestration
+// engine: sharded JSONL records, online aggregation, resumable
+// checkpoints.
+//
+//	neutrality sweep -demo -out DIR              # built-in 1,000-cell grid
+//	neutrality sweep -grid spec.json -out DIR    # a declared grid
+//	neutrality sweep -demo -print-spec           # emit the JSON spec
+//	neutrality sweep -grid spec.json -out DIR -resume   # continue
+//	neutrality sweep -grid spec.json -out DIR -partition 2/4  # one shard-aligned
+//	                                             # cell range of a distributed run
+//
+// The summary on stdout and every artifact in -out are byte-identical
+// for every -workers value; progress and timing go to stderr. A
+// -partition k/n run covers one deterministic cell range of the grid;
+// `neutrality merge` reconstitutes the single-run artifacts from the
+// n partition directories.
+func cmdSweep(ctx context.Context, args []string) {
+	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
+	gridFile := fs.String("grid", "", "grid spec JSON file (see -print-spec for the format)")
+	demo := fs.Bool("demo", false, "use the built-in demonstration grid (policer rate x discrimination fraction x topology)")
+	printSpec := fs.Bool("print-spec", false, "print the grid's JSON spec and exit (edit it, then pass via -grid)")
+	out := fs.String("out", "", "sweep directory for shard JSONL files and the checkpoint manifest (empty = in-memory)")
+	workers := fs.Int("workers", 0, "parallel workers (0 = one per CPU); never affects output bytes")
+	shards := fs.Int("shards", 1, "output shards; cell i lands in shard i mod shards")
+	seed := fs.Int64("seed", 1, "base seed; each cell derives its seed from (seed, cell)")
+	resume := fs.Bool("resume", false, "resume an interrupted sweep in -out (validates the spec fingerprint)")
+	partition := fs.String("partition", "", "run only partition k/n of the grid (e.g. 2/4): a deterministic shard-aligned cell range; merge the n directories with 'neutrality merge'")
+	quiet := fs.Bool("quiet", false, "suppress the progress meter on stderr")
+	fs.Parse(args)
+
+	g := loadGrid(*demo, *gridFile)
 	if *printSpec {
 		os.Stdout.Write(g.MarshalCanonical())
 		return
@@ -66,16 +102,21 @@ func cmdSweep(ctx context.Context, args []string) {
 	if *out == "" && *resume {
 		log.Fatal("-resume needs -out")
 	}
+	part, err := parsePartition(*partition)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	total := g.Cells()
 	fmt.Fprintf(os.Stderr, "sweep %s: %d cells (%d axes), scale=%g%%, %gs per cell, shards=%d\n",
 		g.Name, total, len(g.Axes), g.Base.ScaleFactor*100, g.Base.DurationSec, *shards)
 	opt := neutrality.SweepOptions{
-		Workers:  *workers,
-		Shards:   *shards,
-		BaseSeed: *seed,
-		Dir:      *out,
-		Resume:   *resume,
+		Workers:   *workers,
+		Shards:    *shards,
+		BaseSeed:  *seed,
+		Dir:       *out,
+		Resume:    *resume,
+		Partition: part,
 	}
 	if !*quiet {
 		opt.Progress = func(done, total int) {
@@ -92,11 +133,26 @@ func cmdSweep(ctx context.Context, args []string) {
 	if err != nil {
 		if *out != "" && errors.Is(err, context.Canceled) {
 			// An interruption leaves a valid checkpoint; tell the
-			// operator how to go on. Other failures (spec mismatch,
-			// directory already in use, I/O) are not resumable as-is.
-			log.Printf("sweep interrupted (resume with -resume -out %s)", *out)
+			// operator how to go on. The hint repeats every flag the
+			// resume validation will demand back (spec, shards, seed,
+			// partition), so it works pasted verbatim. Other failures
+			// (spec mismatch, directory already in use, I/O) are not
+			// resumable as-is.
+			flags := fmt.Sprintf(" -shards %d -seed %d", *shards, *seed)
+			if *demo {
+				flags = " -demo" + flags
+			} else {
+				flags = " -grid " + *gridFile + flags
+			}
+			if *partition != "" {
+				flags += " -partition " + *partition
+			}
+			log.Printf("sweep interrupted (resume with%s -resume -out %s)", flags, *out)
 		}
 		log.Fatal(err)
+	}
+	if !part.IsZero() {
+		fmt.Fprintf(os.Stderr, "partition %s: cells [%d,%d) of %d\n", *partition, res.Range.Lo, res.Range.Hi, total)
 	}
 	elapsed := time.Since(start)
 	executed := res.Total - res.Resumed

@@ -1,0 +1,104 @@
+package grid
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestPartitionBlocksProperties: for randomized (cells, block, n)
+// triples, the n ranges are disjoint, contiguous, cover [0, cells)
+// exactly, start on block boundaries, and are balanced to within one
+// block. Seeded, so the case set is stable.
+func TestPartitionBlocksProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 500; trial++ {
+		cells := rng.Intn(2000)
+		block := 1 + rng.Intn(8)
+		n := 1 + rng.Intn(12)
+		prevHi := 0
+		minLen, maxLen := cells+1, -1
+		for k := 1; k <= n; k++ {
+			r, err := PartitionBlocks(cells, block, k, n)
+			if err != nil {
+				t.Fatalf("cells=%d block=%d %d/%d: %v", cells, block, k, n, err)
+			}
+			if r.Lo != prevHi {
+				t.Fatalf("cells=%d block=%d %d/%d: range [%d,%d) does not continue from %d",
+					cells, block, k, n, r.Lo, r.Hi, prevHi)
+			}
+			if r.Hi < r.Lo {
+				t.Fatalf("cells=%d block=%d %d/%d: inverted range [%d,%d)", cells, block, k, n, r.Lo, r.Hi)
+			}
+			if r.Lo%block != 0 && r.Lo != cells {
+				t.Fatalf("cells=%d block=%d %d/%d: Lo %d not block-aligned", cells, block, k, n, r.Lo)
+			}
+			if r.Hi%block != 0 && r.Hi != cells {
+				t.Fatalf("cells=%d block=%d %d/%d: Hi %d neither aligned nor final", cells, block, k, n, r.Hi)
+			}
+			if l := r.Len(); l < minLen {
+				minLen = l
+			} else if l > maxLen {
+				maxLen = l
+			}
+			if maxLen < r.Len() {
+				maxLen = r.Len()
+			}
+			prevHi = r.Hi
+		}
+		if prevHi != cells {
+			t.Fatalf("cells=%d block=%d n=%d: partitions cover [0,%d), want [0,%d)", cells, block, n, prevHi, cells)
+		}
+		// Whole blocks are spread to within one block; the final
+		// partial block can shorten the last range by block-1 more.
+		if maxLen >= 0 && maxLen-minLen > 2*block-1 {
+			t.Fatalf("cells=%d block=%d n=%d: imbalance %d > %d", cells, block, n, maxLen-minLen, 2*block-1)
+		}
+	}
+}
+
+func TestPartitionBlocksErrors(t *testing.T) {
+	cases := []struct{ cells, block, k, n int }{
+		{-1, 1, 1, 1}, // negative cells
+		{10, 0, 1, 1}, // zero block
+		{10, 1, 0, 4}, // k below 1
+		{10, 1, 5, 4}, // k above n
+		{10, 1, 1, 0}, // zero partitions
+	}
+	for _, tc := range cases {
+		if _, err := PartitionBlocks(tc.cells, tc.block, tc.k, tc.n); err == nil {
+			t.Errorf("PartitionBlocks(%d,%d,%d,%d) accepted", tc.cells, tc.block, tc.k, tc.n)
+		}
+	}
+}
+
+// TestPartitionBlocksSmallGrid: more partitions than blocks leaves the
+// trailing partitions empty rather than failing — a fleet larger than
+// the grid is legitimate.
+func TestPartitionBlocksSmallGrid(t *testing.T) {
+	covered := 0
+	for k := 1; k <= 8; k++ {
+		r, err := PartitionBlocks(5, 3, k, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		covered += r.Len()
+	}
+	if covered != 5 {
+		t.Fatalf("covered %d of 5 cells", covered)
+	}
+}
+
+func TestCheckRange(t *testing.T) {
+	g := New("t", Base{ScaleFactor: 1, DurationSec: 1}).Add("rate", Nums(0.1, 0.2, 0.3)...)
+	if err := g.CheckRange(g.FullRange()); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.CheckRange(Range{Lo: 1, Hi: 1}); err != nil {
+		t.Fatalf("empty in-bounds range rejected: %v", err)
+	}
+	for _, r := range []Range{{Lo: -1, Hi: 2}, {Lo: 2, Hi: 1}, {Lo: 0, Hi: 4}} {
+		if err := g.CheckRange(r); err == nil {
+			t.Errorf("range %+v accepted", r)
+		}
+	}
+}

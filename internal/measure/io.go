@@ -41,6 +41,11 @@ func ReadCSV(r io.Reader) (*Measurements, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<24)
 	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			// The reader died before the header: surface the transport
+			// error, not a misleading "empty input".
+			return nil, fmt.Errorf("measure: reading: %w", err)
+		}
 		return nil, fmt.Errorf("measure: empty input")
 	}
 	header := strings.Split(strings.TrimSpace(sc.Text()), ",")
@@ -87,7 +92,11 @@ func ReadCSV(r io.Reader) (*Measurements, error) {
 		m.Lost = append(m.Lost, lost)
 	}
 	if err := sc.Err(); err != nil {
-		return nil, err
+		// A transport-level failure (the reader died mid-stream, or a
+		// line overflowed the scanner buffer) must not be mistaken for
+		// a clean end of input: the rows parsed so far would silently
+		// pass as a complete, shorter measurement set.
+		return nil, fmt.Errorf("measure: reading: %w", err)
 	}
 	if err := m.Validate(); err != nil {
 		return nil, err

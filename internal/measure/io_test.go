@@ -127,6 +127,38 @@ func TestReadCSVReaderError(t *testing.T) {
 	if err == nil || !strings.Contains(err.Error(), "connection reset") {
 		t.Fatalf("err = %v, want the transport error surfaced", err)
 	}
+	// The error is wrapped with package context, and the underlying
+	// cause stays reachable for errors.Is/As chains.
+	if !strings.Contains(err.Error(), "measure: reading") {
+		t.Fatalf("err = %v, want the measure context attached", err)
+	}
+	// A reader failing on the very first read (no header yet) must
+	// surface the transport error, not claim the input was empty.
+	if _, err := ReadCSV(&failingReader{}); err == nil || !strings.Contains(err.Error(), "connection reset") {
+		t.Fatalf("pre-header reader error = %v, want the transport error surfaced", err)
+	}
+}
+
+// failingWriter exposes WriteCSV's handling of downstream failures
+// (a full disk, a closed pipe): the error must surface through the
+// buffered writer's flush rather than being dropped.
+type failingWriter struct{ room int }
+
+func (w *failingWriter) Write(p []byte) (int, error) {
+	if len(p) > w.room {
+		n := w.room
+		w.room = 0
+		return n, errors.New("no space left")
+	}
+	w.room -= len(p)
+	return len(p), nil
+}
+
+func TestWriteCSVWriterError(t *testing.T) {
+	m := NewMeasurements(512, 4)
+	if err := m.WriteCSV(&failingWriter{room: 64}); err == nil || !strings.Contains(err.Error(), "no space left") {
+		t.Fatalf("err = %v, want the write error surfaced", err)
+	}
 }
 
 // TestCSVRoundTripZeroTraffic: an all-zero (yet shaped) measurement

@@ -17,6 +17,16 @@ import (
 // Determinism: records are folded in cell order (the executor emits
 // them that way), and both structures are sequential folds, so the
 // summary is byte-identical for every worker and shard count.
+//
+// Mergeability: every structure also merges — Welford moments
+// Chan-style, sketches bin-wise, marginals slice-wise — so partitions
+// of a distributed sweep can each aggregate their own cell range and
+// Agg.Merge combines them. The merge laws: counts, bins, events, and
+// min/max are semigroup sums, associative and commutative exactly;
+// the Welford mean/m2 merge is exact when either side is empty and
+// otherwise matches the sequential fold to floating-point rounding,
+// which is orders of magnitude below Summary's printed precision. The
+// empty Agg is the identity.
 
 // Welford is the numerically stable streaming mean/variance
 // accumulator.
@@ -32,6 +42,26 @@ func (w *Welford) Add(x float64) {
 	d := x - w.Mean
 	w.Mean += d / float64(w.N)
 	w.m2 += d * (x - w.Mean)
+}
+
+// Merge folds another accumulator in (Chan et al.'s parallel
+// update). Merging with an empty side is exact; otherwise the result
+// matches the sequential fold of both observation streams to
+// floating-point rounding.
+func (w *Welford) Merge(o Welford) {
+	if o.N == 0 {
+		return
+	}
+	if w.N == 0 {
+		*w = o
+		return
+	}
+	na, nb := float64(w.N), float64(o.N)
+	n := na + nb
+	delta := o.Mean - w.Mean
+	w.Mean += delta * nb / n
+	w.m2 += o.m2 + delta*delta*na*nb/n
+	w.N += o.N
 }
 
 // Var returns the population variance (0 for fewer than 2 samples).
@@ -93,6 +123,34 @@ func (s *Sketch) Add(x float64) {
 		b = sketchBins - 1
 	}
 	s.bins[b]++
+}
+
+// Merge folds another sketch in bin-wise. Both sketches must use the
+// same transform. Bin counts and min/max are exact semigroup sums, so
+// sketch merging is associative and commutative outright: merged
+// quantiles are bit-identical whatever the merge order.
+func (s *Sketch) Merge(o *Sketch) error {
+	if s.squash != o.squash {
+		return fmt.Errorf("sweep: merging sketches with different transforms")
+	}
+	if o.n == 0 {
+		return nil
+	}
+	if s.n == 0 {
+		*s = *o // value copy: bins is an array
+		return nil
+	}
+	for b := range s.bins {
+		s.bins[b] += o.bins[b]
+	}
+	s.n += o.n
+	if o.min < s.min {
+		s.min = o.min
+	}
+	if o.max > s.max {
+		s.max = o.max
+	}
+	return nil
 }
 
 // Quantile estimates the q-quantile (0 <= q <= 1) by locating the bin
@@ -166,6 +224,18 @@ func (a *metricAgg) add(r Record) {
 	a.events += r.Events
 }
 
+// merge folds another metric aggregate in.
+func (a *metricAgg) merge(o *metricAgg) error {
+	a.cells += o.cells
+	a.nonNeutral += o.nonNeutral
+	a.fn.Merge(o.fn)
+	a.fp.Merge(o.fp)
+	a.gran.Merge(o.gran)
+	a.unsolv.Merge(o.unsolv)
+	a.events += o.events
+	return a.unsolvSk.Merge(o.unsolvSk)
+}
+
 // Agg folds sweep records into the global and per-axis-slice
 // aggregates. It consumes records strictly in cell order.
 type Agg struct {
@@ -196,6 +266,29 @@ func (a *Agg) Add(r Record) {
 	for ax := range a.g.Axes {
 		a.slices[ax][c.ValueIndex(ax)].add(r)
 	}
+}
+
+// Merge folds another aggregate over the same grid in, slice by
+// slice, so partitions of a distributed sweep can each aggregate
+// their own cell range and combine afterwards. See the package
+// comment for the merge laws: everything except the Welford moments
+// merges exactly; the moments agree with the sequential fold to
+// floating-point rounding, below Summary's printed precision.
+func (a *Agg) Merge(o *Agg) error {
+	if a.g.Fingerprint() != o.g.Fingerprint() {
+		return fmt.Errorf("sweep: merging aggregates of different grids (%s vs %s)", a.g.Name, o.g.Name)
+	}
+	if err := a.global.merge(o.global); err != nil {
+		return err
+	}
+	for ax := range a.slices {
+		for v := range a.slices[ax] {
+			if err := a.slices[ax][v].merge(o.slices[ax][v]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }
 
 // Summary renders the Table-2-style report: the global verdict and

@@ -1,0 +1,145 @@
+package sweep
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"testing"
+
+	"neutrality/internal/grid"
+)
+
+// Fuzz targets for the artifact path every distributed sweep rests
+// on: manifest JSON, and shard JSONL crash recovery. The shared
+// contract: arbitrary bytes never panic, anything accepted satisfies
+// the documented invariants, and recovery never invents a record that
+// was not durably written.
+
+// FuzzManifestJSON: parseManifest accepts only manifests whose
+// frontier, per-shard counts, and range are mutually consistent — the
+// invariants openStore and Merge later rely on without re-checking.
+func FuzzManifestJSON(f *testing.F) {
+	f.Add([]byte(`{"name":"micro","fingerprint":"abc","cells":12,"shards":2,"base_seed":7,"completed":5,"per_shard":[3,2]}`))
+	f.Add([]byte(`{"name":"p","fingerprint":"abc","cells":12,"shards":3,"base_seed":7,"completed":3,"per_shard":[1,1,1],"range":{"k":2,"n":4,"lo":3,"hi":6}}`))
+	f.Add([]byte(`{"name":"bad","cells":-5,"shards":0,"completed":9,"per_shard":[]}`))
+	f.Add([]byte(`{"cells":4,"shards":1,"completed":9,"per_shard":[9]}`))
+	f.Add([]byte(`{"cells":4,"shards":1,"completed":2,"per_shard":[2],"range":{"k":1,"n":2,"lo":3,"hi":1}}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`garbage`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := parseManifest(data)
+		if err != nil {
+			return
+		}
+		// Accepted: every invariant a consumer assumes must hold.
+		if m.Cells < 0 || m.Shards < 1 || m.Shards > 4096 || len(m.PerShard) != m.Shards {
+			t.Fatalf("accepted inconsistent layout: %+v", m)
+		}
+		rng := m.rng()
+		if rng.Lo < 0 || rng.Hi < rng.Lo || rng.Hi > m.Cells {
+			t.Fatalf("accepted out-of-bounds range: %+v", m)
+		}
+		if m.Completed < 0 || m.Completed > rng.Len() {
+			t.Fatalf("accepted frontier outside range: %+v", m)
+		}
+		sum := 0
+		for s, c := range m.PerShard {
+			if c != linesOf(m.Completed, s, m.Shards) {
+				t.Fatalf("accepted per-shard count inconsistent with frontier: %+v", m)
+			}
+			sum += c
+		}
+		if sum != m.Completed {
+			t.Fatalf("accepted per-shard counts not summing to frontier: %+v", m)
+		}
+	})
+}
+
+// fuzzRecoveryGrid is the fixed spec behind FuzzShardRecovery: a
+// cheap single-shard 12-cell grid; recovery and replay never emulate,
+// so cells are never actually run.
+func fuzzRecoveryGrid() *grid.Grid {
+	return grid.New("fuzz-recovery", grid.Base{ScaleFactor: 0.05, DurationSec: 10}).
+		Add("diff", grid.Str("police")).
+		Add("rate", grid.Num(0.2), grid.Num(0.4)).
+		Add("dfrac", grid.Nums(0.3, 0.7)...).
+		Add("rep", grid.Nums(0, 1, 2)...)
+}
+
+// FuzzShardRecovery feeds arbitrary bytes in as a crashed sweep's
+// shard file and runs the full recovery path (scan, truncate, replay).
+// The contract: no panic; recovery only ever truncates — the
+// recovered file is a byte prefix of the crash image, so a record can
+// never be invented; and every record the replay yields sits in its
+// documented slot or the resume fails with an error.
+func FuzzShardRecovery(f *testing.F) {
+	valid, err := runCell(context.Background(), fuzzRecoveryGrid(), 0, 7)
+	if err != nil {
+		f.Fatal(err)
+	}
+	line := recordLines([]Record{valid})
+	f.Add([]byte(line))                                        // one complete record
+	f.Add([]byte(line + line[:len(line)/2]))                   // torn mid-record
+	f.Add([]byte(`{"cell":0,"seed":1}` + "\n" + `{"cell":5}`)) // wrong-slot + torn
+	f.Add([]byte("\n\n\n"))
+	f.Add([]byte("garbage with no newline"))
+	f.Add([]byte(`{"cell":0}` + "\n" + "notjson\n"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// The pure scan: offsets strictly increasing, each just past a
+		// newline, nothing past the last newline.
+		ends := scanLines(data)
+		var prev int64
+		for _, e := range ends {
+			if e <= prev || e > int64(len(data)) || data[e-1] != '\n' {
+				t.Fatalf("scanLines returned bad offset %d (prev %d) for %d bytes", e, prev, len(data))
+			}
+			prev = e
+		}
+		if bytes.IndexByte(data[prev:], '\n') >= 0 {
+			t.Fatalf("scanLines missed a newline past offset %d", prev)
+		}
+
+		// The store-level recovery on a directory whose shard file is
+		// the fuzz image.
+		g := fuzzRecoveryGrid()
+		dir := t.TempDir()
+		m := &manifest{
+			Name: g.Name, Fingerprint: g.Fingerprint(), Cells: g.Cells(),
+			Shards: 1, BaseSeed: 7, Completed: 0, PerShard: []int{0},
+		}
+		if err := writeManifest(dir, m); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(shardPath(dir, 0), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		st, err := openStore(g, Options{Dir: dir, BaseSeed: 7, Resume: true}, 1, g.FullRange())
+		if err != nil {
+			return // recovery refused the image: fine, as long as no panic
+		}
+		defer st.closeFiles()
+		recovered, err := os.ReadFile(shardPath(dir, 0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.HasPrefix(data, recovered) {
+			t.Fatalf("recovery rewrote bytes instead of truncating:\n%q\nfrom\n%q", recovered, data)
+		}
+		replayed := 0
+		if err := st.replay(func(r Record) {
+			if r.Cell != replayed {
+				t.Fatalf("replay yielded cell %d in slot %d", r.Cell, replayed)
+			}
+			replayed++
+		}); err != nil {
+			return // corrupt record within the frontier: error, not invention
+		}
+		if replayed != st.completed {
+			t.Fatalf("replayed %d records for frontier %d", replayed, st.completed)
+		}
+		if replayed > len(ends) {
+			t.Fatalf("replayed %d records from %d complete lines", replayed, len(ends))
+		}
+	})
+}

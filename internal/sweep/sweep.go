@@ -25,6 +25,44 @@
 //     run validates the spec fingerprint, replays the persisted
 //     records into the aggregates, and continues from the first
 //     missing cell.
+//
+// # Distributed sweeps
+//
+// A sweep is partitionable: Options.Partition k/n restricts the run
+// to a deterministic, shard-aligned contiguous cell range of the same
+// grid (grid.PartitionBlocks with the shard count as the block size),
+// writing the same shard-NNNN.jsonl layout plus a partition-scoped
+// manifest, and Merge reconstitutes the exact artifacts a
+// single-process run would have produced. The invariants that make
+// this work:
+//
+//   - Manifest invariants. A manifest records the spec identity
+//     (name, fingerprint, cells), the artifact layout (shards, base
+//     seed), and the progress frontier: Completed cells — always the
+//     contiguous prefix of the directory's range — with PerShard the
+//     per-shard record counts implied by that frontier. Partition
+//     manifests additionally carry their half-open global cell range
+//     (and k/n); full-run and merged manifests omit it, so a merged
+//     manifest is byte-identical to a single-run manifest. Manifests
+//     contain no timestamps or host details.
+//
+//   - Shard alignment. Partition ranges start on multiples of the
+//     shard count, so cell (Lo+j) lands in shard j mod shards: each
+//     partition's shard-s file holds its range's shard-s cells in
+//     increasing order, and concatenating the partitions' shard-s
+//     files in range order reproduces the single-run shard-s file
+//     byte for byte.
+//
+//   - Merge laws. Aggregates are mergeable (Agg.Merge): counts,
+//     histogram bins, events, and min/max merge exactly, so Merge is
+//     associative and commutative on them outright; Welford moments
+//     merge Chan-style, which is exact when either side is empty and
+//     otherwise agrees with the sequential fold to floating-point
+//     rounding — far below Summary's printed precision, so Summary
+//     output is stable under merge order. Merge nevertheless replays
+//     the merged records in cell order when reconstituting a
+//     directory, which reproduces the single-run aggregate (and its
+//     Summary) bit for bit rather than up to rounding.
 package sweep
 
 import (
@@ -71,6 +109,21 @@ type Record struct {
 	Events uint64 `json:"events"`
 }
 
+// Partition selects one member of an n-way sweep split: the run
+// covers partition K of N (1-based), a contiguous shard-aligned cell
+// range computed by grid.PartitionBlocks. The zero Partition means
+// the whole grid. Every partition of the same (grid, shards, seed)
+// writes artifacts that Merge can reconstitute into the byte-exact
+// single-run directory.
+type Partition struct {
+	K, N int
+}
+
+// IsZero reports whether p is the whole-grid (non-partitioned) run.
+func (p Partition) IsZero() bool { return p == Partition{} }
+
+func (p Partition) String() string { return fmt.Sprintf("%d/%d", p.K, p.N) }
+
 // Options configure one engine run.
 type Options struct {
 	// Workers bounds the worker pool (0 = one per CPU).
@@ -79,6 +132,11 @@ type Options struct {
 	// shard i mod Shards (0 = 1). The partition is a function of the
 	// spec, never of Workers, so the shard layout is stable.
 	Shards int
+	// Partition, when non-zero, restricts the run to partition K of N
+	// — a deterministic shard-aligned cell range of the grid — for
+	// distributed execution; see Merge. Cell indices, seeds, shard
+	// assignment, and record bytes are identical to the full run's.
+	Partition Partition
 	// BaseSeed is the sweep's seed root.
 	BaseSeed int64
 	// Dir, when non-empty, persists shard JSONL files and the
@@ -105,11 +163,16 @@ type Result struct {
 	// Agg holds the online aggregates over all records (replayed +
 	// executed); Summary() renders them.
 	Agg *Agg
-	// Total is the grid's cell count.
+	// Total is the number of cells this run was responsible for: the
+	// grid's cell count for a full run, the partition range's length
+	// for a partitioned one.
 	Total int
 	// Resumed is how many cells were restored from the checkpoint
 	// rather than executed.
 	Resumed int
+	// Range is the half-open global cell range the run covered
+	// (the full grid unless Options.Partition was set).
+	Range grid.Range
 }
 
 // checkpointEvery is how many emitted records may elapse between
@@ -131,28 +194,37 @@ func Run(ctx context.Context, g *grid.Grid, opt Options) (*Result, error) {
 	if shards > 4096 {
 		return nil, fmt.Errorf("sweep: %d shards (max 4096)", shards)
 	}
-	total := g.Cells()
+	rng := g.FullRange()
+	if !opt.Partition.IsZero() {
+		// Shard-aligned split: the block size is the shard count, so
+		// partition shard files stay concatenable (see Merge).
+		var err error
+		rng, err = grid.PartitionBlocks(g.Cells(), shards, opt.Partition.K, opt.Partition.N)
+		if err != nil {
+			return nil, fmt.Errorf("sweep: %w", err)
+		}
+	}
 	agg := NewAgg(g)
-	res := &Result{Agg: agg, Total: total}
+	res := &Result{Agg: agg, Total: rng.Len(), Range: rng}
 
 	var st *store
-	start := 0
+	start := rng.Lo
 	if opt.Dir != "" {
 		var err error
-		st, err = openStore(g, opt, shards, total)
+		st, err = openStore(g, opt, shards, rng)
 		if err != nil {
 			return nil, err
 		}
 		defer st.closeFiles()
-		start = st.completed
-		res.Resumed = start
+		start = rng.Lo + st.completed
+		res.Resumed = st.completed
 		if err := st.replay(func(r Record) {
 			agg.Add(r)
 			if opt.OnRecord != nil {
 				opt.OnRecord(r)
 			}
 			if opt.Progress != nil {
-				opt.Progress(r.Cell+1, total)
+				opt.Progress(r.Cell+1-rng.Lo, rng.Len())
 			}
 		}); err != nil {
 			return nil, err
@@ -165,7 +237,7 @@ func Run(ctx context.Context, g *grid.Grid, opt Options) (*Result, error) {
 	}
 	window := 4 * workers
 	sinceCheckpoint := 0
-	streamErr := runner.Stream(ctx, workers, start, total, window,
+	streamErr := runner.Stream(ctx, workers, start, rng.Hi, window,
 		func(uctx context.Context, i int) (Record, error) {
 			return runCell(uctx, g, i, opt.BaseSeed)
 		},
@@ -186,7 +258,7 @@ func Run(ctx context.Context, g *grid.Grid, opt Options) (*Result, error) {
 				opt.OnRecord(r)
 			}
 			if opt.Progress != nil {
-				opt.Progress(i+1, total)
+				opt.Progress(i+1-rng.Lo, rng.Len())
 			}
 			sinceCheckpoint++
 			if st != nil && sinceCheckpoint >= checkpointEvery {
@@ -210,27 +282,119 @@ func Run(ctx context.Context, g *grid.Grid, opt Options) (*Result, error) {
 
 // manifest is the checkpoint file: the spec identity and the progress
 // frontier. It contains no timestamps or host details, so manifests
-// are byte-identical across worker counts too.
+// are byte-identical across worker counts too, and a merged manifest
+// is byte-identical to a single-run one (Range is omitted on both).
 type manifest struct {
 	Name        string `json:"name"`
 	Fingerprint string `json:"fingerprint"`
-	Cells       int    `json:"cells"`
-	Shards      int    `json:"shards"`
-	BaseSeed    int64  `json:"base_seed"`
-	// Completed is the contiguous prefix of cells whose records are
-	// persisted: every cell < Completed is in its shard file.
+	// Cells is the FULL grid's cell count, even on a partition
+	// manifest — it identifies the artifact a merge reconstitutes.
+	Cells    int   `json:"cells"`
+	Shards   int   `json:"shards"`
+	BaseSeed int64 `json:"base_seed"`
+	// Completed is the contiguous prefix of the directory's cell
+	// range whose records are persisted: every cell in
+	// [range.lo, range.lo+Completed) is in its shard file. For a
+	// full-grid directory the range starts at 0, so Completed is the
+	// global frontier.
 	Completed int `json:"completed"`
 	// PerShard are the per-shard persisted record counts (shard s
-	// holds the cells ≡ s mod Shards, in increasing order).
+	// holds the range's cells ≡ s mod Shards, in increasing order).
 	PerShard []int `json:"per_shard"`
+	// Range stamps a partition manifest with its half-open global
+	// cell range and k/n coordinates. nil means the full grid — the
+	// form single-run and merged manifests share.
+	Range *manifestRange `json:"range,omitempty"`
+}
+
+// manifestRange is the partition stamp of a partition-scoped manifest.
+type manifestRange struct {
+	K  int `json:"k"`
+	N  int `json:"n"`
+	Lo int `json:"lo"`
+	Hi int `json:"hi"`
+}
+
+// rng returns the cell range the manifest's directory covers.
+func (m *manifest) rng() grid.Range {
+	if m.Range == nil {
+		return grid.Range{Lo: 0, Hi: m.Cells}
+	}
+	return grid.Range{Lo: m.Range.Lo, Hi: m.Range.Hi}
+}
+
+// parseManifest decodes and structurally validates a manifest. Every
+// invariant a reader later relies on is checked here, so corrupt or
+// hostile manifest bytes fail with an error instead of driving the
+// store (or a merge) out of bounds.
+func parseManifest(data []byte) (*manifest, error) {
+	var m manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, err
+	}
+	if m.Cells < 0 {
+		return nil, fmt.Errorf("negative cell count %d", m.Cells)
+	}
+	if m.Shards < 1 || m.Shards > 4096 {
+		return nil, fmt.Errorf("%d shards outside [1,4096]", m.Shards)
+	}
+	if len(m.PerShard) != m.Shards {
+		return nil, fmt.Errorf("%d per-shard counts for %d shards", len(m.PerShard), m.Shards)
+	}
+	if r := m.Range; r != nil {
+		if r.N < 1 || r.K < 1 || r.K > r.N {
+			return nil, fmt.Errorf("partition %d/%d is not a valid 1-based k/n split", r.K, r.N)
+		}
+		if r.Lo < 0 || r.Hi < r.Lo || r.Hi > m.Cells {
+			return nil, fmt.Errorf("range [%d,%d) outside [0,%d)", r.Lo, r.Hi, m.Cells)
+		}
+		if r.Lo%m.Shards != 0 && r.Lo != m.Cells {
+			return nil, fmt.Errorf("range start %d is not aligned to %d shards", r.Lo, m.Shards)
+		}
+	}
+	rng := m.rng()
+	if m.Completed < 0 || m.Completed > rng.Hi-rng.Lo {
+		return nil, fmt.Errorf("completed %d outside range [%d,%d)", m.Completed, rng.Lo, rng.Hi)
+	}
+	// The per-shard counts must be exactly the ones the frontier
+	// implies (their sum then equals Completed by construction).
+	for s, c := range m.PerShard {
+		if want := linesOf(m.Completed, s, m.Shards); c != want {
+			return nil, fmt.Errorf("shard %d records %d, frontier %d implies %d", s, c, m.Completed, want)
+		}
+	}
+	return &m, nil
+}
+
+// writeManifest atomically writes m as dir's manifest
+// (write-then-rename, so a kill never leaves a torn manifest).
+func writeManifest(dir string, m *manifest) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("sweep: %w", err)
+	}
+	tmp := manifestPath(dir) + ".tmp"
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("sweep: %w", err)
+	}
+	if err := os.Rename(tmp, manifestPath(dir)); err != nil {
+		return fmt.Errorf("sweep: %w", err)
+	}
+	return nil
 }
 
 // store persists shard JSONL files plus the manifest in one directory.
+// It covers one cell range of the grid: the whole grid for ordinary
+// runs, a shard-aligned sub-range for partitioned ones. completed and
+// all per-shard arithmetic are range-local (cell i ↔ local index
+// i-rng.Lo; shard i%shards == local%shards because rng.Lo is
+// shard-aligned).
 type store struct {
 	dir       string
 	g         *grid.Grid
 	shards    int
-	total     int
+	rng       grid.Range
+	part      Partition
 	baseSeed  int64
 	files     []*os.File
 	ws        []*bufio.Writer
@@ -248,8 +412,8 @@ func shardPath(dir string, s int) string {
 // Resume — recovered (partial trailing lines from an abrupt kill are
 // truncated away, and the completed frontier is re-derived from the
 // files themselves, never trusted from the manifest alone).
-func openStore(g *grid.Grid, opt Options, shards, total int) (*store, error) {
-	st := &store{dir: opt.Dir, g: g, shards: shards, total: total, baseSeed: opt.BaseSeed}
+func openStore(g *grid.Grid, opt Options, shards int, rng grid.Range) (*store, error) {
+	st := &store{dir: opt.Dir, g: g, shards: shards, rng: rng, part: opt.Partition, baseSeed: opt.BaseSeed}
 	if err := os.MkdirAll(opt.Dir, 0o755); err != nil {
 		return nil, fmt.Errorf("sweep: %w", err)
 	}
@@ -259,8 +423,8 @@ func openStore(g *grid.Grid, opt Options, shards, total int) (*store, error) {
 		if !opt.Resume {
 			return nil, fmt.Errorf("sweep: %s already contains a sweep; resume it or use a fresh directory", opt.Dir)
 		}
-		var m manifest
-		if err := json.Unmarshal(mdata, &m); err != nil {
+		m, err := parseManifest(mdata)
+		if err != nil {
 			return nil, fmt.Errorf("sweep: corrupt manifest in %s: %w", opt.Dir, err)
 		}
 		if m.Fingerprint != g.Fingerprint() {
@@ -270,6 +434,10 @@ func openStore(g *grid.Grid, opt Options, shards, total int) (*store, error) {
 		if m.Shards != shards || m.BaseSeed != opt.BaseSeed {
 			return nil, fmt.Errorf("sweep: %s was recorded with shards=%d seed=%d; resume must reuse them (got shards=%d seed=%d)",
 				opt.Dir, m.Shards, m.BaseSeed, shards, opt.BaseSeed)
+		}
+		if m.rng() != rng {
+			return nil, fmt.Errorf("sweep: %s covers cells [%d,%d); resume must request the same partition (got [%d,%d))",
+				opt.Dir, m.rng().Lo, m.rng().Hi, rng.Lo, rng.Hi)
 		}
 		if err := st.recover(); err != nil {
 			return nil, err
@@ -304,8 +472,10 @@ func openStore(g *grid.Grid, opt Options, shards, total int) (*store, error) {
 	return st, nil
 }
 
-// linesOf counts how many records of the first k global cells land in
-// shard s: the cells i < k with i ≡ s (mod shards).
+// linesOf counts how many records of the first k range-local cells
+// land in shard s: the local indices j < k with j ≡ s (mod shards).
+// (Local and global shard assignment agree because range starts are
+// shard-aligned.)
 func linesOf(k, s, shards int) int {
 	if k <= s {
 		return 0
@@ -313,9 +483,27 @@ func linesOf(k, s, shards int) int {
 	return (k-1-s)/shards + 1
 }
 
+// scanLines finds the byte offsets just past each complete
+// ('\n'-terminated) line of a shard file. Bytes after the last
+// newline are a partial trailing line — a record cut mid-write by a
+// kill — and are never part of any recovered record: recovery
+// truncates them away rather than guessing, so it can never invent a
+// record that was not durably written.
+func scanLines(data []byte) (ends []int64) {
+	var off int64
+	for {
+		nl := bytes.IndexByte(data[off:], '\n')
+		if nl < 0 {
+			return ends
+		}
+		off += int64(nl) + 1
+		ends = append(ends, off)
+	}
+}
+
 // recover derives the completed frontier from the shard files: count
 // complete lines per shard, drop a partial trailing line (a record cut
-// mid-write by a kill), take the smallest uncovered global index, and
+// mid-write by a kill), take the smallest uncovered local index, and
 // truncate any record past that frontier (a shard can be at most one
 // record ahead of a crash point).
 func (st *store) recover() error {
@@ -326,16 +514,12 @@ func (st *store) recover() error {
 		if err != nil {
 			return fmt.Errorf("sweep: resume: %w", err)
 		}
-		var off int64
-		for {
-			nl := bytes.IndexByte(data[off:], '\n')
-			if nl < 0 {
-				break
-			}
-			off += int64(nl) + 1
-			ends[s] = append(ends[s], off)
-		}
+		ends[s] = scanLines(data)
 		counts[s] = len(ends[s])
+		var off int64
+		if counts[s] > 0 {
+			off = ends[s][counts[s]-1]
+		}
 		if off != int64(len(data)) {
 			// Partial trailing line: a kill landed mid-write.
 			if err := os.Truncate(shardPath(st.dir, s), off); err != nil {
@@ -343,7 +527,7 @@ func (st *store) recover() error {
 			}
 		}
 	}
-	completed := st.total
+	completed := st.rng.Len()
 	for s := 0; s < st.shards; s++ {
 		if uncovered := s + counts[s]*st.shards; uncovered < completed {
 			completed = uncovered
@@ -369,10 +553,10 @@ func (st *store) recover() error {
 	return nil
 }
 
-// replay feeds the persisted records 0..completed-1, in cell order, to
-// fn — rebuilding the online aggregates of a resumed sweep — while
-// verifying each record sits in the expected slot of the expected
-// shard.
+// replay feeds the persisted records of the range's completed prefix,
+// in cell order, to fn — rebuilding the online aggregates of a
+// resumed sweep — while verifying each record sits in the expected
+// slot of the expected shard.
 func (st *store) replay(fn func(Record)) error {
 	if st.completed == 0 {
 		return nil
@@ -388,17 +572,18 @@ func (st *store) replay(fn func(Record)) error {
 		sc.Buffer(make([]byte, 1<<16), 1<<24)
 		scanners[s] = sc
 	}
-	for i := 0; i < st.completed; i++ {
-		sc := scanners[i%st.shards]
+	for j := 0; j < st.completed; j++ {
+		i := st.rng.Lo + j
+		sc := scanners[j%st.shards]
 		if !sc.Scan() {
-			return fmt.Errorf("sweep: resume: shard %d ends before cell %d", i%st.shards, i)
+			return fmt.Errorf("sweep: resume: shard %d ends before cell %d", j%st.shards, i)
 		}
 		var r Record
 		if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
-			return fmt.Errorf("sweep: resume: shard %d cell %d: corrupt record: %w", i%st.shards, i, err)
+			return fmt.Errorf("sweep: resume: shard %d cell %d: corrupt record: %w", j%st.shards, i, err)
 		}
 		if r.Cell != i {
-			return fmt.Errorf("sweep: resume: shard %d holds cell %d where cell %d belongs", i%st.shards, r.Cell, i)
+			return fmt.Errorf("sweep: resume: shard %d holds cell %d where cell %d belongs", j%st.shards, r.Cell, i)
 		}
 		fn(r)
 	}
@@ -420,7 +605,7 @@ func (st *store) append(r Record) error {
 	if err := w.WriteByte('\n'); err != nil {
 		return fmt.Errorf("sweep: %w", err)
 	}
-	st.completed = r.Cell + 1
+	st.completed = r.Cell + 1 - st.rng.Lo
 	return nil
 }
 
@@ -440,27 +625,19 @@ func (st *store) checkpoint() error {
 	m := manifest{
 		Name:        st.g.Name,
 		Fingerprint: st.g.Fingerprint(),
-		Cells:       st.total,
+		Cells:       st.g.Cells(),
 		Shards:      st.shards,
 		BaseSeed:    st.baseSeed,
 		Completed:   st.completed,
 		PerShard:    make([]int, st.shards),
 	}
+	if !st.part.IsZero() {
+		m.Range = &manifestRange{K: st.part.K, N: st.part.N, Lo: st.rng.Lo, Hi: st.rng.Hi}
+	}
 	for s := 0; s < st.shards; s++ {
 		m.PerShard[s] = linesOf(st.completed, s, st.shards)
 	}
-	data, err := json.MarshalIndent(&m, "", "  ")
-	if err != nil {
-		return fmt.Errorf("sweep: %w", err)
-	}
-	tmp := manifestPath(st.dir) + ".tmp"
-	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
-		return fmt.Errorf("sweep: %w", err)
-	}
-	if err := os.Rename(tmp, manifestPath(st.dir)); err != nil {
-		return fmt.Errorf("sweep: %w", err)
-	}
-	return nil
+	return writeManifest(st.dir, &m)
 }
 
 func (st *store) closeFiles() {

@@ -25,14 +25,22 @@ type (
 	GridValue = grid.Value
 	// GridBase is the per-grid execution scale and seed mode.
 	GridBase = grid.Base
+	// GridRange is a half-open contiguous cell interval of a grid —
+	// the unit a distributed sweep is partitioned into.
+	GridRange = grid.Range
 	// SweepOptions configure a sweep run (workers, shards, seed,
-	// output directory, resume).
+	// output directory, resume, partition).
 	SweepOptions = sweep.Options
+	// SweepPartition selects partition K of N of a distributed sweep:
+	// a deterministic shard-aligned cell range of the grid.
+	SweepPartition = sweep.Partition
 	// SweepRecord is one cell's outcome (one JSONL line).
 	SweepRecord = sweep.Record
 	// SweepResult is a run's outcome: online aggregates plus resume
 	// accounting.
 	SweepResult = sweep.Result
+	// SweepAgg is the mergeable online aggregate of a sweep.
+	SweepAgg = sweep.Agg
 )
 
 // NewGrid starts a grid with the given name and base.
@@ -57,6 +65,26 @@ func ValidateSweepGrid(g *Grid) error { return sweep.Validate(g) }
 // checkpoint when SweepOptions.Dir is set.
 func RunSweep(ctx context.Context, g *Grid, opt SweepOptions) (*SweepResult, error) {
 	return sweep.Run(ctx, g, opt)
+}
+
+// MergeSweep reconstitutes a single-run sweep directory from the
+// partition directories of a distributed sweep (SweepOptions.Partition
+// runs of the same grid). It verifies fingerprints, completeness, and
+// range disjointness — reporting gaps and unfinished partitions as
+// resumable frontiers — then produces a manifest, shard files, and
+// aggregate summary byte-identical to a single-process run.
+func MergeSweep(g *Grid, dirs []string, out string) (*SweepResult, error) {
+	return sweep.Merge(g, dirs, out)
+}
+
+// PartitionSweepRange computes the cell range partition k of n covers
+// for a grid run with the given shard count — the same split RunSweep
+// applies, exposed so orchestrators can size partitions up front.
+func PartitionSweepRange(g *Grid, shards, k, n int) (GridRange, error) {
+	if shards <= 0 {
+		shards = 1
+	}
+	return grid.PartitionBlocks(g.Cells(), shards, k, n)
 }
 
 // DemoSweepGrid is the built-in 1,000-cell demonstration grid:

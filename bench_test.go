@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -320,5 +321,40 @@ func BenchmarkSweepMerge(b *testing.B) {
 	}
 	if sec := b.Elapsed().Seconds(); sec > 0 {
 		b.ReportMetric(float64(cells)/sec, "sweep_merge_cells_per_sec")
+	}
+}
+
+// BenchmarkFleetLocal runs the whole fault-tolerant fleet path in one
+// process — orchestrator, leased assignment over the local transport,
+// N in-process workers executing resumable sweep partitions, and the
+// byte-identical merge commit — on the demonstration grid.
+// fleet_cells_per_sec is the end-to-end fleet throughput the benchjson
+// baseline gates: it bounds how much the robustness layer (leases,
+// heartbeats, checkpoint directories, aggregate shipping) costs over
+// the raw sweep engine.
+func BenchmarkFleetLocal(b *testing.B) {
+	g := neutrality.DemoSweepGrid()
+	const workers = 4
+	sweepWorkers := (runtime.NumCPU() + workers - 1) / workers
+	b.ReportAllocs()
+	cells := 0
+	for i := 0; i < b.N; i++ {
+		root := b.TempDir()
+		res, err := neutrality.RunFleetLocal(context.Background(), g, neutrality.FleetLocalOptions{
+			Parts: 2 * workers, Workers: workers, SweepWorkers: sweepWorkers,
+			Shards: 4, BaseSeed: 1,
+			Dir: filepath.Join(root, "work"), Out: filepath.Join(root, "merged"),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Degraded || res.Agg.Cells() != g.Cells() {
+			b.Fatalf("fleet result: degraded=%v cells=%d", res.Degraded, res.Agg.Cells())
+		}
+		cells += res.Cells
+		once("fleet-local", func() string { return res.Summary })
+	}
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(cells)/sec, "fleet_cells_per_sec")
 	}
 }

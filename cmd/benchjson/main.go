@@ -48,13 +48,15 @@ type gatedMetric struct {
 
 // gatedMetrics are the metrics compared against the baseline, in report
 // order: allocation count, bytes allocated, event-engine throughput,
-// sweep-engine cell throughput, and distributed-merge throughput.
+// sweep-engine cell throughput, distributed-merge throughput, and
+// end-to-end fleet throughput.
 var gatedMetrics = []gatedMetric{
 	{unit: "allocs_op", higherIsWorse: true},
 	{unit: "B_op", higherIsWorse: true},
 	{unit: "events_per_sec", higherIsWorse: false},
 	{unit: "sweep_cells_per_sec", higherIsWorse: false},
 	{unit: "sweep_merge_cells_per_sec", higherIsWorse: false},
+	{unit: "fleet_cells_per_sec", higherIsWorse: false},
 }
 
 func main() {

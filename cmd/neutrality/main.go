@@ -13,8 +13,12 @@
 //	neutrality infer   -net ... [-gap 0.5] [-intervals 6000] [-seed 1]
 //	neutrality sweep   -grid spec.json|-demo [-out dir] [-workers 0]
 //	                   [-shards 1] [-seed 1] [-resume] [-print-spec]
-//	                   [-partition k/n]
+//	                   [-partition k/n] [-cell-timeout 0]
 //	neutrality merge   -grid spec.json|-demo -out dir part1 part2 ...
+//	neutrality fleet   serve -grid spec.json|-demo -out dir [-addr ...]
+//	                   [-parts 8] [-lease 15s] [-max-attempts 20]
+//	neutrality fleet   work -addr URL -dir DIR [-workers 0]
+//	                   [-cell-timeout 0] [-heartbeat 2s]
 //
 // `emulate` runs packet-level TCP emulation and then inference; `infer`
 // uses the fast synthetic substrate with a configurable violation gap;
@@ -22,12 +26,21 @@
 // orchestration engine (sharded JSONL records, online aggregation,
 // resumable checkpoints — byte-identical for every -workers value);
 // `merge` reconstitutes the single-run artifacts from `sweep
-// -partition k/n` partition directories, byte-identically.
+// -partition k/n` partition directories, byte-identically; `fleet`
+// runs the same distributed sweep fault-tolerantly — leased partition
+// assignment, heartbeat-driven expiry with backoff, speculative
+// re-dispatch of stragglers, checkpoint salvage, and graceful
+// degradation to exact aggregate-only results.
 // With -runs N > 1, emulate replicates the experiment N times with
 // per-run seeds derived from (-seed, run index), fans the replicas out
 // across a bounded worker pool (-workers, default one per CPU), and
 // aggregates the verdicts; the output is identical for every -workers
 // value.
+//
+// The sweep/merge/fleet commands exit with distinct codes so
+// orchestration scripts can branch without parsing stderr: 0 success,
+// 1 fatal, 2 usage, 3 validation failure (rerunning cannot succeed),
+// 4 resumable incomplete (rerun with -resume / restart the fleet).
 package main
 
 import (
@@ -64,10 +77,12 @@ func main() {
 		cmdSweep(ctx, args)
 	case "merge":
 		cmdMerge(args)
+	case "fleet":
+		cmdFleet(ctx, args)
 	case "help", "-h", "--help":
 		usage()
 	default:
-		log.Fatalf("unknown command %q (try: topo, theory, emulate, infer, sweep, merge)", cmd)
+		log.Fatalf("unknown command %q (try: topo, theory, emulate, infer, sweep, merge, fleet)", cmd)
 	}
 }
 
@@ -85,6 +100,14 @@ commands:
            -partition k/n for one range of a distributed run)
   merge    reconstitute the single-run artifacts from the partition
            directories of a distributed sweep, byte-identically
+  fleet    fault-tolerant distributed sweep: 'serve' leases partitions
+           to workers (expiry + backoff + speculative re-dispatch),
+           'work' runs them as resumable checkpoints and ships exact
+           aggregates; commit is byte-identical, or degrades to the
+           exact summary when shard files are unrecoverable
+
+exit codes (sweep/merge/fleet): 0 ok, 1 fatal, 2 usage,
+  3 validation failure, 4 resumable incomplete
 
 run 'neutrality <command> -h' for command flags`)
 	os.Exit(2)

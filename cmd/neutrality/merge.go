@@ -33,17 +33,21 @@ func cmdMerge(args []string) {
 
 	g := loadGrid(*demo, *gridFile)
 	if *out == "" {
-		log.Fatal("-out is required")
+		log.Print("-out is required")
+		os.Exit(exitUsage)
 	}
 	dirs := fs.Args()
 	if len(dirs) == 0 {
-		log.Fatal("pass the partition directories to merge as arguments")
+		log.Print("pass the partition directories to merge as arguments")
+		os.Exit(exitUsage)
 	}
 
 	start := time.Now()
 	res, err := neutrality.MergeSweep(g, dirs, *out)
 	if err != nil {
-		log.Fatal(err)
+		// An unfinished partition or coverage gap exits
+		// resumable-incomplete (4); spec mismatches exit validation (3).
+		fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "merged %d partitions (%d cells) into %s in %.2fs\n",
 		len(dirs), res.Total, *out, time.Since(start).Seconds())

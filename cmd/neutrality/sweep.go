@@ -91,6 +91,7 @@ func cmdSweep(ctx context.Context, args []string) {
 	seed := fs.Int64("seed", 1, "base seed; each cell derives its seed from (seed, cell)")
 	resume := fs.Bool("resume", false, "resume an interrupted sweep in -out (validates the spec fingerprint)")
 	partition := fs.String("partition", "", "run only partition k/n of the grid (e.g. 2/4): a deterministic shard-aligned cell range; merge the n directories with 'neutrality merge'")
+	cellTimeout := fs.Duration("cell-timeout", 0, "per-cell watchdog: a cell over this deadline aborts the sweep resumably (0 = none)")
 	quiet := fs.Bool("quiet", false, "suppress the progress meter on stderr")
 	fs.Parse(args)
 
@@ -100,23 +101,26 @@ func cmdSweep(ctx context.Context, args []string) {
 		return
 	}
 	if *out == "" && *resume {
-		log.Fatal("-resume needs -out")
+		log.Print("-resume needs -out")
+		os.Exit(exitUsage)
 	}
 	part, err := parsePartition(*partition)
 	if err != nil {
-		log.Fatal(err)
+		log.Print(err)
+		os.Exit(exitUsage)
 	}
 
 	total := g.Cells()
 	fmt.Fprintf(os.Stderr, "sweep %s: %d cells (%d axes), scale=%g%%, %gs per cell, shards=%d\n",
 		g.Name, total, len(g.Axes), g.Base.ScaleFactor*100, g.Base.DurationSec, *shards)
 	opt := neutrality.SweepOptions{
-		Workers:   *workers,
-		Shards:    *shards,
-		BaseSeed:  *seed,
-		Dir:       *out,
-		Resume:    *resume,
-		Partition: part,
+		Workers:     *workers,
+		Shards:      *shards,
+		BaseSeed:    *seed,
+		Dir:         *out,
+		Resume:      *resume,
+		Partition:   part,
+		CellTimeout: *cellTimeout,
 	}
 	if !*quiet {
 		opt.Progress = func(done, total int) {
@@ -131,13 +135,15 @@ func cmdSweep(ctx context.Context, args []string) {
 	start := time.Now()
 	res, err := neutrality.RunSweep(ctx, g, opt)
 	if err != nil {
-		if *out != "" && errors.Is(err, context.Canceled) {
-			// An interruption leaves a valid checkpoint; tell the
-			// operator how to go on. The hint repeats every flag the
-			// resume validation will demand back (spec, shards, seed,
-			// partition), so it works pasted verbatim. Other failures
-			// (spec mismatch, directory already in use, I/O) are not
-			// resumable as-is.
+		resumable := *out != "" &&
+			(errors.Is(err, context.Canceled) || errors.Is(err, neutrality.ErrSweepIncomplete))
+		if resumable {
+			// An interruption or per-cell timeout leaves a valid
+			// checkpoint; tell the operator how to go on. The hint
+			// repeats every flag the resume validation will demand back
+			// (spec, shards, seed, partition), so it works pasted
+			// verbatim. Other failures (spec mismatch, directory
+			// already in use, I/O) are not resumable as-is.
 			flags := fmt.Sprintf(" -shards %d -seed %d", *shards, *seed)
 			if *demo {
 				flags = " -demo" + flags
@@ -147,9 +153,10 @@ func cmdSweep(ctx context.Context, args []string) {
 			if *partition != "" {
 				flags += " -partition " + *partition
 			}
-			log.Printf("sweep interrupted (resume with%s -resume -out %s)", flags, *out)
+			log.Printf("sweep stopped (resume with%s -resume -out %s)", flags, *out)
+			fatalResumable(err)
 		}
-		log.Fatal(err)
+		fatal(err)
 	}
 	if !part.IsZero() {
 		fmt.Fprintf(os.Stderr, "partition %s: cells [%d,%d) of %d\n", *partition, res.Range.Lo, res.Range.Hi, total)

@@ -1,0 +1,82 @@
+package neutrality
+
+import (
+	"context"
+
+	"neutrality/internal/fleet"
+	"neutrality/internal/sweep"
+)
+
+// Fleet orchestration, re-exported from internal/fleet: a
+// fault-tolerant layer over the distributed sweep that owns a grid's
+// partition assignments and hands them to workers under time-bounded
+// leases, with heartbeat-driven expiry, exponential backoff with
+// seeded jitter, speculative re-dispatch of stragglers (first valid
+// completion wins — safe because partition artifacts are
+// byte-identical by construction), checkpoint salvage across worker
+// deaths, and graceful degradation to aggregate-only results when
+// shard files are unrecoverable. See the `neutrality fleet`
+// subcommands for the CLI workflow.
+type (
+	// FleetConfig parameterizes an orchestrator (partitions, lease TTL,
+	// backoff, speculation threshold, attempt budget).
+	FleetConfig = fleet.Config
+	// FleetOrchestrator owns the assignment state of one fleet.
+	FleetOrchestrator = fleet.Orchestrator
+	// FleetAssignment is one leased unit of work.
+	FleetAssignment = fleet.Assignment
+	// FleetWorkerResult is a completed partition report.
+	FleetWorkerResult = fleet.WorkerResult
+	// FleetTransport carries the worker protocol (local or HTTP).
+	FleetTransport = fleet.Transport
+	// FleetWorkerOptions configures one worker loop.
+	FleetWorkerOptions = fleet.WorkerOptions
+	// FleetLocalOptions configures RunFleetLocal.
+	FleetLocalOptions = fleet.LocalOptions
+	// FleetResult is a committed fleet run.
+	FleetResult = fleet.Result
+	// FleetStatus is a point-in-time fleet snapshot.
+	FleetStatus = fleet.Status
+	// FleetServer exposes an orchestrator over HTTP.
+	FleetServer = fleet.Server
+	// FleetClient implements the transport over HTTP.
+	FleetClient = fleet.Client
+)
+
+// Fleet protocol sentinels (errors.Is-matchable through transports).
+var (
+	ErrFleetDone       = fleet.ErrDone
+	ErrFleetNoWork     = fleet.ErrNoWork
+	ErrFleetStaleLease = fleet.ErrStaleLease
+	ErrFleetSuperseded = fleet.ErrSuperseded
+	ErrFleetFailed     = fleet.ErrFleetFailed
+)
+
+// Sweep error kinds, for branching on failure modes (and the CLI's
+// exit-code contract) without parsing messages:
+// ErrSweepIncomplete tags resumable-incomplete conditions (unfinished
+// partitions, coverage gaps, per-cell timeouts); ErrSweepValidation
+// tags spec/artifact mismatches that rerunning cannot fix.
+var (
+	ErrSweepIncomplete = sweep.ErrIncomplete
+	ErrSweepValidation = sweep.ErrValidation
+)
+
+// NewFleet builds an orchestrator for the grid.
+func NewFleet(g *Grid, cfg FleetConfig) (*FleetOrchestrator, error) { return fleet.New(g, cfg) }
+
+// NewFleetServer wraps an orchestrator in the HTTP protocol handler.
+func NewFleetServer(o *FleetOrchestrator) *FleetServer { return fleet.NewServer(o) }
+
+// FleetWork runs a worker loop against a fleet transport until the
+// fleet finishes, fails, or ctx ends.
+func FleetWork(ctx context.Context, g *Grid, tr FleetTransport, opt FleetWorkerOptions) error {
+	return fleet.Work(ctx, g, tr, opt)
+}
+
+// RunFleetLocal runs a whole fleet in one process — orchestrator plus
+// in-process workers over the shared-directory transport — and commits
+// the merged, byte-identical single-run artifacts.
+func RunFleetLocal(ctx context.Context, g *Grid, opt FleetLocalOptions) (*FleetResult, error) {
+	return fleet.RunLocal(ctx, g, opt)
+}

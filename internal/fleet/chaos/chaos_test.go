@@ -1,0 +1,192 @@
+package chaos
+
+import (
+	"context"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+	"time"
+
+	"neutrality/internal/grid"
+	"neutrality/internal/sweep"
+)
+
+// chaosGrid: 36 cells, small enough that a full fleet pass is cheap
+// and a kill lands mid-partition often.
+func chaosGrid() *grid.Grid {
+	return grid.New("chaos", grid.Base{ScaleFactor: 0.05, DurationSec: 10}).
+		Add("diff", grid.Str("police")).
+		Add("rate", grid.Num(0.2).WithLabel("20%"), grid.Num(0.4).WithLabel("40%")).
+		Add("dfrac", grid.Nums(0.3, 0.5, 0.7)...).
+		Add("rep", grid.Nums(0, 1, 2, 3, 4, 5)...)
+}
+
+const (
+	chaosShards = 3
+	chaosSeed   = 7
+)
+
+// reference runs the undisturbed single-process sweep the chaos runs
+// must reproduce byte for byte.
+func reference(t *testing.T) (string, string) {
+	t.Helper()
+	dir := filepath.Join(t.TempDir(), "ref")
+	res, err := sweep.Run(context.Background(), chaosGrid(), sweep.Options{
+		Workers: 4, Shards: chaosShards, BaseSeed: chaosSeed, Dir: dir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dir, res.Agg.Summary()
+}
+
+func assertDirsEqual(t *testing.T, got, want string) {
+	t.Helper()
+	read := func(dir string) map[string]string {
+		out := map[string]string{}
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range entries {
+			if e.IsDir() {
+				continue
+			}
+			data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			out[e.Name()] = string(data)
+		}
+		return out
+	}
+	g, w := read(got), read(want)
+	if len(g) != len(w) {
+		t.Fatalf("artifact sets differ: got %d files, want %d", len(g), len(w))
+	}
+	for name, data := range w {
+		if g[name] != data {
+			t.Fatalf("%s differs between %s and %s", name, got, want)
+		}
+	}
+}
+
+func runSchedule(t *testing.T, sched Schedule, refDir, refSum string) {
+	t.Helper()
+	root := t.TempDir()
+	out := filepath.Join(root, "merged")
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	res, err := Run(ctx, chaosGrid(), sched, Options{
+		Workers: 3, Parts: 5, Shards: chaosShards, BaseSeed: chaosSeed, SweepWorkers: 2,
+		Dir: filepath.Join(root, "work"), Out: out,
+		Lease: 150 * time.Millisecond, Heartbeat: 20 * time.Millisecond,
+		Poll: 5 * time.Millisecond, Backoff: 10 * time.Millisecond,
+		SpeculateAfter: 60 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("chaos fleet did not converge: %v", err)
+	}
+	if res.Degraded {
+		t.Fatalf("shared-directory chaos run degraded: %v", res.Reason)
+	}
+	assertDirsEqual(t, out, refDir)
+	if res.Summary != refSum {
+		t.Fatalf("summary diverged under chaos:\n%s\nvs\n%s", res.Summary, refSum)
+	}
+}
+
+// TestChaosMatrix: every seeded fault schedule converges to a merged
+// directory and Summary byte-identical to the single-process run.
+func TestChaosMatrix(t *testing.T) {
+	refDir, refSum := reference(t)
+	matrix := map[string]Schedule{
+		"clean": {Seed: 1},
+		"kill-heavy": {
+			Seed: 2, Kills: 6, KillMinCells: 1, KillMaxCells: 5,
+		},
+		"drop-heavy": {
+			Seed: 3, DropProb: 0.3, MaxFaults: 60,
+		},
+		"dup-delay": {
+			Seed: 4, DupProb: 0.3, DelayProb: 0.3, MaxDelay: 5 * time.Millisecond, MaxFaults: 60,
+		},
+		"torn-writes": {
+			Seed: 5, Kills: 4, KillMinCells: 2, KillMaxCells: 6, TornWriteProb: 1.0,
+		},
+		"everything": {
+			Seed: 6, Kills: 4, KillMinCells: 1, KillMaxCells: 6, TornWriteProb: 0.5,
+			DropProb: 0.15, DupProb: 0.15, DelayProb: 0.15, MaxDelay: 5 * time.Millisecond, MaxFaults: 40,
+		},
+	}
+	for name, sched := range matrix {
+		t.Run(name, func(t *testing.T) {
+			runSchedule(t, sched, refDir, refSum)
+		})
+	}
+}
+
+// TestChaosDegradedConvergence: even when every worker directory is
+// destroyed after the fleet finishes, the shipped aggregates alone
+// reproduce the reference Summary (the aggregate-only/degraded path
+// under chaos).
+func TestChaosDegradedConvergence(t *testing.T) {
+	_, refSum := reference(t)
+	root := t.TempDir()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	sched := Schedule{Seed: 11, Kills: 3, KillMinCells: 1, KillMaxCells: 5, DropProb: 0.15, MaxFaults: 30}
+	o, err := converge(ctx, chaosGrid(), sched, Options{
+		Workers: 3, Parts: 4, Shards: chaosShards, BaseSeed: chaosSeed, SweepWorkers: 2,
+		Dir:   filepath.Join(root, "work"),
+		Lease: 150 * time.Millisecond, Heartbeat: 20 * time.Millisecond,
+		Poll: 5 * time.Millisecond, Backoff: 10 * time.Millisecond,
+		SpeculateAfter: 60 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.RemoveAll(filepath.Join(root, "work")); err != nil {
+		t.Fatal(err)
+	}
+	res, err := o.Commit(filepath.Join(root, "merged"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Degraded {
+		t.Fatal("expected a degraded commit with all worker artifacts gone")
+	}
+	if res.Summary != refSum {
+		t.Fatalf("degraded summary diverged:\n%s\nvs\n%s", res.Summary, refSum)
+	}
+}
+
+// TestChaosLong is the nightly soak: random schedules until the
+// CHAOS_LONG_SECONDS budget runs out. Skipped unless the variable is
+// set.
+func TestChaosLong(t *testing.T) {
+	secs, _ := strconv.Atoi(os.Getenv("CHAOS_LONG_SECONDS"))
+	if secs <= 0 {
+		t.Skip("set CHAOS_LONG_SECONDS to run the chaos soak")
+	}
+	refDir, refSum := reference(t)
+	deadline := time.Now().Add(time.Duration(secs) * time.Second)
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+	for round := 0; time.Now().Before(deadline); round++ {
+		sched := Schedule{
+			Seed:         rng.Int63(),
+			Kills:        rng.Intn(8),
+			KillMinCells: 1, KillMaxCells: 1 + rng.Intn(8),
+			TornWriteProb: rng.Float64(),
+			DropProb:      rng.Float64() * 0.3,
+			DupProb:       rng.Float64() * 0.3,
+			DelayProb:     rng.Float64() * 0.3,
+			MaxDelay:      time.Duration(rng.Intn(8)+1) * time.Millisecond,
+			MaxFaults:     40 + rng.Intn(40),
+		}
+		t.Logf("round %d: %+v", round, sched)
+		runSchedule(t, sched, refDir, refSum)
+	}
+}

@@ -1,0 +1,288 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"neutrality/internal/grid"
+)
+
+// HTTP transport. The orchestrator serves a small JSON protocol; the
+// client implements Transport over it. Completion ships the partition
+// aggregate inline (aggregate-only shipping), so the protocol is
+// lossless for Summaries even when no shared filesystem exists — the
+// orchestrator degrades to a summary-only commit when worker
+// directories are unreachable.
+//
+//	GET  /v1/spec       → spec{grid, shards, base_seed, parts}
+//	GET  /v1/status     → Status
+//	POST /v1/acquire    {worker}          → envelope{assignment}
+//	POST /v1/heartbeat  {lease, frontier} → envelope
+//	POST /v1/complete   {lease, result}   → envelope
+//	POST /v1/fail       {lease, reason}   → envelope
+//
+// Protocol sentinels travel as envelope.Err codes and are rebuilt into
+// the same sentinel errors client-side, so workers cannot tell the
+// transports apart.
+
+const maxBodyBytes = 16 << 20 // a 16 MiB aggregate is ~3 orders above the demo grid's
+
+type wireSpec struct {
+	Grid     json.RawMessage `json:"grid"`
+	Shards   int             `json:"shards"`
+	BaseSeed int64           `json:"base_seed"`
+	Parts    int             `json:"parts"`
+}
+
+type envelope struct {
+	Err        string      `json:"err,omitempty"`
+	Msg        string      `json:"msg,omitempty"`
+	Assignment *Assignment `json:"assignment,omitempty"`
+}
+
+// Sentinel ↔ wire code mapping.
+var errCodes = []struct {
+	code string
+	err  error
+}{
+	{"no_work", ErrNoWork},
+	{"done", ErrDone},
+	{"stale", ErrStaleLease},
+	{"superseded", ErrSuperseded},
+	{"failed", ErrFleetFailed},
+}
+
+func encodeErr(err error) (code, msg string) {
+	for _, ec := range errCodes {
+		if errors.Is(err, ec.err) {
+			return ec.code, err.Error()
+		}
+	}
+	return "bad_request", err.Error()
+}
+
+func decodeErr(e envelope) error {
+	if e.Err == "" {
+		return nil
+	}
+	for _, ec := range errCodes {
+		if e.Err == ec.code {
+			if e.Msg != "" && e.Msg != ec.err.Error() {
+				return fmt.Errorf("%s: %w", e.Msg, ec.err)
+			}
+			return ec.err
+		}
+	}
+	return fmt.Errorf("fleet: server rejected request: %s", e.Msg)
+}
+
+// Server exposes an Orchestrator over HTTP.
+type Server struct {
+	O   *Orchestrator
+	mux *http.ServeMux
+}
+
+// NewServer builds the handler for an orchestrator.
+func NewServer(o *Orchestrator) *Server {
+	s := &Server{O: o, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /v1/spec", s.spec)
+	s.mux.HandleFunc("GET /v1/status", s.status)
+	s.mux.HandleFunc("POST /v1/acquire", s.acquire)
+	s.mux.HandleFunc("POST /v1/heartbeat", s.heartbeat)
+	s.mux.HandleFunc("POST /v1/complete", s.complete)
+	s.mux.HandleFunc("POST /v1/fail", s.fail)
+	return s
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeResult(w http.ResponseWriter, err error, a *Assignment) {
+	if err == nil {
+		writeJSON(w, http.StatusOK, envelope{Assignment: a})
+		return
+	}
+	code, msg := encodeErr(err)
+	status := http.StatusConflict
+	if code == "bad_request" {
+		status = http.StatusBadRequest
+	}
+	writeJSON(w, status, envelope{Err: code, Msg: msg})
+}
+
+func readBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	if err := json.NewDecoder(body).Decode(v); err != nil {
+		writeJSON(w, http.StatusBadRequest, envelope{Err: "bad_request", Msg: "malformed body: " + err.Error()})
+		return false
+	}
+	return true
+}
+
+func (s *Server) spec(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, wireSpec{
+		Grid:     s.O.Grid().MarshalCanonical(),
+		Shards:   s.O.Shards(),
+		BaseSeed: s.O.BaseSeed(),
+		Parts:    s.O.Parts(),
+	})
+}
+
+func (s *Server) status(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.O.Status())
+}
+
+func (s *Server) acquire(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Worker string `json:"worker"`
+	}
+	if !readBody(w, r, &req) {
+		return
+	}
+	a, err := s.O.Acquire(req.Worker)
+	writeResult(w, err, a)
+}
+
+func (s *Server) heartbeat(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Lease    int64 `json:"lease"`
+		Frontier int   `json:"frontier"`
+	}
+	if !readBody(w, r, &req) {
+		return
+	}
+	writeResult(w, s.O.Heartbeat(req.Lease, req.Frontier), nil)
+}
+
+func (s *Server) complete(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Lease  int64        `json:"lease"`
+		Result WorkerResult `json:"result"`
+	}
+	if !readBody(w, r, &req) {
+		return
+	}
+	// Over HTTP the worker's Dir path is not meaningful to the
+	// orchestrator unless the filesystem really is shared; keep it
+	// (Commit stats it and degrades gracefully when it is not there).
+	writeResult(w, s.O.Complete(req.Lease, req.Result), nil)
+}
+
+func (s *Server) fail(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Lease  int64  `json:"lease"`
+		Reason string `json:"reason"`
+	}
+	if !readBody(w, r, &req) {
+		return
+	}
+	writeResult(w, s.O.Fail(req.Lease, req.Reason), nil)
+}
+
+// Client implements Transport over the HTTP protocol.
+type Client struct {
+	// Base is the server root, e.g. "http://host:8080".
+	Base string
+	// HTTPClient defaults to http.DefaultClient.
+	HTTPClient *http.Client
+}
+
+func (c *Client) hc() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) post(ctx context.Context, path string, reqBody any) (envelope, error) {
+	b, err := json.Marshal(reqBody)
+	if err != nil {
+		return envelope{}, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Base+path, bytes.NewReader(b))
+	if err != nil {
+		return envelope{}, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.hc().Do(req)
+	if err != nil {
+		return envelope{}, err
+	}
+	defer resp.Body.Close()
+	var e envelope
+	if err := json.NewDecoder(io.LimitReader(resp.Body, maxBodyBytes)).Decode(&e); err != nil {
+		return envelope{}, fmt.Errorf("fleet: bad response from %s: %w", path, err)
+	}
+	return e, nil
+}
+
+func (c *Client) Acquire(ctx context.Context, worker string) (*Assignment, error) {
+	e, err := c.post(ctx, "/v1/acquire", map[string]string{"worker": worker})
+	if err != nil {
+		return nil, err
+	}
+	if err := decodeErr(e); err != nil {
+		return nil, err
+	}
+	if e.Assignment == nil {
+		return nil, fmt.Errorf("fleet: acquire returned no assignment")
+	}
+	return e.Assignment, nil
+}
+
+func (c *Client) Heartbeat(ctx context.Context, lease int64, frontier int) error {
+	e, err := c.post(ctx, "/v1/heartbeat", map[string]any{"lease": lease, "frontier": frontier})
+	if err != nil {
+		return err
+	}
+	return decodeErr(e)
+}
+
+func (c *Client) Complete(ctx context.Context, lease int64, res WorkerResult) error {
+	e, err := c.post(ctx, "/v1/complete", map[string]any{"lease": lease, "result": res})
+	if err != nil {
+		return err
+	}
+	return decodeErr(e)
+}
+
+func (c *Client) Fail(ctx context.Context, lease int64, reason string) error {
+	e, err := c.post(ctx, "/v1/fail", map[string]any{"lease": lease, "reason": reason})
+	if err != nil {
+		return err
+	}
+	return decodeErr(e)
+}
+
+// FetchSpec downloads the fleet's grid and sweep parameters, so a
+// worker needs nothing locally but the server address.
+func (c *Client) FetchSpec(ctx context.Context) (*grid.Grid, int, int64, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/v1/spec", nil)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	resp, err := c.hc().Do(req)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	defer resp.Body.Close()
+	var ws wireSpec
+	if err := json.NewDecoder(io.LimitReader(resp.Body, maxBodyBytes)).Decode(&ws); err != nil {
+		return nil, 0, 0, fmt.Errorf("fleet: bad spec: %w", err)
+	}
+	g, err := grid.ParseJSON(bytes.NewReader(ws.Grid))
+	if err != nil {
+		return nil, 0, 0, fmt.Errorf("fleet: spec grid: %w", err)
+	}
+	return g, ws.Shards, ws.BaseSeed, nil
+}

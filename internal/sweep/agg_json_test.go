@@ -1,0 +1,138 @@
+package sweep
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"testing"
+)
+
+// aggFromRun folds a real run so the wire tests exercise populated
+// accumulators (non-trivial Welford moments, sketch bins, slices).
+func aggFromRun(t *testing.T) *Agg {
+	t.Helper()
+	res, err := Run(context.Background(), microGrid(), Options{Workers: 4, BaseSeed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Agg
+}
+
+// TestAggJSONRoundTrip: decode(encode(agg)) reproduces the aggregate
+// bit for bit — Summary included — and re-encoding is stable.
+func TestAggJSONRoundTrip(t *testing.T) {
+	g := microGrid()
+	a := aggFromRun(t)
+	enc, err := EncodeAgg(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := DecodeAgg(g, enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Summary() != a.Summary() {
+		t.Fatalf("summary did not survive the round trip:\n%s\nvs\n%s", b.Summary(), a.Summary())
+	}
+	enc2, err := EncodeAgg(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(enc, enc2) {
+		t.Fatal("re-encoding is not byte-stable")
+	}
+	// A decoded aggregate still merges: two partition aggregates sent
+	// over the wire fold to the single-run summary.
+	p1, err := Run(context.Background(), microGrid(), Options{Workers: 2, Shards: 2, BaseSeed: 7, Partition: Partition{K: 1, N: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Run(context.Background(), microGrid(), Options{Workers: 2, Shards: 2, BaseSeed: 7, Partition: Partition{K: 2, N: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged := NewAgg(g)
+	for _, p := range []*Agg{p1.Agg, p2.Agg} {
+		e, err := EncodeAgg(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := DecodeAgg(g, e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := merged.Merge(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if merged.Summary() != a.Summary() {
+		t.Fatalf("wire-merged summary diverged:\n%s\nvs\n%s", merged.Summary(), a.Summary())
+	}
+}
+
+// TestDecodeAggRejects: hostile or torn documents fail validation
+// instead of poisoning a fleet commit.
+func TestDecodeAggRejects(t *testing.T) {
+	g := microGrid()
+	a := aggFromRun(t)
+	enc, err := EncodeAgg(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Mutations are applied to the parsed generic document so each case
+	// stays valid JSON and fails on semantics, not syntax.
+	mutate := func(t *testing.T, f func(doc map[string]any)) []byte {
+		t.Helper()
+		var doc map[string]any
+		if err := json.Unmarshal(enc, &doc); err != nil {
+			t.Fatal(err)
+		}
+		f(doc)
+		out, err := json.Marshal(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	global := func(doc map[string]any) map[string]any { return doc["global"].(map[string]any) }
+
+	cases := map[string][]byte{
+		"torn json":         enc[:len(enc)/2],
+		"wrong fingerprint": mutate(t, func(d map[string]any) { d["fingerprint"] = "0000" }),
+		"missing axis":      mutate(t, func(d map[string]any) { d["slices"] = d["slices"].([]any)[:1] }),
+		"negative count": mutate(t, func(d map[string]any) {
+			global(d)["fn"].(map[string]any)["n"] = -1
+		}),
+		"nan moment": mutate(t, func(d map[string]any) {
+			global(d)["fn"].(map[string]any)["mean"] = "NaN" // wrong type too
+		}),
+		"verdicts exceed cells": mutate(t, func(d map[string]any) {
+			global(d)["non_neutral"] = g.Cells() + 1
+		}),
+		"sketch bin out of range": mutate(t, func(d map[string]any) {
+			sk := global(d)["unsolv_sk"].(map[string]any)
+			sk["bins"] = []any{float64(999), float64(1)}
+		}),
+		"sketch sum mismatch": mutate(t, func(d map[string]any) {
+			sk := global(d)["unsolv_sk"].(map[string]any)
+			sk["n"] = g.Cells() + 7
+		}),
+		"slice totals disagree": mutate(t, func(d map[string]any) {
+			row := d["slices"].([]any)[0].([]any)
+			row[0].(map[string]any)["cells"] = 0.0
+		}),
+	}
+	for name, data := range cases {
+		if _, err := DecodeAgg(g, data); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+
+	// Kind tagging: a fingerprint mismatch is a validation failure.
+	_, err = DecodeAgg(g, mutate(t, func(d map[string]any) { d["fingerprint"] = "beef" }))
+	if !errors.Is(err, ErrValidation) {
+		t.Fatalf("fingerprint mismatch not tagged ErrValidation: %v", err)
+	}
+}

@@ -50,21 +50,21 @@ func Merge(g *grid.Grid, dirs []string, out string) (*Result, error) {
 		}
 		m, err := parseManifest(mdata)
 		if err != nil {
-			return nil, fmt.Errorf("sweep: merge: corrupt manifest in %s: %w", dir, err)
+			return nil, errKind(ErrValidation, "sweep: merge: corrupt manifest in %s: %w", dir, err)
 		}
 		if m.Fingerprint != g.Fingerprint() {
-			return nil, fmt.Errorf("sweep: merge: %s was recorded for spec %s (fingerprint %.12s…), not this spec (%.12s…)",
+			return nil, errKind(ErrValidation, "sweep: merge: %s was recorded for spec %s (fingerprint %.12s…), not this spec (%.12s…)",
 				dir, m.Name, m.Fingerprint, g.Fingerprint())
 		}
 		if m.Cells != cells {
-			return nil, fmt.Errorf("sweep: merge: %s records %d cells, spec has %d", dir, m.Cells, cells)
+			return nil, errKind(ErrValidation, "sweep: merge: %s records %d cells, spec has %d", dir, m.Cells, cells)
 		}
 		parts = append(parts, partDir{dir: dir, m: m, rng: m.rng()})
 	}
 	shards, baseSeed := parts[0].m.Shards, parts[0].m.BaseSeed
 	for _, p := range parts[1:] {
 		if p.m.Shards != shards || p.m.BaseSeed != baseSeed {
-			return nil, fmt.Errorf("sweep: merge: %s was recorded with shards=%d seed=%d, %s with shards=%d seed=%d",
+			return nil, errKind(ErrValidation, "sweep: merge: %s was recorded with shards=%d seed=%d, %s with shards=%d seed=%d",
 				parts[0].dir, shards, baseSeed, p.dir, p.m.Shards, p.m.BaseSeed)
 		}
 	}
@@ -73,7 +73,7 @@ func Merge(g *grid.Grid, dirs []string, out string) (*Result, error) {
 	// resumable frontier — report it instead of merging a hole.
 	for _, p := range parts {
 		if p.m.Completed != p.rng.Len() {
-			return nil, fmt.Errorf("sweep: merge: %s is incomplete: %d of %d cells done, resumable frontier at cell %d — finish it with -resume before merging",
+			return nil, errKind(ErrIncomplete, "sweep: merge: %s is incomplete: %d of %d cells done, resumable frontier at cell %d — finish it with -resume before merging",
 				p.dir, p.m.Completed, p.rng.Len(), p.rng.Lo+p.m.Completed)
 		}
 	}
@@ -86,14 +86,14 @@ func Merge(g *grid.Grid, dirs []string, out string) (*Result, error) {
 	for _, p := range parts {
 		switch {
 		case p.rng.Lo > cursor:
-			return nil, fmt.Errorf("sweep: merge: cells [%d,%d) are covered by no partition directory — run that partition (or resume it) before merging", cursor, p.rng.Lo)
+			return nil, errKind(ErrIncomplete, "sweep: merge: cells [%d,%d) are covered by no partition directory — run that partition (or resume it) before merging", cursor, p.rng.Lo)
 		case p.rng.Lo < cursor:
-			return nil, fmt.Errorf("sweep: merge: %s overlaps cells [%d,%d) already covered by an earlier partition", p.dir, p.rng.Lo, cursor)
+			return nil, errKind(ErrValidation, "sweep: merge: %s overlaps cells [%d,%d) already covered by an earlier partition", p.dir, p.rng.Lo, cursor)
 		}
 		cursor = p.rng.Hi
 	}
 	if cursor != cells {
-		return nil, fmt.Errorf("sweep: merge: cells [%d,%d) are covered by no partition directory — run that partition before merging", cursor, cells)
+		return nil, errKind(ErrIncomplete, "sweep: merge: cells [%d,%d) are covered by no partition directory — run that partition before merging", cursor, cells)
 	}
 
 	// Assemble the output directory.
@@ -101,7 +101,7 @@ func Merge(g *grid.Grid, dirs []string, out string) (*Result, error) {
 		return nil, fmt.Errorf("sweep: merge: %w", err)
 	}
 	if _, err := os.Stat(manifestPath(out)); err == nil {
-		return nil, fmt.Errorf("sweep: merge: %s already contains a sweep; use a fresh directory", out)
+		return nil, errKind(ErrValidation, "sweep: merge: %s already contains a sweep; use a fresh directory", out)
 	}
 	for s := 0; s < shards; s++ {
 		if err := assembleShard(parts, out, s); err != nil {

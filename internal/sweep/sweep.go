@@ -70,9 +70,11 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
+	"time"
 
 	"neutrality/internal/grid"
 	"neutrality/internal/runner"
@@ -149,6 +151,15 @@ type Options struct {
 	// missing cell. Without Resume, Dir must not already contain a
 	// sweep.
 	Resume bool
+	// CellTimeout, when positive, is the per-cell watchdog: each
+	// cell's emulation runs under its own context deadline, so one
+	// pathological cell cannot wedge the whole partition. A cell that
+	// exceeds it fails the run with a *CellTimeoutError — a named,
+	// resumable condition (the checkpoint keeps the completed prefix)
+	// — rather than hanging. Completed cells' bytes are unaffected, so
+	// the byte-identity guarantees hold for any timeout that lets the
+	// cells finish.
+	CellTimeout time.Duration
 	// OnRecord, when set, observes every record in cell order —
 	// including, on resume, the replayed ones.
 	OnRecord func(Record)
@@ -239,7 +250,19 @@ func Run(ctx context.Context, g *grid.Grid, opt Options) (*Result, error) {
 	sinceCheckpoint := 0
 	streamErr := runner.Stream(ctx, workers, start, rng.Hi, window,
 		func(uctx context.Context, i int) (Record, error) {
-			return runCell(uctx, g, i, opt.BaseSeed)
+			if opt.CellTimeout <= 0 {
+				return runCell(uctx, g, i, opt.BaseSeed)
+			}
+			cctx, cancel := context.WithTimeout(uctx, opt.CellTimeout)
+			defer cancel()
+			r, err := runCell(cctx, g, i, opt.BaseSeed)
+			if err != nil && errors.Is(cctx.Err(), context.DeadlineExceeded) && uctx.Err() == nil {
+				// The cell's own deadline fired (not an outer
+				// cancellation): name the cell so the operator knows
+				// what to resume past or retune.
+				return r, &CellTimeoutError{Cell: i, Timeout: opt.CellTimeout}
+			}
+			return r, err
 		},
 		func(i int, r Record, err error) error {
 			if err != nil {
@@ -421,22 +444,22 @@ func openStore(g *grid.Grid, opt Options, shards int, rng grid.Range) (*store, e
 	switch {
 	case err == nil:
 		if !opt.Resume {
-			return nil, fmt.Errorf("sweep: %s already contains a sweep; resume it or use a fresh directory", opt.Dir)
+			return nil, errKind(ErrValidation, "sweep: %s already contains a sweep; resume it or use a fresh directory", opt.Dir)
 		}
 		m, err := parseManifest(mdata)
 		if err != nil {
-			return nil, fmt.Errorf("sweep: corrupt manifest in %s: %w", opt.Dir, err)
+			return nil, errKind(ErrValidation, "sweep: corrupt manifest in %s: %w", opt.Dir, err)
 		}
 		if m.Fingerprint != g.Fingerprint() {
-			return nil, fmt.Errorf("sweep: %s was recorded for spec %s (fingerprint %.12s…), not this spec (%.12s…)",
+			return nil, errKind(ErrValidation, "sweep: %s was recorded for spec %s (fingerprint %.12s…), not this spec (%.12s…)",
 				opt.Dir, m.Name, m.Fingerprint, g.Fingerprint())
 		}
 		if m.Shards != shards || m.BaseSeed != opt.BaseSeed {
-			return nil, fmt.Errorf("sweep: %s was recorded with shards=%d seed=%d; resume must reuse them (got shards=%d seed=%d)",
+			return nil, errKind(ErrValidation, "sweep: %s was recorded with shards=%d seed=%d; resume must reuse them (got shards=%d seed=%d)",
 				opt.Dir, m.Shards, m.BaseSeed, shards, opt.BaseSeed)
 		}
 		if m.rng() != rng {
-			return nil, fmt.Errorf("sweep: %s covers cells [%d,%d); resume must request the same partition (got [%d,%d))",
+			return nil, errKind(ErrValidation, "sweep: %s covers cells [%d,%d); resume must request the same partition (got [%d,%d))",
 				opt.Dir, m.rng().Lo, m.rng().Hi, rng.Lo, rng.Hi)
 		}
 		if err := st.recover(); err != nil {
@@ -646,4 +669,53 @@ func (st *store) closeFiles() {
 			f.Close()
 		}
 	}
+}
+
+// ManifestInfo is the read-only view of a sweep directory's checkpoint
+// manifest — enough for an orchestrator to judge whether a directory
+// matches a spec and how far it got, without opening the store.
+type ManifestInfo struct {
+	Name        string
+	Fingerprint string
+	// Cells is the full grid's cell count the directory belongs to.
+	Cells    int
+	Shards   int
+	BaseSeed int64
+	// Completed is how many cells of Range hold persisted records (the
+	// contiguous prefix).
+	Completed int
+	// Range is the cell range the directory covers (the full grid for
+	// non-partition directories).
+	Range grid.Range
+	// Partition is the k/n stamp of a partition directory (zero for
+	// full-grid directories).
+	Partition Partition
+}
+
+// ReadManifestDir reads and validates dir's checkpoint manifest. It
+// performs the same structural validation as resume and merge, so a
+// nil error means the manifest is internally consistent — not that the
+// shard files agree with it (recovery re-derives that).
+func ReadManifestDir(dir string) (*ManifestInfo, error) {
+	data, err := os.ReadFile(manifestPath(dir))
+	if err != nil {
+		return nil, fmt.Errorf("sweep: %w", err)
+	}
+	m, err := parseManifest(data)
+	if err != nil {
+		return nil, errKind(ErrValidation, "sweep: corrupt manifest in %s: %w", dir, err)
+	}
+	info := &ManifestInfo{
+		Name:        m.Name,
+		Fingerprint: m.Fingerprint,
+		Cells:       m.Cells,
+		Shards:      m.Shards,
+		BaseSeed:    m.BaseSeed,
+		Completed:   m.Completed,
+		Range:       m.rng(),
+	}
+	if m.Range != nil {
+		info.Partition = Partition{K: m.Range.K, N: m.Range.N}
+	}
+	return info, nil
 }

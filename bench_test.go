@@ -358,3 +358,56 @@ func BenchmarkFleetLocal(b *testing.B) {
 		b.ReportMetric(float64(cells)/sec, "fleet_cells_per_sec")
 	}
 }
+
+// BenchmarkShardVerify measures the read-only integrity scrub of a
+// persisted sweep directory: every record's CRC32C frame re-checked
+// and every shard's SHA-256 recomputed over its claimed prefix.
+// verify_mb_per_sec is the scan throughput the benchjson baseline
+// gates: it bounds what the end-to-end artifact-integrity layer costs
+// per megabyte of shard data, so `neutrality verify` stays cheap
+// enough to run routinely before merges.
+func BenchmarkShardVerify(b *testing.B) {
+	g := neutrality.NewGrid("bench-verify", neutrality.GridBase{
+		ScaleFactor: 0.05,
+		DurationSec: 10,
+	})
+	g.Add("diff", neutrality.GridStr("police"))
+	g.Add("rate", neutrality.GridNum(0.2), neutrality.GridNum(0.3), neutrality.GridNum(0.4))
+	g.Add("dfrac", neutrality.GridNum(0.3), neutrality.GridNum(0.5), neutrality.GridNum(0.7))
+	g.Add("rep", neutrality.GridNum(0), neutrality.GridNum(1), neutrality.GridNum(2))
+	dir := filepath.Join(b.TempDir(), "sweep")
+	if _, err := neutrality.RunSweep(context.Background(), g, neutrality.SweepOptions{
+		Shards: 3, BaseSeed: 1, Dir: dir,
+	}); err != nil {
+		b.Fatal(err)
+	}
+	var passBytes int64
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) != ".jsonl" {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			b.Fatal(err)
+		}
+		passBytes += info.Size()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := neutrality.VerifySweep(g, dir)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !rep.Clean {
+			b.Fatal("bench directory reported damage")
+		}
+	}
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(passBytes)*float64(b.N)/(1<<20)/sec, "verify_mb_per_sec")
+	}
+}

@@ -14,10 +14,11 @@
 // against a recorded BENCH json: for every benchmark present in both,
 // the run fails (exit 1, after still emitting the JSON) if allocs_op or
 // B_op regresses more than the allowed slack above the recorded value,
-// or events_per_sec / sweep_cells_per_sec drops more than the allowed
-// slack below it. CI uses this to pin the allocation budget, the
-// event-engine throughput of the emulation benches, and the sweep
-// engine's cell throughput.
+// or a throughput metric (events_per_sec, sweep_cells_per_sec,
+// verify_mb_per_sec, …) drops more than the allowed slack below it.
+// CI uses this to pin the allocation budget, the event-engine
+// throughput of the emulation benches, the sweep engine's cell
+// throughput, and the artifact-integrity scrub's scan rate.
 package main
 
 import (
@@ -48,8 +49,8 @@ type gatedMetric struct {
 
 // gatedMetrics are the metrics compared against the baseline, in report
 // order: allocation count, bytes allocated, event-engine throughput,
-// sweep-engine cell throughput, distributed-merge throughput, and
-// end-to-end fleet throughput.
+// sweep-engine cell throughput, distributed-merge throughput,
+// end-to-end fleet throughput, and integrity-scrub throughput.
 var gatedMetrics = []gatedMetric{
 	{unit: "allocs_op", higherIsWorse: true},
 	{unit: "B_op", higherIsWorse: true},
@@ -57,6 +58,7 @@ var gatedMetrics = []gatedMetric{
 	{unit: "sweep_cells_per_sec", higherIsWorse: false},
 	{unit: "sweep_merge_cells_per_sec", higherIsWorse: false},
 	{unit: "fleet_cells_per_sec", higherIsWorse: false},
+	{unit: "verify_mb_per_sec", higherIsWorse: false},
 }
 
 func main() {

@@ -57,6 +57,7 @@ func cmdFleetServe(ctx context.Context, args []string) {
 	lease := fs.Duration("lease", 15*time.Second, "assignment lease TTL; missed heartbeats past it re-dispatch the partition")
 	speculate := fs.Duration("speculate-after", 0, "re-issue a still-leased partition to an idle worker after this long (0 = 2x lease, negative disables)")
 	maxAttempts := fs.Int("max-attempts", 20, "fail the fleet when one partition burns this many dispatches (0 = unlimited)")
+	uploadDir := fs.String("upload-dir", "", "staging directory for worker artifact uploads: workers ship hash-verified shard files here, so the commit stays byte-identical without a shared filesystem")
 	quiet := fs.Bool("quiet", false, "suppress the progress meter on stderr")
 	fs.Parse(args)
 
@@ -68,6 +69,7 @@ func cmdFleetServe(ctx context.Context, args []string) {
 	o, err := neutrality.NewFleet(g, neutrality.FleetConfig{
 		Parts: *parts, Shards: *shards, BaseSeed: *seed,
 		Lease: *lease, SpeculateAfter: *speculate, MaxAttempts: *maxAttempts,
+		UploadDir: *uploadDir,
 	})
 	if err != nil {
 		fatal(err)
@@ -111,7 +113,7 @@ func cmdFleetServe(ctx context.Context, args []string) {
 	if !*quiet {
 		fmt.Fprintln(os.Stderr)
 	}
-	res, err := o.Commit(*out)
+	res, err := o.Commit(ctx, *out)
 	if err != nil {
 		fatal(err)
 	}

@@ -15,8 +15,10 @@
 //	                   [-shards 1] [-seed 1] [-resume] [-print-spec]
 //	                   [-partition k/n] [-cell-timeout 0]
 //	neutrality merge   -grid spec.json|-demo -out dir part1 part2 ...
+//	neutrality verify  -grid spec.json|-demo [-repair] dir1 [dir2 ...]
 //	neutrality fleet   serve -grid spec.json|-demo -out dir [-addr ...]
 //	                   [-parts 8] [-lease 15s] [-max-attempts 20]
+//	                   [-upload-dir dir]
 //	neutrality fleet   work -addr URL -dir DIR [-workers 0]
 //	                   [-cell-timeout 0] [-heartbeat 2s]
 //
@@ -26,11 +28,15 @@
 // orchestration engine (sharded JSONL records, online aggregation,
 // resumable checkpoints — byte-identical for every -workers value);
 // `merge` reconstitutes the single-run artifacts from `sweep
-// -partition k/n` partition directories, byte-identically; `fleet`
-// runs the same distributed sweep fault-tolerantly — leased partition
-// assignment, heartbeat-driven expiry with backoff, speculative
-// re-dispatch of stragglers, checkpoint salvage, and graceful
-// degradation to exact aggregate-only results.
+// -partition k/n` partition directories, byte-identically; `verify`
+// scrubs a sweep directory's checksummed artifacts (per-record CRC
+// frames, per-shard SHA-256) and with -repair re-derives damaged
+// cells from their seeds, byte-identically; `fleet` runs the same
+// distributed sweep fault-tolerantly — leased partition assignment,
+// heartbeat-driven expiry with backoff, speculative re-dispatch of
+// stragglers, checkpoint salvage, full-fidelity shard uploads to a
+// staging directory, self-healing commits, and graceful degradation
+// to exact aggregate-only results.
 // With -runs N > 1, emulate replicates the experiment N times with
 // per-run seeds derived from (-seed, run index), fans the replicas out
 // across a bounded worker pool (-workers, default one per CPU), and
@@ -77,12 +83,14 @@ func main() {
 		cmdSweep(ctx, args)
 	case "merge":
 		cmdMerge(args)
+	case "verify":
+		cmdVerify(ctx, args)
 	case "fleet":
 		cmdFleet(ctx, args)
 	case "help", "-h", "--help":
 		usage()
 	default:
-		log.Fatalf("unknown command %q (try: topo, theory, emulate, infer, sweep, merge, fleet)", cmd)
+		log.Fatalf("unknown command %q (try: topo, theory, emulate, infer, sweep, merge, verify, fleet)", cmd)
 	}
 }
 
@@ -100,14 +108,19 @@ commands:
            -partition k/n for one range of a distributed run)
   merge    reconstitute the single-run artifacts from the partition
            directories of a distributed sweep, byte-identically
+  verify   scrub sweep directories against their spec (per-record CRC
+           frames, per-shard SHA-256); -repair re-derives damaged
+           cells from their seeds, byte-identically
   fleet    fault-tolerant distributed sweep: 'serve' leases partitions
            to workers (expiry + backoff + speculative re-dispatch),
-           'work' runs them as resumable checkpoints and ships exact
-           aggregates; commit is byte-identical, or degrades to the
-           exact summary when shard files are unrecoverable
+           'work' runs them as resumable checkpoints, ships exact
+           aggregates, and uploads hash-verified shard files when the
+           server stages them (-upload-dir); commit is byte-identical
+           (self-healing corrupt sources), or degrades to the exact
+           summary when no full-fidelity copy is recoverable
 
-exit codes (sweep/merge/fleet): 0 ok, 1 fatal, 2 usage,
-  3 validation failure, 4 resumable incomplete
+exit codes (sweep/merge/verify/fleet): 0 ok, 1 fatal, 2 usage,
+  3 validation failure (incl. artifact corruption), 4 resumable incomplete
 
 run 'neutrality <command> -h' for command flags`)
 	os.Exit(2)

@@ -57,9 +57,14 @@ var (
 // ErrSweepIncomplete tags resumable-incomplete conditions (unfinished
 // partitions, coverage gaps, per-cell timeouts); ErrSweepValidation
 // tags spec/artifact mismatches that rerunning cannot fix.
+// ErrSweepCorrupt additionally tags artifact-corruption findings
+// (failed record CRCs, shard hash mismatches, destroyed manifests);
+// it wraps ErrSweepValidation, so existing errors.Is branches — and
+// the CLI's validation exit code — keep matching.
 var (
 	ErrSweepIncomplete = sweep.ErrIncomplete
 	ErrSweepValidation = sweep.ErrValidation
+	ErrSweepCorrupt    = sweep.ErrCorrupt
 )
 
 // NewFleet builds an orchestrator for the grid.

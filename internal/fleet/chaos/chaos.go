@@ -41,6 +41,20 @@ type Schedule struct {
 	// the tail off one of the victim's shard files (a crash mid-write),
 	// which the sweep recovery must truncate away on salvage.
 	TornWriteProb float64
+	// BitFlipProb is the chance that a kill is followed by flipping one
+	// bit somewhere inside one of the victim's shard files (silent
+	// mid-file corruption — a bad disk, not a crash). Recovery must
+	// quarantine the damaged record and re-derive it from its seed.
+	BitFlipProb float64
+	// ShardDeleteProb is the chance that a kill is followed by deleting
+	// one of the victim's shard files outright; recovery must re-derive
+	// the whole shard.
+	ShardDeleteProb float64
+	// CorruptUploadProb is the per-upload chance that the shipped bytes
+	// are corrupted in flight (one bit flipped after the content hash
+	// was computed). The receiving orchestrator must reject the
+	// transfer and the worker must retry it.
+	CorruptUploadProb float64
 	// DropProb, DupProb, DelayProb are per-message fault probabilities
 	// on the transport; MaxDelay bounds each injected delay.
 	DropProb  float64
@@ -174,6 +188,33 @@ func (t *Transport) Fail(ctx context.Context, lease int64, reason string) error 
 	return t.perform(ctx, func() error { return t.inner.Fail(ctx, lease, reason) })
 }
 
+func (t *Transport) Upload(ctx context.Context, lease int64, name, sum string, data []byte) error {
+	return t.perform(ctx, func() error {
+		payload := data
+		if i, bit, ok := t.drawUploadCorruption(len(data)); ok {
+			// Flip one bit after the hash was computed: the wire lied.
+			payload = append([]byte(nil), data...)
+			payload[i] ^= bit
+		}
+		return t.inner.Upload(ctx, lease, name, sum, payload)
+	})
+}
+
+// drawUploadCorruption decides, under the fault budget, whether to
+// corrupt this upload's bytes, and where.
+func (t *Transport) drawUploadCorruption(n int) (idx int, bit byte, ok bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if n == 0 || t.budget <= 0 || t.sched.CorruptUploadProb <= 0 {
+		return 0, 0, false
+	}
+	if t.rng.Float64() >= t.sched.CorruptUploadProb {
+		return 0, 0, false
+	}
+	t.budget--
+	return t.rng.Intn(n), 1 << t.rng.Intn(8), true
+}
+
 // Options configures a chaos fleet run.
 type Options struct {
 	// Workers is the number of (restartable) chaos workers.
@@ -186,6 +227,10 @@ type Options struct {
 	// Dir is the working root; Out receives the merged directory.
 	Dir string
 	Out string
+	// UploadDir, when set, gives the orchestrator a staging area and
+	// turns on full-fidelity shard shipping through the (faulty)
+	// transport.
+	UploadDir string
 	// Lease, Heartbeat, Poll, Backoff, SpeculateAfter tune the
 	// fault-tolerance machinery (keep them short for tests).
 	Lease          time.Duration
@@ -204,7 +249,7 @@ func Run(ctx context.Context, g *grid.Grid, sched Schedule, opt Options) (*fleet
 	if err != nil {
 		return nil, err
 	}
-	return o.Commit(opt.Out)
+	return o.Commit(ctx, opt.Out)
 }
 
 // converge drives the fleet to completion under the schedule and
@@ -218,6 +263,7 @@ func converge(ctx context.Context, g *grid.Grid, sched Schedule, opt Options) (*
 		Lease:          opt.Lease,
 		Backoff:        opt.Backoff,
 		SpeculateAfter: opt.SpeculateAfter,
+		UploadDir:      opt.UploadDir,
 		JitterSeed:     sched.Seed ^ 0x0fff,
 		// Chaos must converge by tolerance, not by giving up: the
 		// attempt budget stays unlimited.
@@ -232,7 +278,7 @@ func converge(ctx context.Context, g *grid.Grid, sched Schedule, opt Options) (*
 	kills.Store(int64(sched.Kills))
 	killRng := rand.New(rand.NewSource(sched.Seed ^ 0x4b11))
 	var killMu sync.Mutex
-	drawKill := func() (after int, tear bool) {
+	drawKill := func() (after int, tear, flip, del bool) {
 		killMu.Lock()
 		defer killMu.Unlock()
 		span := sched.KillMaxCells - sched.KillMinCells
@@ -240,7 +286,10 @@ func converge(ctx context.Context, g *grid.Grid, sched Schedule, opt Options) (*
 		if span > 0 {
 			after += killRng.Intn(span + 1)
 		}
-		return after, killRng.Float64() < sched.TornWriteProb
+		tear = killRng.Float64() < sched.TornWriteProb
+		flip = killRng.Float64() < sched.BitFlipProb
+		del = killRng.Float64() < sched.ShardDeleteProb
+		return after, tear, flip, del
 	}
 
 	var wg sync.WaitGroup
@@ -250,7 +299,7 @@ func converge(ctx context.Context, g *grid.Grid, sched Schedule, opt Options) (*
 			defer wg.Done()
 			dir := filepath.Join(opt.Dir, fmt.Sprintf("chaos-%d", w))
 			for ctx.Err() == nil {
-				killAfter, tear := drawKill()
+				killAfter, tear, flip, del := drawKill()
 				armed := kills.Add(-1) >= 0
 				if !armed {
 					kills.Add(1) // return the unclaimed kill
@@ -273,8 +322,16 @@ func converge(ctx context.Context, g *grid.Grid, sched Schedule, opt Options) (*
 				if err == nil || ctx.Err() != nil {
 					return // fleet done, or the harness itself stopped
 				}
-				if armed && tear {
-					tearShardTail(dir, killRng, &killMu)
+				if armed {
+					if tear {
+						tearShardTail(dir, killRng, &killMu)
+					}
+					if flip {
+						flipShardBit(dir, killRng, &killMu)
+					}
+					if del {
+						deleteShard(dir, killRng, &killMu)
+					}
 				}
 				// Killed (or fleet-failed, impossible with unlimited
 				// attempts): restart the worker like a respawned process.
@@ -290,10 +347,9 @@ func converge(ctx context.Context, g *grid.Grid, sched Schedule, opt Options) (*
 	return o, nil
 }
 
-// tearShardTail simulates a crash mid-append: it removes 1–20 trailing
-// bytes from one randomly chosen shard file among the worker's attempt
-// directories, leaving a torn final line for recovery to truncate.
-func tearShardTail(root string, rng *rand.Rand, mu *sync.Mutex) {
+// shardFiles lists every shard file under the worker's attempt
+// directories.
+func shardFiles(root string) []string {
 	var shards []string
 	_ = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
 		if err == nil && !d.IsDir() && filepath.Ext(path) == ".jsonl" {
@@ -301,6 +357,14 @@ func tearShardTail(root string, rng *rand.Rand, mu *sync.Mutex) {
 		}
 		return nil
 	})
+	return shards
+}
+
+// tearShardTail simulates a crash mid-append: it removes 1–20 trailing
+// bytes from one randomly chosen shard file among the worker's attempt
+// directories, leaving a torn final line for recovery to truncate.
+func tearShardTail(root string, rng *rand.Rand, mu *sync.Mutex) {
+	shards := shardFiles(root)
 	if len(shards) == 0 {
 		return
 	}
@@ -316,4 +380,49 @@ func tearShardTail(root string, rng *rand.Rand, mu *sync.Mutex) {
 		cut = info.Size()
 	}
 	_ = os.Truncate(victim, info.Size()-cut)
+}
+
+// flipShardBit simulates silent mid-file corruption: one bit flipped
+// at a random offset of a random shard file. Unlike a torn tail this
+// damages the claimed prefix, so salvage must quarantine the record
+// and re-derive it from its seed.
+func flipShardBit(root string, rng *rand.Rand, mu *sync.Mutex) {
+	shards := shardFiles(root)
+	if len(shards) == 0 {
+		return
+	}
+	mu.Lock()
+	victim := shards[rng.Intn(len(shards))]
+	draw := rng.Int63()
+	bit := byte(1 << rng.Intn(8))
+	mu.Unlock()
+	f, err := os.OpenFile(victim, os.O_RDWR, 0)
+	if err != nil {
+		return
+	}
+	defer f.Close()
+	info, err := f.Stat()
+	if err != nil || info.Size() == 0 {
+		return
+	}
+	off := draw % info.Size()
+	var b [1]byte
+	if _, err := f.ReadAt(b[:], off); err != nil {
+		return
+	}
+	b[0] ^= bit
+	_, _ = f.WriteAt(b[:], off)
+}
+
+// deleteShard simulates losing a whole shard file; salvage must
+// re-derive every record the manifest claimed for it.
+func deleteShard(root string, rng *rand.Rand, mu *sync.Mutex) {
+	shards := shardFiles(root)
+	if len(shards) == 0 {
+		return
+	}
+	mu.Lock()
+	victim := shards[rng.Intn(len(shards))]
+	mu.Unlock()
+	_ = os.Remove(victim)
 }

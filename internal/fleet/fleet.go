@@ -35,13 +35,23 @@
 //     writing to its own attempt directory, and must not race the new
 //     attempt.
 //
-//   - Degradation. Workers always ship their partition's mergeable
+//   - Shipping. Workers always ship their partition's mergeable
 //     aggregate (sweep.EncodeAgg) with completion; the merge laws make
-//     aggregate shipping lossless for Summaries. When every winning
-//     attempt's directory is reachable, Commit reconstitutes the full
-//     byte-identical single-run directory with sweep.Merge; when shard
-//     files are unrecoverable, it degrades to a summary-only result
-//     instead of failing.
+//     aggregate shipping lossless for Summaries. With a staging
+//     directory configured (Config.UploadDir), workers additionally
+//     upload their completed shard files and manifest — gzip on the
+//     HTTP wire, content-hash-verified on receipt, idempotent on retry
+//     — so the orchestrator holds a full-fidelity copy of every
+//     partition even without a shared filesystem.
+//
+//   - Integrity. Every partition directory carries the sweep layer's
+//     v2 checksummed framing, and Commit's merge verifies every shard's
+//     content hash before hard-linking. A corrupt winner does not
+//     degrade the merge: Commit repairs it in place (sweep.Repair
+//     re-derives exactly the damaged cells from their seeds) and
+//     retries. Only when no full-fidelity copy can be reconstituted at
+//     all does Commit degrade to a summary-only result instead of
+//     failing.
 //
 // Two transports carry the worker protocol: Local (direct in-process
 // calls plus a shared directory tree — today's on-disk layout,
@@ -78,6 +88,14 @@ var (
 	// ErrFleetFailed means a partition exhausted its attempt budget;
 	// the fleet cannot finish.
 	ErrFleetFailed = errors.New("fleet: failed")
+	// ErrUploadUnsupported means the orchestrator accepts no artifact
+	// uploads (no staging directory is configured); workers skip
+	// shipping shard files and rely on the shared filesystem.
+	ErrUploadUnsupported = errors.New("fleet: uploads not supported")
+	// ErrUploadRejected means an uploaded artifact's bytes did not match
+	// the content hash the worker claimed for them — the upload was
+	// corrupted in flight and must be retried.
+	ErrUploadRejected = errors.New("fleet: upload content hash mismatch")
 )
 
 // Assignment is one leased unit of work: partition Part of the grid,
@@ -121,6 +139,11 @@ type WorkerResult struct {
 	// Dir is the completed partition directory. The orchestrator uses
 	// it for the full byte-identical merge when reachable.
 	Dir string `json:"dir,omitempty"`
+	// Uploaded reports that the worker shipped every shard file plus
+	// the manifest through Transport.Upload before completing, so the
+	// orchestrator's staging directory holds a full hash-verified copy
+	// of the partition even without a shared filesystem.
+	Uploaded bool `json:"uploaded,omitempty"`
 	// Agg is the partition aggregate in sweep.EncodeAgg form.
 	Agg []byte `json:"agg"`
 }
@@ -142,4 +165,13 @@ type Transport interface {
 	// Fail releases the lease after an unrecoverable worker-side error,
 	// so re-dispatch does not wait for expiry.
 	Fail(ctx context.Context, lease int64, reason string) error
+	// Upload ships one completed artifact file (a shard or, last, the
+	// manifest) to the orchestrator's staging area for the lease's
+	// partition. sum is the file's SHA-256 (lowercase hex); the
+	// receiver verifies the bytes against it and rejects a mismatch
+	// with ErrUploadRejected, so a corrupted transfer is retried rather
+	// than staged. Re-uploading the same name is idempotent.
+	// ErrUploadUnsupported means the fleet runs without staging and the
+	// worker should stop offering artifacts.
+	Upload(ctx context.Context, lease int64, name, sum string, data []byte) error
 }

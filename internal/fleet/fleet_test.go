@@ -6,6 +6,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -112,7 +113,7 @@ func TestCommitDegradesToAggregates(t *testing.T) {
 		}
 	}
 	out := filepath.Join(t.TempDir(), "merged")
-	res, err := o.Commit(out)
+	res, err := o.Commit(context.Background(), out)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -181,7 +182,7 @@ func TestHTTPFleetEndToEnd(t *testing.T) {
 	}
 
 	out := filepath.Join(root, "merged")
-	res, err := o.Commit(out)
+	res, err := o.Commit(context.Background(), out)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -199,7 +200,7 @@ func TestHTTPFleetEndToEnd(t *testing.T) {
 	if err := os.RemoveAll(filepath.Join(root, "w")); err != nil {
 		t.Fatal(err)
 	}
-	res2, err := o.Commit(filepath.Join(root, "merged2"))
+	res2, err := o.Commit(context.Background(), filepath.Join(root, "merged2"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -256,6 +257,83 @@ func TestHTTPSentinelRoundTrip(t *testing.T) {
 	}
 	if err := cl.Fail(ctx, 999, "x"); !errors.Is(err, ErrStaleLease) {
 		t.Fatalf("stale fail over HTTP: %v", err)
+	}
+}
+
+// TestHTTPUploadRoundTrip: full-fidelity shard shipping over the HTTP
+// transport. Workers upload gzip-compressed, hash-verified artifacts;
+// the orchestrator stages them and commits a byte-identical merge even
+// though no worker directory is reachable. Corrupted claims are
+// rejected with the retryable sentinel, stale leases are refused, and
+// a fleet without a staging directory answers ErrUploadUnsupported.
+func TestHTTPUploadRoundTrip(t *testing.T) {
+	refDir, refSum := referenceRun(t, 2)
+	staging := t.TempDir()
+	o, _ := testOrch(t, 2, Config{Lease: time.Minute, SpeculateAfter: -1, UploadDir: staging})
+	srv := httptest.NewServer(NewServer(o))
+	defer srv.Close()
+	cl := &Client{Base: srv.URL}
+	ctx := context.Background()
+
+	for k := 1; k <= 2; k++ {
+		a, err := cl.Acquire(ctx, "w")
+		if err != nil {
+			t.Fatal(err)
+		}
+		dir := filepath.Join(t.TempDir(), "part")
+		res := runPart(t, a, dir)
+		// A transfer whose bytes do not match the claimed hash must be
+		// rejected with the retryable sentinel, not staged.
+		badSum := strings.Repeat("0", 64)
+		if err := cl.Upload(ctx, a.Lease, "manifest.json", badSum, []byte("junk")); !errors.Is(err, ErrUploadRejected) {
+			t.Fatalf("corrupted upload over HTTP: %v", err)
+		}
+		// Names outside the partition artifact set never touch disk.
+		if err := cl.Upload(ctx, a.Lease, "../escape", badSum, []byte("x")); err == nil {
+			t.Fatal("path-escaping upload name was accepted")
+		}
+		uploaded, err := uploadArtifacts(ctx, cl, WorkerOptions{Poll: time.Millisecond}, a, dir)
+		if err != nil || !uploaded {
+			t.Fatalf("uploadArtifacts: uploaded=%v err=%v", uploaded, err)
+		}
+		// The orchestrator cannot reach the worker's path: the staged
+		// copy must carry the commit alone.
+		res.Dir = ""
+		res.Uploaded = true
+		if err := cl.Complete(ctx, a.Lease, res); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if err := cl.Upload(ctx, 999, "manifest.json", strings.Repeat("0", 64), []byte("x")); !errors.Is(err, ErrStaleLease) {
+		t.Fatalf("stale-lease upload over HTTP: %v", err)
+	}
+
+	out := filepath.Join(t.TempDir(), "merged")
+	res, err := o.Commit(ctx, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Degraded {
+		t.Fatalf("staged uploads should carry the full merge: %v", res.Reason)
+	}
+	assertDirsEqual(t, out, refDir)
+	if res.Summary != refSum {
+		t.Fatalf("staged HTTP summary diverged:\n%s\nvs\n%s", res.Summary, refSum)
+	}
+
+	// Without a staging directory the server answers the sentinel that
+	// turns shipping off client-side.
+	o2, _ := testOrch(t, 1, Config{Lease: time.Minute, SpeculateAfter: -1})
+	srv2 := httptest.NewServer(NewServer(o2))
+	defer srv2.Close()
+	cl2 := &Client{Base: srv2.URL}
+	a2, err := cl2.Acquire(ctx, "w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl2.Upload(ctx, a2.Lease, "manifest.json", strings.Repeat("0", 64), []byte("x")); !errors.Is(err, ErrUploadUnsupported) {
+		t.Fatalf("upload without staging: %v", err)
 	}
 }
 

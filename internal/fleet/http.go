@@ -2,12 +2,15 @@ package fleet
 
 import (
 	"bytes"
+	"compress/gzip"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
+	"strconv"
 
 	"neutrality/internal/grid"
 )
@@ -25,6 +28,13 @@ import (
 //	POST /v1/heartbeat  {lease, frontier} → envelope
 //	POST /v1/complete   {lease, result}   → envelope
 //	POST /v1/fail       {lease, reason}   → envelope
+//	POST /v1/upload?lease=&name=&sum=     → envelope
+//
+// Uploads carry the raw artifact file gzip-compressed in the body
+// (Content-Encoding: gzip); lease, file name, and the file's SHA-256
+// travel in the query string. The server decompresses, verifies the
+// hash, and stages the file — a mismatch answers upload_rejected and
+// the worker retries, so shard shipping is full-fidelity end to end.
 //
 // Protocol sentinels travel as envelope.Err codes and are rebuilt into
 // the same sentinel errors client-side, so workers cannot tell the
@@ -55,6 +65,8 @@ var errCodes = []struct {
 	{"stale", ErrStaleLease},
 	{"superseded", ErrSuperseded},
 	{"failed", ErrFleetFailed},
+	{"upload_unsupported", ErrUploadUnsupported},
+	{"upload_rejected", ErrUploadRejected},
 }
 
 func encodeErr(err error) (code, msg string) {
@@ -96,6 +108,7 @@ func NewServer(o *Orchestrator) *Server {
 	s.mux.HandleFunc("POST /v1/heartbeat", s.heartbeat)
 	s.mux.HandleFunc("POST /v1/complete", s.complete)
 	s.mux.HandleFunc("POST /v1/fail", s.fail)
+	s.mux.HandleFunc("POST /v1/upload", s.upload)
 	return s
 }
 
@@ -176,6 +189,37 @@ func (s *Server) complete(w http.ResponseWriter, r *http.Request) {
 	// orchestrator unless the filesystem really is shared; keep it
 	// (Commit stats it and degrades gracefully when it is not there).
 	writeResult(w, s.O.Complete(req.Lease, req.Result), nil)
+}
+
+func (s *Server) upload(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	lease, err := strconv.ParseInt(q.Get("lease"), 10, 64)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, envelope{Err: "bad_request", Msg: "bad lease: " + err.Error()})
+		return
+	}
+	body := io.Reader(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if r.Header.Get("Content-Encoding") == "gzip" {
+		zr, err := gzip.NewReader(body)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, envelope{Err: "bad_request", Msg: "bad gzip body: " + err.Error()})
+			return
+		}
+		defer zr.Close()
+		// Bound the decompressed size too: gzip bombs must not bypass
+		// the body cap.
+		body = io.LimitReader(zr, maxBodyBytes+1)
+	}
+	data, err := io.ReadAll(body)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, envelope{Err: "bad_request", Msg: "reading body: " + err.Error()})
+		return
+	}
+	if int64(len(data)) > maxBodyBytes {
+		writeJSON(w, http.StatusBadRequest, envelope{Err: "bad_request", Msg: "artifact exceeds body limit"})
+		return
+	}
+	writeResult(w, s.O.Upload(lease, q.Get("name"), q.Get("sum"), data), nil)
 }
 
 func (s *Server) fail(w http.ResponseWriter, r *http.Request) {
@@ -260,6 +304,38 @@ func (c *Client) Fail(ctx context.Context, lease int64, reason string) error {
 	e, err := c.post(ctx, "/v1/fail", map[string]any{"lease": lease, "reason": reason})
 	if err != nil {
 		return err
+	}
+	return decodeErr(e)
+}
+
+func (c *Client) Upload(ctx context.Context, lease int64, name, sum string, data []byte) error {
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	if _, err := zw.Write(data); err != nil {
+		return err
+	}
+	if err := zw.Close(); err != nil {
+		return err
+	}
+	q := url.Values{}
+	q.Set("lease", strconv.FormatInt(lease, 10))
+	q.Set("name", name)
+	q.Set("sum", sum)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		c.Base+"/v1/upload?"+q.Encode(), bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	req.Header.Set("Content-Encoding", "gzip")
+	resp, err := c.hc().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	var e envelope
+	if err := json.NewDecoder(io.LimitReader(resp.Body, maxBodyBytes)).Decode(&e); err != nil {
+		return fmt.Errorf("fleet: bad response from /v1/upload: %w", err)
 	}
 	return decodeErr(e)
 }

@@ -47,6 +47,13 @@ func (l Local) Fail(ctx context.Context, lease int64, reason string) error {
 	return l.O.Fail(lease, reason)
 }
 
+func (l Local) Upload(ctx context.Context, lease int64, name, sum string, data []byte) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return l.O.Upload(lease, name, sum, data)
+}
+
 // LocalOptions configures RunLocal.
 type LocalOptions struct {
 	// Parts is the partition count (default: Workers).
@@ -134,5 +141,5 @@ func RunLocal(ctx context.Context, g *grid.Grid, opt LocalOptions) (*Result, err
 	if waitErr != nil {
 		return nil, waitErr
 	}
-	return o.Commit(opt.Out)
+	return o.Commit(ctx, opt.Out)
 }

@@ -2,9 +2,13 @@ package fleet
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
 	"fmt"
 	"math/rand"
 	"os"
+	"path/filepath"
 	"sync"
 	"time"
 
@@ -44,6 +48,12 @@ type Config struct {
 	// MaxAttempts caps dispatches per partition; one more expiry or
 	// failure past it fails the whole fleet. 0 means unlimited.
 	MaxAttempts int
+	// UploadDir, when non-empty, enables full-fidelity shard shipping:
+	// workers upload completed shard files and manifests, which are
+	// hash-verified and staged under UploadDir/part-KKKK. Empty means
+	// Upload returns ErrUploadUnsupported and Commit relies on a shared
+	// filesystem for the full merge.
+	UploadDir string
 	// now overrides the clock in tests.
 	now func() time.Time
 }
@@ -401,6 +411,78 @@ func (o *Orchestrator) Complete(leaseID int64, res WorkerResult) error {
 	return nil
 }
 
+// stagingDir is where partition p's uploaded artifacts live.
+func (o *Orchestrator) stagingDir(p int) string {
+	return filepath.Join(o.cfg.UploadDir, fmt.Sprintf("part-%04d", p+1))
+}
+
+// validUploadName accepts exactly the artifact files a partition
+// directory holds: shard-NNNN.jsonl with NNNN below the shard count,
+// or manifest.json. Anything else — path separators, dotdots, stray
+// names — is rejected before touching the filesystem.
+func (o *Orchestrator) validUploadName(name string) bool {
+	if name == "manifest.json" {
+		return true
+	}
+	var s int
+	if n, err := fmt.Sscanf(name, "shard-%04d.jsonl", &s); err != nil || n != 1 {
+		return false
+	}
+	return fmt.Sprintf("shard-%04d.jsonl", s) == name && s >= 0 && s < o.cfg.Shards
+}
+
+// Upload stages one artifact file for the lease's partition. The bytes
+// are verified against the claimed SHA-256 before anything is written
+// — a corrupted transfer gets ErrUploadRejected and the worker
+// retries — and the staged file is written atomically, so a re-upload
+// (an at-least-once transport redelivering) is idempotent. Workers
+// upload shard files first and the manifest last: the staged directory
+// therefore never holds a manifest whose shard files are missing,
+// which is the same commit-point discipline the sweep store uses.
+func (o *Orchestrator) Upload(leaseID int64, name, sum string, data []byte) error {
+	if o.cfg.UploadDir == "" {
+		return ErrUploadUnsupported
+	}
+	o.mu.Lock()
+	now := o.cfg.now()
+	o.expireLocked(now)
+	l, ok := o.leases[leaseID]
+	if !ok {
+		o.mu.Unlock()
+		return ErrStaleLease
+	}
+	st := &o.parts[l.part]
+	if st.done {
+		o.mu.Unlock()
+		return ErrSuperseded
+	}
+	part := l.part
+	o.mu.Unlock()
+
+	if !o.validUploadName(name) {
+		return fmt.Errorf("fleet: upload name %q is not a partition artifact", name)
+	}
+	got := sha256.Sum256(data)
+	if hex.EncodeToString(got[:]) != sum {
+		return fmt.Errorf("%w: %s claims %.12s…, bytes hash to %.12s…", ErrUploadRejected, name, sum, hex.EncodeToString(got[:]))
+	}
+	// The disk write happens outside the lock: uploads are the bulk of
+	// the fleet's data plane and must not serialize the state machine.
+	dir := o.stagingDir(part)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("fleet: upload staging: %w", err)
+	}
+	tmp := filepath.Join(dir, fmt.Sprintf("%s.up-%d.tmp", name, leaseID))
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("fleet: upload staging: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, name)); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("fleet: upload staging: %w", err)
+	}
+	return nil
+}
+
 // Fail releases a lease after a worker-side error so the partition
 // re-dispatches without waiting for expiry (still under backoff).
 func (o *Orchestrator) Fail(leaseID int64, reason string) error {
@@ -514,14 +596,21 @@ type Result struct {
 }
 
 // Commit finalizes a finished fleet. With out non-empty it first tries
-// the full path — sweep.Merge over the winning partition directories,
-// producing a directory and Summary byte-identical to a single-process
-// run — and degrades to a summary-only result (the partition
-// aggregates merged in partition order, lossless for Summary by the
-// merge laws) when any winner's shard files are missing or
-// unrecoverable. With out empty it goes straight to the aggregate
+// the full path — sweep.Merge over one full-fidelity directory per
+// partition, producing a directory and Summary byte-identical to a
+// single-process run. For each partition it prefers the hash-verified
+// staging copy the worker uploaded (orchestrator-local, so it survives
+// worker death and needs no shared filesystem) and falls back to the
+// winner's reported directory. The merge verifies every shard's
+// content hash; on corruption Commit self-heals — sweep.Repair
+// re-derives exactly the damaged cells from their seeds, rebuilding
+// destroyed manifests from the assignment identity — and retries the
+// merge once before degrading. Only when no full-fidelity copy can be
+// reconstituted at all does it degrade to a summary-only result (the
+// partition aggregates merged in partition order, lossless for Summary
+// by the merge laws). With out empty it goes straight to the aggregate
 // path.
-func (o *Orchestrator) Commit(out string) (*Result, error) {
+func (o *Orchestrator) Commit(ctx context.Context, out string) (*Result, error) {
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	if o.failed != nil {
@@ -532,25 +621,48 @@ func (o *Orchestrator) Commit(out string) (*Result, error) {
 	}
 	res := &Result{Cells: o.g.Cells()}
 	if out != "" {
-		dirs := make([]string, 0, len(o.parts))
+		dirs := make([]commitSource, 0, len(o.parts))
 		var missing error
 		for p := range o.parts {
 			st := &o.parts[p]
 			if st.rng.Len() == 0 {
 				continue
 			}
-			if st.result.Dir == "" {
-				missing = fmt.Errorf("fleet: partition %d/%d shipped no directory", p+1, o.cfg.Parts)
+			dir := ""
+			if o.cfg.UploadDir != "" && st.result.Uploaded {
+				if mi, err := sweep.ReadManifestDir(o.stagingDir(p)); err == nil && mi.Completed == st.rng.Len() {
+					dir = o.stagingDir(p)
+				}
+			}
+			if dir == "" && st.result.Dir != "" {
+				if _, err := os.Stat(st.result.Dir); err == nil {
+					dir = st.result.Dir
+				}
+			}
+			if dir == "" {
+				missing = fmt.Errorf("fleet: partition %d/%d has no reachable directory (no upload staged, worker path %q unreachable)",
+					p+1, o.cfg.Parts, st.result.Dir)
 				break
 			}
-			if _, err := os.Stat(st.result.Dir); err != nil {
-				missing = fmt.Errorf("fleet: partition %d/%d directory unreachable: %w", p+1, o.cfg.Parts, err)
-				break
-			}
-			dirs = append(dirs, st.result.Dir)
+			dirs = append(dirs, commitSource{dir: dir, part: p})
 		}
 		if missing == nil {
-			merged, err := sweep.Merge(o.g, dirs, out)
+			paths := make([]string, len(dirs))
+			for i, s := range dirs {
+				paths[i] = s.dir
+			}
+			merged, err := sweep.Merge(o.g, paths, out)
+			if err != nil && errors.Is(err, sweep.ErrCorrupt) {
+				// A corrupt source is repairable by construction: every
+				// record is a pure function of (grid, cell, seed), and the
+				// orchestrator knows each partition's identity even when
+				// the damaged directory's own manifest is gone.
+				if herr := o.healSourcesLocked(ctx, dirs); herr != nil {
+					err = fmt.Errorf("%w (repair failed: %v)", err, herr)
+				} else {
+					merged, err = sweep.Merge(o.g, paths, out)
+				}
+			}
 			if err == nil {
 				res.Agg = merged.Agg
 				res.Summary = merged.Agg.Summary()
@@ -578,6 +690,36 @@ func (o *Orchestrator) Commit(out string) (*Result, error) {
 	res.Agg = agg
 	res.Summary = agg.Summary()
 	return res, nil
+}
+
+// commitSource is one partition's chosen full-fidelity directory.
+type commitSource struct {
+	dir  string
+	part int
+}
+
+// healSourcesLocked scrubs every commit source and repairs the damaged
+// ones in place, supplying each partition's identity from the
+// orchestrator's own configuration so even a destroyed manifest is
+// rebuilt. Caller holds mu.
+func (o *Orchestrator) healSourcesLocked(ctx context.Context, dirs []commitSource) error {
+	for _, src := range dirs {
+		st := &o.parts[src.part]
+		if rep, err := sweep.Verify(o.g, src.dir); err == nil && rep.Clean {
+			continue
+		}
+		expect := &sweep.ManifestInfo{
+			Shards:    o.cfg.Shards,
+			BaseSeed:  o.cfg.BaseSeed,
+			Completed: st.rng.Len(),
+			Range:     st.rng,
+			Partition: sweep.Partition{K: src.part + 1, N: o.cfg.Parts},
+		}
+		if _, err := sweep.Repair(ctx, o.g, src.dir, sweep.RepairOptions{Expect: expect}); err != nil {
+			return fmt.Errorf("partition %d/%d at %s: %w", src.part+1, o.cfg.Parts, src.dir, err)
+		}
+	}
+	return nil
 }
 
 // errKindIncomplete tags the unfinished-fleet error as

@@ -178,7 +178,7 @@ func TestDuplicateCompletionFromSpeculation(t *testing.T) {
 	if err := o.Wait(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	res, err := o.Commit("")
+	res, err := o.Commit(context.Background(), "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -286,7 +286,7 @@ func TestAttemptBudget(t *testing.T) {
 	if err := o.Wait(context.Background()); !errors.Is(err, ErrFleetFailed) {
 		t.Fatalf("want ErrFleetFailed from Wait, got %v", err)
 	}
-	if _, err := o.Commit(""); !errors.Is(err, ErrFleetFailed) {
+	if _, err := o.Commit(context.Background(), ""); !errors.Is(err, ErrFleetFailed) {
 		t.Fatalf("want ErrFleetFailed from Commit, got %v", err)
 	}
 }
@@ -295,7 +295,7 @@ func TestAttemptBudget(t *testing.T) {
 // resumable-incomplete for the CLI exit-code contract.
 func TestCommitIncomplete(t *testing.T) {
 	o, _ := testOrch(t, 2, Config{Lease: time.Minute})
-	if _, err := o.Commit(""); !errors.Is(err, sweep.ErrIncomplete) {
+	if _, err := o.Commit(context.Background(), ""); !errors.Is(err, sweep.ErrIncomplete) {
 		t.Fatalf("want ErrIncomplete, got %v", err)
 	}
 }

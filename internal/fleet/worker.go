@@ -2,11 +2,14 @@ package fleet
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -76,6 +79,12 @@ func Work(ctx context.Context, g *grid.Grid, tr Transport, opt WorkerOptions) er
 		a, err := tr.Acquire(ctx, opt.ID)
 		switch {
 		case errors.Is(err, ErrDone):
+			// The fleet is finished: nothing under this worker's root can
+			// be needed again, except completed directories the commit
+			// path may still merge from. Prune the rest — abandoned
+			// (lease-lost) attempts and salvage leftovers would otherwise
+			// leak one directory per failure.
+			pruneStaleAttempts(g, opt.Dir)
 			return nil
 		case errors.Is(err, ErrFleetFailed):
 			return err
@@ -176,6 +185,22 @@ func runAssignment(ctx context.Context, g *grid.Grid, tr Transport, opt WorkerOp
 		return nil
 	}
 	wr := WorkerResult{Range: res.Range, Records: res.Total, Dir: dir, Agg: enc}
+	uploaded, upErr := uploadArtifacts(ctx, tr, opt, a, dir)
+	if upErr != nil {
+		switch {
+		case errors.Is(upErr, ErrSuperseded):
+			// A byte-identical copy already won; ours is redundant.
+			os.RemoveAll(dir)
+			return nil
+		case errors.Is(upErr, ErrStaleLease):
+			// Lease expired mid-upload; leave the directory for the next
+			// attempt to salvage.
+			return nil
+		case ctx.Err() != nil:
+			return ctx.Err()
+		}
+	}
+	wr.Uploaded = uploaded
 	// Completion retries around transport faults; if it cannot get
 	// through, expiry reclaims the lease and a later attempt salvages
 	// this directory.
@@ -196,6 +221,79 @@ func runAssignment(ctx context.Context, g *grid.Grid, tr Transport, opt WorkerOp
 		}
 		if err := sleep(ctx, opt.Poll); err != nil {
 			return err
+		}
+	}
+}
+
+// uploadArtifacts ships the completed partition through the transport:
+// shard files first, the manifest last, so the orchestrator's staging
+// slot never holds a manifest whose shards have not arrived. Each
+// file's SHA-256 travels with its bytes; the receiver verifies and
+// rejects corrupted transfers, which are simply retried. Returns
+// whether the full set was staged. ErrUploadUnsupported turns shipping
+// off without error (shared-filesystem fleets); ErrSuperseded and
+// ErrStaleLease propagate so the caller abandons the attempt. Any
+// other persistent failure leaves uploaded=false and the fleet falls
+// back to the Dir / aggregate paths.
+func uploadArtifacts(ctx context.Context, tr Transport, opt WorkerOptions, a *Assignment, dir string) (bool, error) {
+	names := make([]string, 0, a.Shards+1)
+	for s := 0; s < a.Shards; s++ {
+		names = append(names, fmt.Sprintf("shard-%04d.jsonl", s))
+	}
+	names = append(names, "manifest.json")
+	for _, name := range names {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return false, nil
+		}
+		sum := sha256.Sum256(data)
+		hexSum := hex.EncodeToString(sum[:])
+		sent := false
+		for try := 0; try < 4 && !sent; try++ {
+			err := tr.Upload(ctx, a.Lease, name, hexSum, data)
+			switch {
+			case err == nil:
+				sent = true
+			case errors.Is(err, ErrUploadUnsupported):
+				return false, nil
+			case errors.Is(err, ErrSuperseded), errors.Is(err, ErrStaleLease):
+				return false, err
+			case ctx.Err() != nil:
+				return false, ctx.Err()
+			default:
+				// A corrupted transfer (ErrUploadRejected) or a transport
+				// fault: the operation is idempotent, retry shortly.
+				if err := sleep(ctx, opt.Poll); err != nil {
+					return false, err
+				}
+			}
+		}
+		if !sent {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// pruneStaleAttempts removes attempt directories the fleet can no
+// longer need. It runs only once Acquire says ErrDone, when no other
+// attempt in this root can still be writing; directories holding a
+// complete manifest for this grid are kept because the commit path may
+// still merge from them, everything else (abandoned leases, salvage
+// leftovers, mismatched stale runs) is deleted.
+func pruneStaleAttempts(g *grid.Grid, root string) {
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		if !e.IsDir() || !strings.HasPrefix(e.Name(), "part-") {
+			continue
+		}
+		dir := filepath.Join(root, e.Name())
+		mi, err := sweep.ReadManifestDir(dir)
+		if err != nil || mi.Fingerprint != g.Fingerprint() || mi.Completed < mi.Range.Len() {
+			os.RemoveAll(dir)
 		}
 	}
 }

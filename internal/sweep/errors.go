@@ -25,6 +25,13 @@ var (
 	ErrIncomplete = errors.New("incomplete (resumable)")
 	// ErrValidation tags spec/artifact validation failures.
 	ErrValidation = errors.New("validation failure")
+	// ErrCorrupt tags artifact-corruption failures: bytes on disk (or
+	// on the wire) disagree with their recorded checksums. It is a
+	// refinement of ErrValidation — errors.Is(err, ErrValidation) also
+	// holds, so existing exit-code mapping is unchanged — but is
+	// separately matchable so orchestrators can react by repairing
+	// (every record is re-derivable from its seed) instead of failing.
+	ErrCorrupt = &kindError{msg: errors.New("artifact corruption"), kind: ErrValidation}
 )
 
 // kindError carries a formatted message plus its sentinel kind; both

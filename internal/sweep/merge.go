@@ -1,6 +1,8 @@
 package sweep
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"io"
 	"os"
@@ -96,17 +98,24 @@ func Merge(g *grid.Grid, dirs []string, out string) (*Result, error) {
 		return nil, errKind(ErrIncomplete, "sweep: merge: cells [%d,%d) are covered by no partition directory — run that partition before merging", cursor, cells)
 	}
 
-	// Assemble the output directory.
+	// Assemble the output directory, verifying every source shard's
+	// bytes against its manifest's content hash on the way through —
+	// a corrupt partition must surface as ErrCorrupt (so the caller
+	// can repair or re-speculate it) before anything is hard-linked,
+	// not as a mystery in the replay below.
 	if err := os.MkdirAll(out, 0o755); err != nil {
 		return nil, fmt.Errorf("sweep: merge: %w", err)
 	}
 	if _, err := os.Stat(manifestPath(out)); err == nil {
 		return nil, errKind(ErrValidation, "sweep: merge: %s already contains a sweep; use a fresh directory", out)
 	}
+	sums := make([]string, shards)
 	for s := 0; s < shards; s++ {
-		if err := assembleShard(parts, out, s); err != nil {
+		sum, err := assembleShard(parts, out, s)
+		if err != nil {
 			return nil, err
 		}
+		sums[s] = sum
 	}
 
 	// Replay the merged records in cell order — validating every
@@ -125,6 +134,7 @@ func Merge(g *grid.Grid, dirs []string, out string) (*Result, error) {
 	// merged record sits in its slot — a failed merge leaves shard
 	// fragments but nothing that reads as a complete sweep.
 	m := &manifest{
+		Version:     manifestVersion,
 		Name:        g.Name,
 		Fingerprint: g.Fingerprint(),
 		Cells:       cells,
@@ -132,6 +142,7 @@ func Merge(g *grid.Grid, dirs []string, out string) (*Result, error) {
 		BaseSeed:    baseSeed,
 		Completed:   cells,
 		PerShard:    make([]int, shards),
+		ShardSums:   sums,
 	}
 	for s := 0; s < shards; s++ {
 		m.PerShard[s] = linesOf(cells, s, shards)
@@ -143,45 +154,64 @@ func Merge(g *grid.Grid, dirs []string, out string) (*Result, error) {
 }
 
 // assembleShard builds out's shard s from the partitions' shard-s
-// files, in range order. With a single source the file is hard-linked
-// (falling back to a copy across filesystems); otherwise the pieces
-// are concatenated.
-func assembleShard(parts []partDir, out string, s int) error {
+// files, in range order, returning the merged file's SHA-256. Every
+// source's bytes are hashed against its manifest's shard_sha256 on
+// the way through — a mismatch fails with ErrCorrupt before the
+// manifest commit point, and a hard link is only taken after the
+// source it aliases has verified. With a single source the file is
+// hard-linked (falling back to a copy across filesystems); otherwise
+// the pieces are concatenated.
+func assembleShard(parts []partDir, out string, s int) (string, error) {
 	dst := shardPath(out, s)
 	// A retried merge may find dst left over from a failed attempt —
 	// possibly as a hard link to a SOURCE shard file. Remove the name
 	// first: truncating it in place (O_TRUNC) would otherwise destroy
 	// the partition's own records through the shared inode.
 	if err := os.Remove(dst); err != nil && !os.IsNotExist(err) {
-		return fmt.Errorf("sweep: merge: %w", err)
+		return "", fmt.Errorf("sweep: merge: %w", err)
 	}
 	if len(parts) == 1 {
-		src := shardPath(parts[0].dir, s)
+		p := parts[0]
+		src := shardPath(p.dir, s)
+		data, err := os.ReadFile(src)
+		if err != nil {
+			return "", fmt.Errorf("sweep: merge: %w", err)
+		}
+		sum := shaHex(data)
+		if sum != p.m.ShardSums[s] {
+			return "", errKind(ErrCorrupt, "sweep: merge: %s shard %d content hash %.12s… does not match its manifest's %.12s… — repair the partition (neutrality verify -repair) before merging", p.dir, s, sum, p.m.ShardSums[s])
+		}
 		if err := os.Link(src, dst); err == nil {
-			return nil
+			return sum, nil
 		}
 		// Cross-device (or an fs without hard links): fall through to
 		// the copy path below.
 	}
 	f, err := os.OpenFile(dst, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
-		return fmt.Errorf("sweep: merge: %w", err)
+		return "", fmt.Errorf("sweep: merge: %w", err)
 	}
+	merged := sha256.New()
 	for _, p := range parts {
 		src, err := os.Open(shardPath(p.dir, s))
 		if err != nil {
 			f.Close()
-			return fmt.Errorf("sweep: merge: %w", err)
+			return "", fmt.Errorf("sweep: merge: %w", err)
 		}
-		_, err = io.Copy(f, src)
+		part := sha256.New()
+		_, err = io.Copy(io.MultiWriter(f, merged, part), src)
 		src.Close()
 		if err != nil {
 			f.Close()
-			return fmt.Errorf("sweep: merge: %w", err)
+			return "", fmt.Errorf("sweep: merge: %w", err)
+		}
+		if sum := hex.EncodeToString(part.Sum(nil)); sum != p.m.ShardSums[s] {
+			f.Close()
+			return "", errKind(ErrCorrupt, "sweep: merge: %s shard %d content hash %.12s… does not match its manifest's %.12s… — repair the partition (neutrality verify -repair) before merging", p.dir, s, sum, p.m.ShardSums[s])
 		}
 	}
 	if err := f.Close(); err != nil {
-		return fmt.Errorf("sweep: merge: %w", err)
+		return "", fmt.Errorf("sweep: merge: %w", err)
 	}
-	return nil
+	return hex.EncodeToString(merged.Sum(nil)), nil
 }

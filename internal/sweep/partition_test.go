@@ -128,9 +128,13 @@ func TestPartitionManifest(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		for _, line := range strings.Fields(strings.ReplaceAll(strings.TrimSpace(string(raw)), "\n", " ")) {
+		for _, line := range strings.Split(strings.TrimSuffix(string(raw), "\n"), "\n") {
+			payload, err := unframe([]byte(line))
+			if err != nil {
+				t.Fatal(err)
+			}
 			var r Record
-			if err := json.Unmarshal([]byte(line), &r); err != nil {
+			if err := json.Unmarshal(payload, &r); err != nil {
 				t.Fatal(err)
 			}
 			cells = append(cells, r.Cell)
@@ -294,33 +298,61 @@ func TestMergeValidation(t *testing.T) {
 }
 
 // TestMergeCorruptRecordLeavesNoManifest: a partition whose manifest
-// claims completion but whose shard data is corrupt (a complete line
-// holding the wrong cell) fails the merge during replay — and the
-// failed merge must NOT leave a manifest in the output directory: the
-// manifest is the commit point, so a directory that reads as a
-// complete sweep must actually be one.
+// claims completion but whose shard data is corrupt fails the merge —
+// at the content-hash pre-check for raw byte damage, or during replay
+// for a validly framed record sitting in the wrong slot under forged
+// hashes — and in both cases the failed merge must NOT leave a
+// manifest in the output directory: the manifest is the commit point,
+// so a directory that reads as a complete sweep must actually be one.
 func TestMergeCorruptRecordLeavesNoManifest(t *testing.T) {
 	g := microGrid()
 	dirs := runPartitions(t, g, t.TempDir(), 2, 2, 1)
-	// Swap partition 2's first record for a wrong-slot cell, keeping
-	// the line count (and so the manifest's frontier) intact.
+	// Swap partition 2's first record for a validly framed wrong-slot
+	// cell, keeping the line count (and so the manifest's frontier)
+	// intact. The shard's bytes no longer match its manifest hash, so
+	// the merge fails before anything is hard-linked.
 	path := shardPath(dirs[1], 0)
 	data, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatal(err)
 	}
 	lines := strings.SplitAfter(string(data), "\n")
-	lines[0] = `{"cell":0,"seed":1}` + "\n"
-	if err := os.WriteFile(path, []byte(strings.Join(lines, "")), 0o644); err != nil {
+	lines[0] = string(framePayload([]byte(`{"cell":0,"seed":1}`)))
+	corrupted := strings.Join(lines, "")
+	if err := os.WriteFile(path, []byte(corrupted), 0o644); err != nil {
 		t.Fatal(err)
 	}
 	out := filepath.Join(t.TempDir(), "merged")
 	if _, err := Merge(g, dirs, out); err == nil ||
-		!strings.Contains(err.Error(), "holds cell") {
+		!errors.Is(err, ErrCorrupt) || !strings.Contains(err.Error(), "content hash") {
 		t.Fatalf("corrupt-record merge err = %v", err)
 	}
 	if _, err := os.Stat(manifestPath(out)); !os.IsNotExist(err) {
 		t.Fatalf("failed merge left a manifest in %s (stat err = %v)", out, err)
+	}
+	// Forge the partition's manifest hash to match the damaged bytes:
+	// the hash pre-check now passes, so the wrong-slot record must be
+	// caught by the replay — the last line of defense — and the failed
+	// merge must again leave no manifest behind.
+	mdata, err := os.ReadFile(manifestPath(dirs[1]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := parseManifest(mdata)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.ShardSums[0] = shaHex([]byte(corrupted))
+	if err := writeManifest(dirs[1], m); err != nil {
+		t.Fatal(err)
+	}
+	out2 := filepath.Join(t.TempDir(), "merged2")
+	if _, err := Merge(g, dirs, out2); err == nil ||
+		!strings.Contains(err.Error(), "holds cell") {
+		t.Fatalf("forged-hash merge err = %v", err)
+	}
+	if _, err := os.Stat(manifestPath(out2)); !os.IsNotExist(err) {
+		t.Fatalf("failed merge left a manifest in %s (stat err = %v)", out2, err)
 	}
 }
 

@@ -69,11 +69,15 @@ import (
 	"bufio"
 	"bytes"
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash"
 	"os"
 	"path/filepath"
+	"sort"
 	"time"
 
 	"neutrality/internal/grid"
@@ -178,9 +182,13 @@ type Result struct {
 	// grid's cell count for a full run, the partition range's length
 	// for a partitioned one.
 	Total int
-	// Resumed is how many cells were restored from the checkpoint
-	// rather than executed.
+	// Resumed is how many cells were restored intact from the
+	// checkpoint rather than executed.
 	Resumed int
+	// Repaired is how many checkpointed cells failed their record
+	// checksum on resume and were re-derived from their seeds before
+	// the run continued (see the recovery notes on openStore).
+	Repaired int
 	// Range is the half-open global cell range the run covered
 	// (the full grid unless Options.Partition was set).
 	Range grid.Range
@@ -218,6 +226,11 @@ func Run(ctx context.Context, g *grid.Grid, opt Options) (*Result, error) {
 	agg := NewAgg(g)
 	res := &Result{Agg: agg, Total: rng.Len(), Range: rng}
 
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runner.DefaultWorkers()
+	}
+
 	var st *store
 	start := rng.Lo
 	if opt.Dir != "" {
@@ -227,8 +240,17 @@ func Run(ctx context.Context, g *grid.Grid, opt Options) (*Result, error) {
 			return nil, err
 		}
 		defer st.closeFiles()
+		if st.plan != nil {
+			res.Repaired = len(st.plan.quarantine)
+		}
+		// heal re-derives any quarantined cells from their seeds and
+		// splices them back (a no-op on a clean directory), then opens
+		// the shard writers on the repaired files.
+		if err := st.heal(ctx, workers); err != nil {
+			return nil, err
+		}
 		start = rng.Lo + st.completed
-		res.Resumed = st.completed
+		res.Resumed = st.completed - res.Repaired
 		if err := st.replay(func(r Record) {
 			agg.Add(r)
 			if opt.OnRecord != nil {
@@ -242,10 +264,6 @@ func Run(ctx context.Context, g *grid.Grid, opt Options) (*Result, error) {
 		}
 	}
 
-	workers := opt.Workers
-	if workers <= 0 {
-		workers = runner.DefaultWorkers()
-	}
 	window := 4 * workers
 	sinceCheckpoint := 0
 	streamErr := runner.Stream(ctx, workers, start, rng.Hi, window,
@@ -303,11 +321,22 @@ func Run(ctx context.Context, g *grid.Grid, opt Options) (*Result, error) {
 	return res, nil
 }
 
+// manifestVersion is the artifact format this build reads and writes:
+// version 2 added per-record CRC32C framing in the shard files and the
+// per-shard SHA-256 sums below. The version is a major version in the
+// compatibility sense — readers reject manifests from a different
+// major outright (a newer writer may have changed the shard byte
+// format under them) but tolerate unknown manifest fields within a
+// version, so minor additions stay readable.
+const manifestVersion = 2
+
 // manifest is the checkpoint file: the spec identity and the progress
 // frontier. It contains no timestamps or host details, so manifests
 // are byte-identical across worker counts too, and a merged manifest
 // is byte-identical to a single-run one (Range is omitted on both).
 type manifest struct {
+	// Version is the artifact format version (manifestVersion).
+	Version     int    `json:"version"`
 	Name        string `json:"name"`
 	Fingerprint string `json:"fingerprint"`
 	// Cells is the FULL grid's cell count, even on a partition
@@ -324,6 +353,11 @@ type manifest struct {
 	// PerShard are the per-shard persisted record counts (shard s
 	// holds the range's cells ≡ s mod Shards, in increasing order).
 	PerShard []int `json:"per_shard"`
+	// ShardSums are the per-shard SHA-256 sums (lowercase hex) over
+	// exactly the PerShard[s] claimed lines of each shard file —
+	// recovery and merge verify shard content against them before
+	// trusting (or hard-linking) it.
+	ShardSums []string `json:"shard_sha256"`
 	// Range stamps a partition manifest with its half-open global
 	// cell range and k/n coordinates. nil means the full grid — the
 	// form single-run and merged manifests share.
@@ -354,6 +388,17 @@ func parseManifest(data []byte) (*manifest, error) {
 	var m manifest
 	if err := json.Unmarshal(data, &m); err != nil {
 		return nil, err
+	}
+	// Version gate before any structural checks: a future major may
+	// have changed the fields (and the shard byte format) arbitrarily,
+	// so nothing else about the document can be interpreted. Unknown
+	// fields within a supported version are tolerated (json.Unmarshal
+	// drops them), which is what lets minor additions stay readable.
+	if m.Version > manifestVersion {
+		return nil, errKind(ErrValidation, "manifest version %d is newer than this build's format (version %d); upgrade to read it", m.Version, manifestVersion)
+	}
+	if m.Version < manifestVersion {
+		return nil, errKind(ErrValidation, "manifest version %d predates the checksummed shard format (version %d); re-run the sweep to regenerate its artifacts", m.Version, manifestVersion)
 	}
 	if m.Cells < 0 {
 		return nil, fmt.Errorf("negative cell count %d", m.Cells)
@@ -386,7 +431,29 @@ func parseManifest(data []byte) (*manifest, error) {
 			return nil, fmt.Errorf("shard %d records %d, frontier %d implies %d", s, c, m.Completed, want)
 		}
 	}
+	if len(m.ShardSums) != m.Shards {
+		return nil, fmt.Errorf("%d shard sums for %d shards", len(m.ShardSums), m.Shards)
+	}
+	for s, sum := range m.ShardSums {
+		if !isSHA256Hex(sum) {
+			return nil, fmt.Errorf("shard %d sum %q is not 64 lowercase hex digits", s, sum)
+		}
+	}
 	return &m, nil
+}
+
+// isSHA256Hex reports whether s is a well-formed lowercase-hex SHA-256
+// digest.
+func isSHA256Hex(s string) bool {
+	if len(s) != 64 {
+		return false
+	}
+	for _, c := range s {
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
 }
 
 // writeManifest atomically writes m as dir's manifest
@@ -413,15 +480,45 @@ func writeManifest(dir string, m *manifest) error {
 // i-rng.Lo; shard i%shards == local%shards because rng.Lo is
 // shard-aligned).
 type store struct {
-	dir       string
-	g         *grid.Grid
-	shards    int
-	rng       grid.Range
-	part      Partition
-	baseSeed  int64
-	files     []*os.File
-	ws        []*bufio.Writer
+	dir      string
+	g        *grid.Grid
+	shards   int
+	rng      grid.Range
+	part     Partition
+	baseSeed int64
+	files    []*os.File
+	ws       []*bufio.Writer
+	// sums are the running per-shard SHA-256 states over every byte
+	// appended (and, after recovery, every byte kept); checkpoint
+	// snapshots them into the manifest. Appends and flushes keep them
+	// in step with the claimed prefix because checkpoint flushes
+	// before it writes the manifest.
+	sums      []hash.Hash
 	completed int
+	// plan is the pending recovery work scheduled by openStore and
+	// executed by heal; nil once healed (or on a run without repair
+	// work).
+	plan *recoveryPlan
+}
+
+// recoveryPlan is the damage assessment openStore produces for heal:
+// which global cells must be re-derived, and how each shard file gets
+// back to a clean state.
+type recoveryPlan struct {
+	// quarantine are the damaged global cell indices, ascending.
+	quarantine []int
+	shards     []shardPlan
+}
+
+// shardPlan is one shard's piece of a recoveryPlan.
+type shardPlan struct {
+	scan shardScan
+	// size is the shard image's current byte length (for the clean
+	// truncate path).
+	size int64
+	// data retains the shard image only when a rebuild (splice) is
+	// required.
+	data []byte
 }
 
 func manifestPath(dir string) string { return filepath.Join(dir, "manifest.json") }
@@ -432,9 +529,14 @@ func shardPath(dir string, s int) string {
 
 // openStore prepares the sweep directory: fresh directories are
 // initialized, existing ones are validated against the spec and — with
-// Resume — recovered (partial trailing lines from an abrupt kill are
-// truncated away, and the completed frontier is re-derived from the
-// files themselves, never trusted from the manifest alone).
+// Resume — recovered. Recovery re-derives the completed frontier from
+// the files themselves (never trusting the manifest alone) and
+// distinguishes the two damage classes: torn tails past the manifest's
+// claim are scheduled for truncation, while corruption inside the
+// claim — a failed record CRC, a missing line, a deleted shard file —
+// quarantines exactly the damaged cells for re-derivation. openStore
+// only plans that work (st.plan); heal executes it and opens the
+// writers, so no shard file is mutated until the repair records exist.
 func openStore(g *grid.Grid, opt Options, shards int, rng grid.Range) (*store, error) {
 	st := &store{dir: opt.Dir, g: g, shards: shards, rng: rng, part: opt.Partition, baseSeed: opt.BaseSeed}
 	if err := os.MkdirAll(opt.Dir, 0o755); err != nil {
@@ -462,7 +564,7 @@ func openStore(g *grid.Grid, opt Options, shards int, rng grid.Range) (*store, e
 			return nil, errKind(ErrValidation, "sweep: %s covers cells [%d,%d); resume must request the same partition (got [%d,%d))",
 				opt.Dir, m.rng().Lo, m.rng().Hi, rng.Lo, rng.Hi)
 		}
-		if err := st.recover(); err != nil {
+		if err := st.recover(m); err != nil {
 			return nil, err
 		}
 	case os.IsNotExist(err):
@@ -475,22 +577,6 @@ func openStore(g *grid.Grid, opt Options, shards int, rng grid.Range) (*store, e
 		}
 	default:
 		return nil, fmt.Errorf("sweep: %w", err)
-	}
-
-	st.files = make([]*os.File, shards)
-	st.ws = make([]*bufio.Writer, shards)
-	for s := 0; s < shards; s++ {
-		f, err := os.OpenFile(shardPath(opt.Dir, s), os.O_WRONLY|os.O_APPEND, 0o644)
-		if err != nil {
-			st.closeFiles()
-			return nil, fmt.Errorf("sweep: %w", err)
-		}
-		st.files[s] = f
-		st.ws[s] = bufio.NewWriter(f)
-	}
-	if err := st.checkpoint(); err != nil {
-		st.closeFiles()
-		return nil, err
 	}
 	return st, nil
 }
@@ -506,72 +592,157 @@ func linesOf(k, s, shards int) int {
 	return (k-1-s)/shards + 1
 }
 
-// scanLines finds the byte offsets just past each complete
-// ('\n'-terminated) line of a shard file. Bytes after the last
-// newline are a partial trailing line — a record cut mid-write by a
-// kill — and are never part of any recovered record: recovery
-// truncates them away rather than guessing, so it can never invent a
-// record that was not durably written.
-func scanLines(data []byte) (ends []int64) {
-	var off int64
-	for {
-		nl := bytes.IndexByte(data[off:], '\n')
-		if nl < 0 {
-			return ends
-		}
-		off += int64(nl) + 1
-		ends = append(ends, off)
-	}
-}
-
-// recover derives the completed frontier from the shard files: count
-// complete lines per shard, drop a partial trailing line (a record cut
-// mid-write by a kill), take the smallest uncovered local index, and
-// truncate any record past that frontier (a shard can be at most one
-// record ahead of a crash point).
-func (st *store) recover() error {
-	counts := make([]int, st.shards)
-	ends := make([][]int64, st.shards) // byte offset after each complete line
+// recover assesses the shard files against the manifest's claim and
+// derives the completed frontier. Each shard image is content-scanned
+// (scanShard): valid records past the claim extend the frontier (the
+// shard writers' buffers flush independently between checkpoints, so a
+// shard can legitimately run ahead of the manifest), torn tails are
+// scheduled for truncation, and damage inside the claim quarantines
+// exactly the affected cells. A missing shard file quarantines its
+// whole claimed prefix — the records are re-derivable, so a deletion
+// is just total corruption of one shard. recover mutates nothing; the
+// plan it leaves on st is executed by heal.
+func (st *store) recover(m *manifest) error {
+	spec := scanSpec{g: st.g, baseSeed: st.baseSeed, rng: st.rng, shards: st.shards}
+	plan := &recoveryPlan{shards: make([]shardPlan, st.shards)}
+	covered := make([]int, st.shards)
 	for s := 0; s < st.shards; s++ {
 		data, err := os.ReadFile(shardPath(st.dir, s))
-		if err != nil {
+		if err != nil && !os.IsNotExist(err) {
 			return fmt.Errorf("sweep: resume: %w", err)
 		}
-		ends[s] = scanLines(data)
-		counts[s] = len(ends[s])
-		var off int64
-		if counts[s] > 0 {
-			off = ends[s][counts[s]-1]
+		want := ""
+		if s < len(m.ShardSums) {
+			want = m.ShardSums[s]
 		}
-		if off != int64(len(data)) {
-			// Partial trailing line: a kill landed mid-write.
-			if err := os.Truncate(shardPath(st.dir, s), off); err != nil {
-				return fmt.Errorf("sweep: resume: %w", err)
-			}
+		sc := scanShard(spec, s, data, linesOf(m.Completed, s, st.shards), want)
+		covered[s] = len(sc.slots)
+		plan.shards[s] = shardPlan{scan: sc, size: int64(len(data))}
+		if sc.dirty {
+			plan.shards[s].data = data
 		}
 	}
+	// The frontier is the smallest local index no shard covers (a
+	// quarantined slot counts as covered: its record is about to be
+	// re-derived). It is always ≥ the manifest's claim, because every
+	// claimed slot is either kept or quarantined.
 	completed := st.rng.Len()
 	for s := 0; s < st.shards; s++ {
-		if uncovered := s + counts[s]*st.shards; uncovered < completed {
+		if uncovered := s + covered[s]*st.shards; uncovered < completed {
 			completed = uncovered
 		}
 	}
 	st.completed = completed
 	for s := 0; s < st.shards; s++ {
-		if keep := linesOf(completed, s, st.shards); counts[s] > keep {
-			// Records past the frontier would duplicate cells the
-			// resumed run re-executes; drop them. keep can be zero: the
-			// shard writers' buffers flush independently between
-			// checkpoints, so after a hard kill one shard can hold
-			// records while an earlier shard's file is still empty.
-			var off int64
-			if keep > 0 {
-				off = ends[s][keep-1]
-			}
-			if err := os.Truncate(shardPath(st.dir, s), off); err != nil {
-				return fmt.Errorf("sweep: resume: %w", err)
+		sp := &plan.shards[s]
+		// Trim coverage past the frontier: those records would
+		// duplicate cells the resumed run re-executes. Quarantined
+		// slots are never trimmed — they all sit below the claim,
+		// which the frontier cannot regress past.
+		sp.scan.slots = sp.scan.slots[:linesOf(completed, s, st.shards)]
+		if !sp.scan.dirty {
+			sp.scan.keep = 0
+			if n := len(sp.scan.slots); n > 0 {
+				sp.scan.keep = sp.scan.slots[n-1].end
 			}
 		}
+		for _, j := range sp.scan.quarantine {
+			plan.quarantine = append(plan.quarantine, spec.cellOf(s, j))
+		}
+	}
+	sort.Ints(plan.quarantine)
+	st.plan = plan
+	return nil
+}
+
+// heal executes the recovery plan (if any), then opens the shard
+// append writers and writes the initial checkpoint. Quarantined cells
+// are re-derived through the ordinary per-cell executor — byte-
+// identical by construction, since a record is a pure function of
+// (grid, cell, seed) — and spliced back atomically (rebuild to a
+// temporary file, then rename), so a kill mid-heal leaves either the
+// old damaged shard or the fully repaired one, never a half-spliced
+// hybrid. Clean shards are simply truncated to their kept prefix.
+func (st *store) heal(ctx context.Context, workers int) error {
+	plan := st.plan
+	st.plan = nil
+	var repaired map[int][]byte
+	if plan != nil && len(plan.quarantine) > 0 {
+		repaired = make(map[int][]byte, len(plan.quarantine))
+		if workers <= 0 {
+			workers = runner.DefaultWorkers()
+		}
+		err := runner.Stream(ctx, workers, 0, len(plan.quarantine), 4*workers,
+			func(uctx context.Context, i int) ([]byte, error) {
+				r, err := runCell(uctx, st.g, plan.quarantine[i], st.baseSeed)
+				if err != nil {
+					return nil, err
+				}
+				return frameRecord(r)
+			},
+			func(i int, line []byte, err error) error {
+				if err != nil {
+					return fmt.Errorf("sweep: repair: cell %d: %w", plan.quarantine[i], err)
+				}
+				repaired[plan.quarantine[i]] = line
+				return nil
+			})
+		if err != nil {
+			return err
+		}
+	}
+
+	st.files = make([]*os.File, st.shards)
+	st.ws = make([]*bufio.Writer, st.shards)
+	st.sums = make([]hash.Hash, st.shards)
+	for s := 0; s < st.shards; s++ {
+		path := shardPath(st.dir, s)
+		if plan != nil {
+			sp := &plan.shards[s]
+			if sp.scan.dirty {
+				var buf bytes.Buffer
+				for j, span := range sp.scan.slots {
+					if span == (frameSpan{}) {
+						buf.Write(repaired[st.rng.Lo+j*st.shards+s])
+					} else {
+						buf.Write(sp.data[span.off:span.end])
+					}
+				}
+				tmp := path + ".tmp"
+				if err := os.WriteFile(tmp, buf.Bytes(), 0o644); err != nil {
+					return fmt.Errorf("sweep: repair: %w", err)
+				}
+				if err := os.Rename(tmp, path); err != nil {
+					return fmt.Errorf("sweep: repair: %w", err)
+				}
+			} else if sp.scan.keep < sp.size {
+				if err := os.Truncate(path, sp.scan.keep); err != nil {
+					return fmt.Errorf("sweep: resume: %w", err)
+				}
+			}
+		}
+		// Re-read what the file now holds to seed the running content
+		// hash, then open the append writer on top of it. O_CREATE
+		// covers the one clean case with no file behind it: a deleted
+		// shard whose claimed prefix was empty.
+		data, err := os.ReadFile(path)
+		if err != nil && !os.IsNotExist(err) {
+			st.closeFiles()
+			return fmt.Errorf("sweep: %w", err)
+		}
+		st.sums[s] = sha256.New()
+		st.sums[s].Write(data)
+		f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND|os.O_CREATE, 0o644)
+		if err != nil {
+			st.closeFiles()
+			return fmt.Errorf("sweep: %w", err)
+		}
+		st.files[s] = f
+		st.ws[s] = bufio.NewWriter(f)
+	}
+	if err := st.checkpoint(); err != nil {
+		st.closeFiles()
+		return err
 	}
 	return nil
 }
@@ -601,9 +772,13 @@ func (st *store) replay(fn func(Record)) error {
 		if !sc.Scan() {
 			return fmt.Errorf("sweep: resume: shard %d ends before cell %d", j%st.shards, i)
 		}
+		payload, err := unframe(sc.Bytes())
+		if err != nil {
+			return errKind(ErrCorrupt, "sweep: resume: shard %d cell %d: %w", j%st.shards, i, err)
+		}
 		var r Record
-		if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
-			return fmt.Errorf("sweep: resume: shard %d cell %d: corrupt record: %w", j%st.shards, i, err)
+		if err := json.Unmarshal(payload, &r); err != nil {
+			return errKind(ErrCorrupt, "sweep: resume: shard %d cell %d: corrupt record: %w", j%st.shards, i, err)
 		}
 		if r.Cell != i {
 			return fmt.Errorf("sweep: resume: shard %d holds cell %d where cell %d belongs", j%st.shards, r.Cell, i)
@@ -613,21 +788,20 @@ func (st *store) replay(fn func(Record)) error {
 	return nil
 }
 
-// append writes the next record to its shard. Records arrive in cell
-// order (the stream emitter guarantees it), so each shard file is
+// append writes the next record to its shard as one framed line,
+// feeding the shard's running content hash in step. Records arrive in
+// cell order (the stream emitter guarantees it), so each shard file is
 // written in increasing cell order too.
 func (st *store) append(r Record) error {
-	data, err := json.Marshal(r)
+	line, err := frameRecord(r)
 	if err != nil {
+		return err
+	}
+	s := r.Cell % st.shards
+	if _, err := st.ws[s].Write(line); err != nil {
 		return fmt.Errorf("sweep: %w", err)
 	}
-	w := st.ws[r.Cell%st.shards]
-	if _, err := w.Write(data); err != nil {
-		return fmt.Errorf("sweep: %w", err)
-	}
-	if err := w.WriteByte('\n'); err != nil {
-		return fmt.Errorf("sweep: %w", err)
-	}
+	st.sums[s].Write(line)
 	st.completed = r.Cell + 1 - st.rng.Lo
 	return nil
 }
@@ -646,6 +820,7 @@ func (st *store) checkpoint() error {
 		}
 	}
 	m := manifest{
+		Version:     manifestVersion,
 		Name:        st.g.Name,
 		Fingerprint: st.g.Fingerprint(),
 		Cells:       st.g.Cells(),
@@ -653,12 +828,16 @@ func (st *store) checkpoint() error {
 		BaseSeed:    st.baseSeed,
 		Completed:   st.completed,
 		PerShard:    make([]int, st.shards),
+		ShardSums:   make([]string, st.shards),
 	}
 	if !st.part.IsZero() {
 		m.Range = &manifestRange{K: st.part.K, N: st.part.N, Lo: st.rng.Lo, Hi: st.rng.Hi}
 	}
 	for s := 0; s < st.shards; s++ {
 		m.PerShard[s] = linesOf(st.completed, s, st.shards)
+		// Sum(nil) snapshots without disturbing the running state, so
+		// the recorded digest covers exactly the bytes flushed above.
+		m.ShardSums[s] = hex.EncodeToString(st.sums[s].Sum(nil))
 	}
 	return writeManifest(st.dir, &m)
 }

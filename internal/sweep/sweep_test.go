@@ -23,13 +23,13 @@ func microGrid() *grid.Grid {
 		Add("rep", grid.Nums(0, 1, 2)...)
 }
 
-// recordLines marshals records exactly as the shard writer does.
+// recordLines renders records exactly as the shard writer does: one
+// CRC-framed line per record.
 func recordLines(recs []Record) string {
 	var sb strings.Builder
 	for _, r := range recs {
-		data, _ := json.Marshal(r)
-		sb.Write(data)
-		sb.WriteByte('\n')
+		line, _ := frameRecord(r)
+		sb.Write(line)
 	}
 	return sb.String()
 }
@@ -118,11 +118,16 @@ func TestPersistedShardsByteIdentical(t *testing.T) {
 			t.Fatalf("%s differs between workers=1 and workers=4", name)
 		}
 	}
-	// Shard 1 must hold cells 1, 4, 7, 10.
+	// Shard 1 must hold cells 1, 4, 7, 10, each as a framed line whose
+	// CRC verifies.
 	var cells []int
 	for _, line := range strings.Split(strings.TrimSpace(files1["shard-0001.jsonl"]), "\n") {
+		payload, err := unframe([]byte(line))
+		if err != nil {
+			t.Fatalf("shard line %q: %v", line, err)
+		}
 		var r Record
-		if err := json.Unmarshal([]byte(line), &r); err != nil {
+		if err := json.Unmarshal(payload, &r); err != nil {
 			t.Fatal(err)
 		}
 		cells = append(cells, r.Cell)
@@ -134,8 +139,14 @@ func TestPersistedShardsByteIdentical(t *testing.T) {
 	if err := json.Unmarshal([]byte(files1["manifest.json"]), &m); err != nil {
 		t.Fatal(err)
 	}
-	if m.Completed != 12 || m.Fingerprint != g.Fingerprint() || fmt.Sprint(m.PerShard) != "[4 4 4]" {
+	if m.Version != manifestVersion || m.Completed != 12 || m.Fingerprint != g.Fingerprint() || fmt.Sprint(m.PerShard) != "[4 4 4]" {
 		t.Fatalf("manifest: %+v", m)
+	}
+	// The recorded shard sums must match the files on disk.
+	for s := 0; s < 3; s++ {
+		if got := shaHex([]byte(files1[fmt.Sprintf("shard-%04d.jsonl", s)])); got != m.ShardSums[s] {
+			t.Fatalf("shard %d sum %s, manifest records %s", s, got, m.ShardSums[s])
+		}
 	}
 }
 
@@ -150,22 +161,35 @@ func TestResumeAfterInterrupt(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	dir := t.TempDir()
-	ctx, cancel := context.WithCancel(context.Background())
-	defer cancel()
-	_, err := Run(ctx, g, Options{
-		Workers: 2, Shards: 3, BaseSeed: 7, Dir: dir,
-		OnRecord: func(r Record) {
-			if r.Cell == 4 {
-				cancel() // interrupt mid-sweep
-			}
-		},
-	})
-	if err == nil {
-		t.Fatal("interrupted run reported success")
-	}
-	if !errors.Is(err, context.Canceled) {
-		t.Fatalf("err = %v", err)
+	// The cancel races the workers: with 12 tiny cells the whole grid
+	// can finish computing before the cancellation is observed, in
+	// which case the run legitimately completes (Stream still delivers
+	// buffered results after cancellation — that is what lets a
+	// checkpointing caller keep every completed record). Retry until
+	// the interrupt actually lands mid-sweep.
+	var dir string
+	for attempt := 0; ; attempt++ {
+		if attempt == 50 {
+			t.Fatal("cancellation never landed before completion in 50 attempts")
+		}
+		dir = t.TempDir()
+		ctx, cancel := context.WithCancel(context.Background())
+		_, err := Run(ctx, g, Options{
+			Workers: 2, Shards: 3, BaseSeed: 7, Dir: dir,
+			OnRecord: func(r Record) {
+				if r.Cell == 4 {
+					cancel() // interrupt mid-sweep
+				}
+			},
+		})
+		cancel()
+		if err == nil {
+			continue // the grid outran the cancel — not an interrupt
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v", err)
+		}
+		break
 	}
 
 	res, err := Run(context.Background(), g, Options{
@@ -197,8 +221,11 @@ func TestResumeAfterInterrupt(t *testing.T) {
 	}
 }
 
-// TestResumeRecoversPartialLine: a record cut mid-write by an abrupt
-// kill is truncated away and its cell re-run.
+// TestResumeRecoversPartialLine: damage inside the manifest's claim —
+// two complete records gone and half a record of garbage in their
+// place — is quarantined and re-derived, converging back to the
+// byte-identical artifacts rather than merely truncating to the
+// damage point.
 func TestResumeRecoversPartialLine(t *testing.T) {
 	g := microGrid()
 	want := t.TempDir()
@@ -209,9 +236,9 @@ func TestResumeRecoversPartialLine(t *testing.T) {
 	if _, err := Run(context.Background(), g, Options{Shards: 2, BaseSeed: 7, Dir: dir}); err != nil {
 		t.Fatal(err)
 	}
-	// Simulate the kill: drop the last two complete records from shard
-	// 0 (cells 8 and 10), leaving shard 1 one record "ahead" (cell 11),
-	// and append half a record to shard 0.
+	// Simulate the damage: drop the last two complete records from
+	// shard 0 (cells 8 and 10, both inside the completed claim) and
+	// append half an unframed record.
 	path := filepath.Join(dir, "shard-0000.jsonl")
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -227,22 +254,24 @@ func TestResumeRecoversPartialLine(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Resumed != 8 { // frontier: cells 0..7 survive
-		t.Fatalf("resumed %d cells, want 8", res.Resumed)
+	if res.Repaired != 2 { // cells 8 and 10 re-derived from their seeds
+		t.Fatalf("repaired %d cells, want 2", res.Repaired)
+	}
+	if res.Resumed != 10 {
+		t.Fatalf("resumed %d cells, want 10", res.Resumed)
 	}
 	got, ref := readDir(t, dir), readDir(t, want)
 	for name, data := range ref {
 		if got[name] != data {
-			t.Fatalf("%s differs after partial-line recovery", name)
+			t.Fatalf("%s differs after mid-claim repair", name)
 		}
 	}
 }
 
-// TestResumeRecoversEmptyShard: the shard writers' buffers flush
-// independently between checkpoints, so a hard kill can leave one
-// shard file empty while a later shard already holds records; the
-// frontier is then zero and recovery must truncate the ahead shard
-// (not crash) and re-run everything.
+// TestResumeRecoversEmptyShard: a whole shard file emptied out from
+// under a completed sweep quarantines every record it claimed; repair
+// re-derives all of them and the directory converges back to byte
+// identity (the other shard is untouched).
 func TestResumeRecoversEmptyShard(t *testing.T) {
 	g := microGrid()
 	want := t.TempDir()
@@ -260,13 +289,47 @@ func TestResumeRecoversEmptyShard(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Resumed != 0 {
-		t.Fatalf("resumed %d cells, want 0 (shard 0 lost cell 0)", res.Resumed)
+	if res.Repaired != 6 { // shard 0's six even cells re-derived
+		t.Fatalf("repaired %d cells, want 6", res.Repaired)
+	}
+	if res.Resumed != 6 {
+		t.Fatalf("resumed %d cells, want 6", res.Resumed)
 	}
 	got, ref := readDir(t, dir), readDir(t, want)
 	for name, data := range ref {
 		if got[name] != data {
-			t.Fatalf("%s differs after empty-shard recovery", name)
+			t.Fatalf("%s differs after empty-shard repair", name)
+		}
+	}
+}
+
+// TestResumeRecoversDeletedShard: deleting a shard file outright is
+// the same damage class as emptying it — every claimed record of the
+// shard is re-derived and the file rebuilt.
+func TestResumeRecoversDeletedShard(t *testing.T) {
+	g := microGrid()
+	want := t.TempDir()
+	if _, err := Run(context.Background(), g, Options{Shards: 3, BaseSeed: 7, Dir: want}); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if _, err := Run(context.Background(), g, Options{Shards: 3, BaseSeed: 7, Dir: dir}); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(dir, "shard-0001.jsonl")); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(context.Background(), g, Options{Shards: 3, BaseSeed: 7, Dir: dir, Resume: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Repaired != 4 || res.Resumed != 8 {
+		t.Fatalf("repaired=%d resumed=%d, want 4/8", res.Repaired, res.Resumed)
+	}
+	got, ref := readDir(t, dir), readDir(t, want)
+	for name, data := range ref {
+		if got[name] != data {
+			t.Fatalf("%s differs after deleted-shard repair", name)
 		}
 	}
 }

@@ -18,6 +18,7 @@ package neutrality_test
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -356,6 +357,81 @@ func BenchmarkFleetLocal(b *testing.B) {
 	}
 	if sec := b.Elapsed().Seconds(); sec > 0 {
 		b.ReportMetric(float64(cells)/sec, "fleet_cells_per_sec")
+	}
+}
+
+// BenchmarkServeIngest measures the streaming inference service's
+// ingest path end to end: per-record validation, sequence dedup,
+// journal append + flush (durable ack), the online fold into the
+// measurement table, and one epoch close — loss-stat folding plus a
+// full inference re-run — per iteration. ingest_records_per_sec is
+// the sustained record throughput the benchjson baseline gates: it
+// bounds what the streaming layer costs over the batch pipeline, so
+// `neutrality serve` keeps absorbing real measurement streams.
+func BenchmarkServeIngest(b *testing.B) {
+	n := neutrality.Figure4()
+	perf := neutrality.NewPerf(n.NumLinks(), n.NumClasses())
+	for l := 0; l < n.NumLinks(); l++ {
+		perf.SetNeutral(neutrality.LinkID(l), 0.02)
+	}
+	l1, _ := n.LinkByName("l1")
+	perf.Set(l1.ID, neutrality.C1, 0.05)
+	perf.Set(l1.ID, neutrality.C2, 0.7)
+	const intervals = 1024
+	states := neutrality.NewSampler(n, perf, 11).SampleIntervals(intervals)
+	meas := neutrality.SyntheticMeasurements(states, neutrality.DefaultSyntheticOptions())
+	recs := make([]neutrality.StreamRecord, 0, intervals*n.NumPaths())
+	seq := int64(0)
+	for t := 0; t < intervals; t++ {
+		for p := 0; p < n.NumPaths(); p++ {
+			seq++
+			recs = append(recs, neutrality.StreamRecord{
+				Source: "bench", Seq: seq, Interval: t, Path: p,
+				Sent: meas.Sent[t][p], Lost: meas.Lost[t][p],
+			})
+		}
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	records := 0
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		svc, err := neutrality.NewServe(neutrality.ServeConfig{
+			Net: n, EpochRecords: len(recs), Dir: b.TempDir(),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		// One batch per 256 records: the chunked shape a real sender
+		// produces, with a durable journal flush per ack.
+		for lo := 0; lo < len(recs); lo += 256 {
+			hi := lo + 256
+			if hi > len(recs) {
+				hi = len(recs)
+			}
+			res, err := svc.Ingest(recs[lo:hi])
+			if err != nil {
+				b.Fatal(err)
+			}
+			records += res.Accepted
+		}
+		b.StopTimer()
+		var ev neutrality.ServeEpochVerdict
+		if err := json.Unmarshal(svc.VerdictJSON(), &ev); err != nil {
+			b.Fatal(err)
+		}
+		if ev.Epoch != 1 || !ev.NonNeutral {
+			b.Fatalf("bench stream verdict off target: %+v", ev)
+		}
+		if err := svc.Close(); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+	}
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(records)/sec, "ingest_records_per_sec")
 	}
 }
 

@@ -50,7 +50,8 @@ type gatedMetric struct {
 // gatedMetrics are the metrics compared against the baseline, in report
 // order: allocation count, bytes allocated, event-engine throughput,
 // sweep-engine cell throughput, distributed-merge throughput,
-// end-to-end fleet throughput, and integrity-scrub throughput.
+// end-to-end fleet throughput, integrity-scrub throughput, and
+// streaming-ingest record throughput.
 var gatedMetrics = []gatedMetric{
 	{unit: "allocs_op", higherIsWorse: true},
 	{unit: "B_op", higherIsWorse: true},
@@ -59,6 +60,7 @@ var gatedMetrics = []gatedMetric{
 	{unit: "sweep_merge_cells_per_sec", higherIsWorse: false},
 	{unit: "fleet_cells_per_sec", higherIsWorse: false},
 	{unit: "verify_mb_per_sec", higherIsWorse: false},
+	{unit: "ingest_records_per_sec", higherIsWorse: false},
 }
 
 func main() {

@@ -30,7 +30,8 @@ const (
 // classify maps an error to its exit code via the sweep error kinds.
 func classify(err error) int {
 	switch {
-	case errors.Is(err, neutrality.ErrSweepValidation):
+	case errors.Is(err, neutrality.ErrSweepValidation),
+		errors.Is(err, neutrality.ErrMeasureValidation):
 		return exitValidation
 	case errors.Is(err, neutrality.ErrSweepIncomplete):
 		return exitIncomplete

@@ -21,6 +21,9 @@
 //	                   [-upload-dir dir]
 //	neutrality fleet   work -addr URL -dir DIR [-workers 0]
 //	                   [-cell-timeout 0] [-heartbeat 2s]
+//	neutrality serve   -net ... [-addr :8090] [-dir DIR] [-resume]
+//	                   [-epoch-records 4096] [-epoch-interval 0]
+//	                   [-max-pending 0] [-seed 1] [-loss-threshold 0.01]
 //
 // `emulate` runs packet-level TCP emulation and then inference; `infer`
 // uses the fast synthetic substrate with a configurable violation gap;
@@ -36,7 +39,13 @@
 // heartbeat-driven expiry with backoff, speculative re-dispatch of
 // stragglers, checkpoint salvage, full-fidelity shard uploads to a
 // staging directory, self-healing commits, and graceful degradation
-// to exact aggregate-only results.
+// to exact aggregate-only results; `serve` is the streaming face of
+// the inference — a long-running HTTP service that ingests measurement
+// records (at-least-once, per-source sequence dedup), folds them into
+// the measurement table online, re-runs the inference at epoch
+// boundaries, and serves the latest verdict; with a journal directory
+// it checkpoints every accepted record and resumes to byte-identical
+// state.
 // With -runs N > 1, emulate replicates the experiment N times with
 // per-run seeds derived from (-seed, run index), fans the replicas out
 // across a bounded worker pool (-workers, default one per CPU), and
@@ -87,10 +96,12 @@ func main() {
 		cmdVerify(ctx, args)
 	case "fleet":
 		cmdFleet(ctx, args)
+	case "serve":
+		cmdServe(ctx, args)
 	case "help", "-h", "--help":
 		usage()
 	default:
-		log.Fatalf("unknown command %q (try: topo, theory, emulate, infer, sweep, merge, verify, fleet)", cmd)
+		log.Fatalf("unknown command %q (try: topo, theory, emulate, infer, sweep, merge, verify, fleet, serve)", cmd)
 	}
 }
 
@@ -118,8 +129,13 @@ commands:
            server stages them (-upload-dir); commit is byte-identical
            (self-healing corrupt sources), or degrades to the exact
            summary when no full-fidelity copy is recoverable
+  serve    streaming inference service: POST /v1/ingest measurement
+           records (JSON lines, gzip ok, idempotent via per-source
+           seqs), epochs close on record count and/or wall clock,
+           GET /v1/verdict|/v1/summary|/v1/status; -dir journals every
+           record so -resume replays to byte-identical verdicts
 
-exit codes (sweep/merge/verify/fleet): 0 ok, 1 fatal, 2 usage,
+exit codes (sweep/merge/verify/fleet/serve): 0 ok, 1 fatal, 2 usage,
   3 validation failure (incl. artifact corruption), 4 resumable incomplete
 
 run 'neutrality <command> -h' for command flags`)
@@ -341,7 +357,9 @@ func cmdInfer(args []string) {
 		defer f.Close()
 		meas, err := neutrality.ReadMeasurementsCSV(f)
 		if err != nil {
-			log.Fatal(err)
+			// A malformed CSV exits 3 (validation), not 1: rerunning the
+			// same invocation cannot succeed.
+			fatal(err)
 		}
 		if meas.NumPaths() != n.NumPaths() {
 			log.Fatalf("measurements cover %d paths, topology %q has %d", meas.NumPaths(), *netName, n.NumPaths())

@@ -1,0 +1,103 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"neutrality"
+)
+
+// cmdServe runs the streaming inference service: a long-running HTTP
+// receiver that ingests measurement records (JSON lines of
+// {source,seq,interval,path,sent,lost} over POST /v1/ingest), folds
+// them into the measurement table online, closes an epoch on a record
+// count (and optionally a wall-clock tick), re-runs the inference per
+// epoch, and serves the latest verdict, per-epoch summaries, and
+// operational counters over GET /v1/verdict, /v1/summary, /v1/status.
+//
+//	neutrality serve -net figure4 -addr :8090 -dir /var/lib/nserve
+//
+// With -dir the service journals every accepted record (checksummed
+// framing, FORMAT.md); a restart with -resume replays the journal to
+// byte-identical verdicts. Delivery is at-least-once and idempotent:
+// per-source sequence numbers dedup retries, and a full epoch buffer
+// answers 429 + Retry-After rather than growing without bound.
+func cmdServe(ctx context.Context, args []string) {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	netName := fs.String("net", "figure4", "serving topology name")
+	addr := fs.String("addr", "127.0.0.1:8090", "listen address for the ingest protocol")
+	dir := fs.String("dir", "", "journal directory for checkpoint/resume (empty = in-memory only)")
+	resume := fs.Bool("resume", false, "adopt an existing journal in -dir (replays to byte-identical state)")
+	epochRecords := fs.Int("epoch-records", 4096, "close an epoch after this many accepted records (0 = wall-clock only)")
+	epochInterval := fs.Duration("epoch-interval", 0, "also close a non-empty epoch on this wall-clock period (0 = disabled)")
+	maxPending := fs.Int("max-pending", 0, "open-epoch buffer cap before 429 backpressure (0 = epoch-records, or 65536 when count-close is off)")
+	seed := fs.Int64("seed", 1, "measurement-processing seed")
+	lossThreshold := fs.Float64("loss-threshold", 0.01, "per-interval loss fraction counted as congestion")
+	quiet := fs.Bool("quiet", false, "suppress the epoch log on stderr")
+	fs.Parse(args)
+
+	n, _ := pick(*netName)
+	opts := neutrality.DefaultMeasureOptions()
+	opts.Seed = *seed
+	opts.LossThreshold = *lossThreshold
+	svc, err := neutrality.NewServe(neutrality.ServeConfig{
+		Net: n, NetName: *netName, Opts: opts,
+		EpochRecords: *epochRecords, MaxPending: *maxPending,
+		Dir: *dir, Resume: *resume,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	srv := &http.Server{Handler: neutrality.NewServeServer(svc)}
+	go srv.Serve(ln)
+	defer srv.Close()
+	st := svc.Status()
+	fmt.Fprintf(os.Stderr, "serve %s: %d paths, listening on %s (resumed: %d records, %d epochs)\n",
+		*netName, n.NumPaths(), ln.Addr(), st.Records, st.Epochs)
+	fmt.Fprintf(os.Stderr, "ingest with: curl --data-binary @records.jsonl http://%s/v1/ingest\n", ln.Addr())
+
+	if *epochInterval > 0 {
+		go func() {
+			t := time.NewTicker(*epochInterval)
+			defer t.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-t.C:
+				}
+				if closed, err := svc.CloseEpoch(); err != nil {
+					log.Printf("epoch close: %v", err)
+				} else if closed && !*quiet {
+					st := svc.Status()
+					fmt.Fprintf(os.Stderr, "epoch %d closed at %d records (%.1f ms inference)\n",
+						st.Epochs, st.Records, st.LastInferMillis)
+				}
+			}
+		}()
+	}
+
+	<-ctx.Done()
+	// Graceful shutdown: flush the open epoch into a verdict, then
+	// checkpoint the journal so a -resume restart replays everything.
+	if _, err := svc.CloseEpoch(); err != nil {
+		fatal(err)
+	}
+	if err := svc.Close(); err != nil {
+		fatal(err)
+	}
+	st = svc.Status()
+	fmt.Fprintf(os.Stderr, "\nserve stopped cleanly: %d records, %d epochs, %d duplicates dropped\n",
+		st.Records, st.Epochs, st.Duplicates)
+}

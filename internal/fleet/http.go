@@ -104,6 +104,7 @@ func NewServer(o *Orchestrator) *Server {
 	s := &Server{O: o, mux: http.NewServeMux()}
 	s.mux.HandleFunc("GET /v1/spec", s.spec)
 	s.mux.HandleFunc("GET /v1/status", s.status)
+	s.mux.HandleFunc("GET /v1/summary", s.summary)
 	s.mux.HandleFunc("POST /v1/acquire", s.acquire)
 	s.mux.HandleFunc("POST /v1/heartbeat", s.heartbeat)
 	s.mux.HandleFunc("POST /v1/complete", s.complete)
@@ -153,6 +154,16 @@ func (s *Server) spec(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) status(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.O.Status())
+}
+
+func (s *Server) summary(w http.ResponseWriter, r *http.Request) {
+	ps, err := s.O.PartialSummary()
+	if err != nil {
+		code, msg := encodeErr(err)
+		writeJSON(w, http.StatusConflict, envelope{Err: code, Msg: msg})
+		return
+	}
+	writeJSON(w, http.StatusOK, ps)
 }
 
 func (s *Server) acquire(w http.ResponseWriter, r *http.Request) {
@@ -338,6 +349,25 @@ func (c *Client) Upload(ctx context.Context, lease int64, name, sum string, data
 		return fmt.Errorf("fleet: bad response from /v1/upload: %w", err)
 	}
 	return decodeErr(e)
+}
+
+// FetchPartialSummary downloads the merged-so-far Summary of a running
+// fleet (see Orchestrator.PartialSummary).
+func (c *Client) FetchPartialSummary(ctx context.Context) (PartialSummary, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/v1/summary", nil)
+	if err != nil {
+		return PartialSummary{}, err
+	}
+	resp, err := c.hc().Do(req)
+	if err != nil {
+		return PartialSummary{}, err
+	}
+	defer resp.Body.Close()
+	var ps PartialSummary
+	if err := json.NewDecoder(io.LimitReader(resp.Body, maxBodyBytes)).Decode(&ps); err != nil {
+		return PartialSummary{}, fmt.Errorf("fleet: bad summary: %w", err)
+	}
+	return ps, nil
 }
 
 // FetchSpec downloads the fleet's grid and sweep parameters, so a

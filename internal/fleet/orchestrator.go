@@ -576,6 +576,55 @@ func (o *Orchestrator) Status() Status {
 	return s
 }
 
+// PartialSummary is the merged-so-far view of a running fleet: the
+// Summary over every partition completed at the time of the call.
+type PartialSummary struct {
+	// DoneParts / Parts and DoneCells / Cells locate the view on the
+	// way to completion (DoneCells counts only committed-quality cells:
+	// completed partitions, not heartbeat frontiers).
+	DoneParts int `json:"done_parts"`
+	Parts     int `json:"parts"`
+	DoneCells int `json:"done_cells"`
+	Cells     int `json:"cells"`
+	// Summary is the merged aggregate's rendering — the same text
+	// Commit produces, over the done subset. Empty until the first
+	// partition completes.
+	Summary string `json:"summary"`
+}
+
+// PartialSummary merges the completed partitions' shipped aggregates —
+// in partition order, the same walk Commit's aggregate-only path does
+// — so a live fleet can be inspected without waiting for the commit.
+// Because Complete validated every aggregate and partition order is
+// fixed, the view converges monotonically to the committed Summary:
+// once every partition is done, the returned text is byte-identical to
+// Commit's (the directory-merge path renders the same aggregate).
+func (o *Orchestrator) PartialSummary() (PartialSummary, error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.expireLocked(o.cfg.now())
+	ps := PartialSummary{Parts: o.cfg.Parts, Cells: o.g.Cells()}
+	agg := sweep.NewAgg(o.g)
+	for p := range o.parts {
+		st := &o.parts[p]
+		if !st.done {
+			continue
+		}
+		ps.DoneParts++
+		ps.DoneCells += st.rng.Len()
+		if st.rng.Len() == 0 || st.agg == nil {
+			continue
+		}
+		if err := agg.Merge(st.agg); err != nil {
+			return PartialSummary{}, fmt.Errorf("fleet: merging partition %d/%d aggregate: %w", p+1, o.cfg.Parts, err)
+		}
+	}
+	if ps.DoneParts > 0 {
+		ps.Summary = agg.Summary()
+	}
+	return ps, nil
+}
+
 // Result is a committed fleet run.
 type Result struct {
 	// Agg is the whole-grid aggregate: replayed bit-exactly from the

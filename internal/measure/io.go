@@ -46,11 +46,11 @@ func ReadCSV(r io.Reader) (*Measurements, error) {
 			// error, not a misleading "empty input".
 			return nil, fmt.Errorf("measure: reading: %w", err)
 		}
-		return nil, fmt.Errorf("measure: empty input")
+		return nil, errValidation("measure: empty input")
 	}
 	header := strings.Split(strings.TrimSpace(sc.Text()), ",")
 	if len(header) < 3 || header[0] != "interval" || (len(header)-1)%2 != 0 {
-		return nil, fmt.Errorf("measure: malformed header %q", sc.Text())
+		return nil, errValidation("measure: malformed header %q", sc.Text())
 	}
 	paths := (len(header) - 1) / 2
 	// Validate the column names too: a header truncated mid-field
@@ -58,7 +58,7 @@ func ReadCSV(r io.Reader) (*Measurements, error) {
 	// but must not be accepted as a narrower file.
 	for p := 0; p < paths; p++ {
 		if header[1+2*p] != fmt.Sprintf("path%d_sent", p) || header[2+2*p] != fmt.Sprintf("path%d_lost", p) {
-			return nil, fmt.Errorf("measure: malformed header %q", sc.Text())
+			return nil, errValidation("measure: malformed header %q", sc.Text())
 		}
 	}
 
@@ -72,11 +72,11 @@ func ReadCSV(r io.Reader) (*Measurements, error) {
 		}
 		fields := strings.Split(text, ",")
 		if len(fields) != 1+2*paths {
-			return nil, fmt.Errorf("measure: line %d: %d fields, want %d", line, len(fields), 1+2*paths)
+			return nil, errValidation("measure: line %d: %d fields, want %d", line, len(fields), 1+2*paths)
 		}
 		idx, err := strconv.Atoi(fields[0])
 		if err != nil || idx != len(m.Sent) {
-			return nil, fmt.Errorf("measure: line %d: interval %q out of order", line, fields[0])
+			return nil, errValidation("measure: line %d: interval %q out of order", line, fields[0])
 		}
 		sent := make([]int, paths)
 		lost := make([]int, paths)
@@ -84,7 +84,7 @@ func ReadCSV(r io.Reader) (*Measurements, error) {
 			s, err1 := strconv.Atoi(fields[1+2*p])
 			l, err2 := strconv.Atoi(fields[2+2*p])
 			if err1 != nil || err2 != nil {
-				return nil, fmt.Errorf("measure: line %d: bad counts for path %d", line, p)
+				return nil, errValidation("measure: line %d: bad counts for path %d", line, p)
 			}
 			sent[p], lost[p] = s, l
 		}

@@ -59,21 +59,34 @@ func (m *Measurements) Add(t int, p graph.PathID, sent, lost int) {
 	m.Lost[t][p] += lost
 }
 
-// Validate checks internal consistency.
+// EnsureIntervals grows the table to cover at least n intervals of
+// `paths` paths each, so streamed records can land at any interval
+// index without the caller pre-sizing the table. Existing rows are
+// untouched; growing is idempotent.
+func (m *Measurements) EnsureIntervals(n, paths int) {
+	for len(m.Sent) < n {
+		m.Sent = append(m.Sent, make([]int, paths))
+		m.Lost = append(m.Lost, make([]int, paths))
+	}
+}
+
+// Validate checks internal consistency. Failures are tagged with
+// ErrValidation: a table that fails here is malformed input, not an
+// environmental error.
 func (m *Measurements) Validate() error {
 	if len(m.Sent) != len(m.Lost) {
-		return fmt.Errorf("measure: %d sent intervals vs %d lost intervals", len(m.Sent), len(m.Lost))
+		return errValidation("measure: %d sent intervals vs %d lost intervals", len(m.Sent), len(m.Lost))
 	}
 	for t := range m.Sent {
 		if len(m.Sent[t]) != len(m.Lost[t]) {
-			return fmt.Errorf("measure: interval %d: %d sent paths vs %d lost paths", t, len(m.Sent[t]), len(m.Lost[t]))
+			return errValidation("measure: interval %d: %d sent paths vs %d lost paths", t, len(m.Sent[t]), len(m.Lost[t]))
 		}
 		for p := range m.Sent[t] {
 			if m.Lost[t][p] > m.Sent[t][p] {
-				return fmt.Errorf("measure: interval %d path %d: lost %d > sent %d", t, p, m.Lost[t][p], m.Sent[t][p])
+				return errValidation("measure: interval %d path %d: lost %d > sent %d", t, p, m.Lost[t][p], m.Sent[t][p])
 			}
 			if m.Sent[t][p] < 0 || m.Lost[t][p] < 0 {
-				return fmt.Errorf("measure: interval %d path %d: negative count", t, p)
+				return errValidation("measure: interval %d path %d: negative count", t, p)
 			}
 		}
 	}

@@ -1,0 +1,137 @@
+package serve
+
+import (
+	"bufio"
+	"compress/gzip"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+
+	"neutrality/internal/measure"
+)
+
+// HTTP face of the Service. The ingest protocol is JSON lines — one
+// StreamRecord per line — because measurement senders are long-lived
+// and append-shaped; a line-framed body lets them batch whatever they
+// have without envelope bookkeeping. gzip request bodies are accepted
+// (Content-Encoding: gzip) with the same bomb guard as the fleet's
+// upload path.
+//
+//	POST /v1/ingest   JSON lines of StreamRecord → 200 IngestResult
+//	                  400 on validation failure (nothing applied),
+//	                  429 + Retry-After on backpressure (partial
+//	                  batch kept; full retry is idempotent)
+//	GET  /v1/verdict  latest EpochVerdict (canonical JSON)
+//	GET  /v1/summary  per-epoch summary window (text/plain)
+//	GET  /v1/status   operational counters
+const maxIngestBytes = 16 << 20
+
+// httpError is the ingest error envelope.
+type httpError struct {
+	Err string `json:"err"`
+	Msg string `json:"msg"`
+}
+
+// Server exposes a Service over HTTP.
+type Server struct {
+	S   *Service
+	mux *http.ServeMux
+}
+
+// NewServer builds the handler for a service.
+func NewServer(s *Service) *Server {
+	srv := &Server{S: s, mux: http.NewServeMux()}
+	srv.mux.HandleFunc("POST /v1/ingest", srv.ingest)
+	srv.mux.HandleFunc("GET /v1/verdict", srv.verdict)
+	srv.mux.HandleFunc("GET /v1/summary", srv.summary)
+	srv.mux.HandleFunc("GET /v1/status", srv.status)
+	return srv
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) ingest(w http.ResponseWriter, r *http.Request) {
+	body := io.Reader(http.MaxBytesReader(w, r.Body, maxIngestBytes))
+	if r.Header.Get("Content-Encoding") == "gzip" {
+		zr, err := gzip.NewReader(body)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, httpError{Err: "validation", Msg: "bad gzip body: " + err.Error()})
+			return
+		}
+		defer zr.Close()
+		// Bound the decompressed size too: a gzip bomb must not bypass
+		// the body cap.
+		body = io.LimitReader(zr, maxIngestBytes+1)
+	}
+
+	var recs []measure.StreamRecord
+	var total int64
+	sc := bufio.NewScanner(body)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		total += int64(len(line)) + 1
+		if len(line) == 0 {
+			continue
+		}
+		var rec measure.StreamRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			// A body that does not parse is malformed input, same
+			// taxonomy as a corrupt CSV: reject the whole batch.
+			writeJSON(w, http.StatusBadRequest, httpError{Err: "validation", Msg: "record does not parse: " + err.Error()})
+			return
+		}
+		recs = append(recs, rec)
+	}
+	if err := sc.Err(); err != nil {
+		writeJSON(w, http.StatusBadRequest, httpError{Err: "validation", Msg: "reading body: " + err.Error()})
+		return
+	}
+	if total > maxIngestBytes {
+		writeJSON(w, http.StatusBadRequest, httpError{Err: "validation", Msg: "body exceeds ingest limit"})
+		return
+	}
+
+	res, err := s.S.Ingest(recs)
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusOK, res)
+	case errors.Is(err, ErrBusy):
+		// Backpressure: the records already applied stay applied; the
+		// sender retries the whole batch after the pause and the
+		// sequence high-water marks drop what was already accepted.
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests, struct {
+			httpError
+			IngestResult
+		}{httpError{Err: "busy", Msg: err.Error()}, res})
+	case errors.Is(err, measure.ErrValidation):
+		writeJSON(w, http.StatusBadRequest, httpError{Err: "validation", Msg: err.Error()})
+	default:
+		writeJSON(w, http.StatusInternalServerError, httpError{Err: "internal", Msg: err.Error()})
+	}
+}
+
+func (s *Server) verdict(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(s.S.VerdictJSON())
+	w.Write([]byte("\n"))
+}
+
+func (s *Server) summary(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	io.WriteString(w, s.S.SummaryText())
+}
+
+func (s *Server) status(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.S.Status())
+}

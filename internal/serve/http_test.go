@@ -1,0 +1,186 @@
+package serve
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"neutrality/internal/measure"
+)
+
+func recordLines(recs []measure.StreamRecord) string {
+	var sb strings.Builder
+	for _, r := range recs {
+		b, _ := json.Marshal(r)
+		sb.Write(b)
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+func postIngest(t *testing.T, ts *httptest.Server, body io.Reader, gzipped bool) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/ingest", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gzipped {
+		req.Header.Set("Content-Encoding", "gzip")
+	}
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// TestHTTPRoundTrip: ingest → epoch close → verdict/summary/status over
+// the wire, including idempotent re-delivery.
+func TestHTTPRoundTrip(t *testing.T) {
+	n, recs := testStream(40, 3, 7)
+	s := mustNew(t, Config{Net: n, EpochRecords: len(recs)})
+	ts := httptest.NewServer(NewServer(s))
+	defer ts.Close()
+
+	resp := postIngest(t, ts, strings.NewReader(recordLines(recs)), false)
+	var res IngestResult
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || res.Accepted != len(recs) || res.Epochs != 1 {
+		t.Fatalf("ingest: %d %+v", resp.StatusCode, res)
+	}
+
+	// Re-delivery is a no-op.
+	resp = postIngest(t, ts, strings.NewReader(recordLines(recs)), false)
+	json.NewDecoder(resp.Body).Decode(&res)
+	resp.Body.Close()
+	if res.Accepted != 0 || res.Duplicates != len(recs) {
+		t.Fatalf("re-delivery: %+v", res)
+	}
+
+	get := func(path string) (int, string, string) {
+		resp, err := ts.Client().Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(b), resp.Header.Get("Content-Type")
+	}
+
+	code, body, ctype := get("/v1/verdict")
+	if code != http.StatusOK || ctype != "application/json" {
+		t.Fatalf("verdict: %d %s", code, ctype)
+	}
+	ev := decodeVerdict(t, []byte(body))
+	if ev.Epoch != 1 || !ev.NonNeutral {
+		t.Fatalf("verdict over the wire: %+v", ev)
+	}
+
+	code, body, ctype = get("/v1/summary")
+	if code != http.StatusOK || !strings.HasPrefix(ctype, "text/plain") || !strings.Contains(body, "epoch 1:") {
+		t.Fatalf("summary: %d %s\n%s", code, ctype, body)
+	}
+
+	code, body, _ = get("/v1/status")
+	var st Status
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatal(err)
+	}
+	if code != http.StatusOK || st.Records != int64(len(recs)) || st.Duplicates != int64(len(recs)) || st.Epochs != 1 {
+		t.Fatalf("status: %d %+v", code, st)
+	}
+}
+
+// TestHTTPGzipIngest: a gzip-compressed body is accepted transparently.
+func TestHTTPGzipIngest(t *testing.T) {
+	n, recs := testStream(10, 2, 7)
+	s := mustNew(t, Config{Net: n, EpochRecords: 0})
+	ts := httptest.NewServer(NewServer(s))
+	defer ts.Close()
+
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	io.WriteString(zw, recordLines(recs))
+	zw.Close()
+	resp := postIngest(t, ts, &buf, true)
+	defer resp.Body.Close()
+	var res IngestResult
+	json.NewDecoder(resp.Body).Decode(&res)
+	if resp.StatusCode != http.StatusOK || res.Accepted != len(recs) {
+		t.Fatalf("gzip ingest: %d %+v", resp.StatusCode, res)
+	}
+}
+
+// TestHTTPValidation: malformed JSON and invalid records both answer
+// 400 with the validation error code, applying nothing.
+func TestHTTPValidation(t *testing.T) {
+	n, recs := testStream(4, 2, 7)
+	s := mustNew(t, Config{Net: n, EpochRecords: 0})
+	ts := httptest.NewServer(NewServer(s))
+	defer ts.Close()
+
+	bodies := []string{
+		"this is not json\n",
+		recordLines(recs[:2]) + "{\"source\":\"x\",\"seq\":\n",
+		// Parseable but invalid: path outside the topology.
+		fmt.Sprintf("{\"source\":\"x\",\"seq\":1,\"interval\":0,\"path\":%d,\"sent\":5,\"lost\":0}\n", n.NumPaths()),
+		// Lost exceeds sent.
+		"{\"source\":\"x\",\"seq\":1,\"interval\":0,\"path\":0,\"sent\":5,\"lost\":9}\n",
+	}
+	for i, body := range bodies {
+		resp := postIngest(t, ts, strings.NewReader(body), false)
+		var he httpError
+		json.NewDecoder(resp.Body).Decode(&he)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest || he.Err != "validation" {
+			t.Fatalf("body %d: %d %+v", i, resp.StatusCode, he)
+		}
+	}
+	if st := s.Status(); st.Records != 0 {
+		t.Fatalf("rejected bodies left %d records", st.Records)
+	}
+}
+
+// TestHTTPBackpressure: a full epoch buffer answers 429 + Retry-After,
+// reporting the partial acceptance; the retried batch completes after
+// the epoch drains.
+func TestHTTPBackpressure(t *testing.T) {
+	n, recs := testStream(4, 2, 7)
+	s := mustNew(t, Config{Net: n, EpochRecords: 0, MaxPending: 4})
+	ts := httptest.NewServer(NewServer(s))
+	defer ts.Close()
+
+	resp := postIngest(t, ts, strings.NewReader(recordLines(recs[:8])), false)
+	var busy struct {
+		httpError
+		IngestResult
+	}
+	json.NewDecoder(resp.Body).Decode(&busy)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests || busy.Err != "busy" || busy.Accepted != 4 {
+		t.Fatalf("over capacity: %d %+v", resp.StatusCode, busy)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+
+	if _, err := s.CloseEpoch(); err != nil {
+		t.Fatal(err)
+	}
+	resp = postIngest(t, ts, strings.NewReader(recordLines(recs[:8])), false)
+	var res IngestResult
+	json.NewDecoder(resp.Body).Decode(&res)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || res.Accepted != 4 || res.Duplicates != 4 {
+		t.Fatalf("retry after drain: %d %+v", resp.StatusCode, res)
+	}
+}

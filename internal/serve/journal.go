@@ -1,0 +1,298 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"neutrality/internal/measure"
+	"neutrality/internal/sweep"
+)
+
+// The ingest journal makes the streaming service checkpointable: every
+// accepted record and every epoch-close marker is one framed line
+// (shard format v2 — crc32c header, canonical JSON payload; see
+// FORMAT.md and sweep.FramePayload), and a manifest claims the durable
+// prefix. A restarted service replays the journal through the same
+// fold and close logic as live ingest, so it reaches byte-identical
+// verdicts.
+//
+// Unlike sweep shards, journal records are NOT re-derivable from a
+// seed — they are external observations. That changes the recovery
+// posture: damage past the manifest claim is a torn tail (bytes with
+// no ack behind them) and is truncated, because the sender never got
+// an acknowledgement and will retry; damage inside the claim destroys
+// acknowledged data that cannot be recomputed, so it is reported as
+// sweep.ErrCorrupt rather than silently repaired.
+
+const (
+	journalName  = "journal.jsonl"
+	manifestName = "serve.json"
+	// manifestVersion is the journal format version; bumping it
+	// invalidates older journals explicitly instead of misreading them.
+	manifestVersion = 1
+)
+
+// journalEntry is one journal line: exactly one of Rec (an accepted
+// stream record) or Close (an epoch-close marker carrying the 1-based
+// epoch number it closes).
+type journalEntry struct {
+	Rec   *measure.StreamRecord `json:"rec,omitempty"`
+	Close int                   `json:"close,omitempty"`
+}
+
+// manifest is the journal's durability claim plus the configuration
+// identity a resume must match (a journal replayed under a different
+// topology or fold parameters would produce a silently different
+// service).
+type manifest struct {
+	Version      int     `json:"version"`
+	Net          string  `json:"net"`
+	Paths        int     `json:"paths"`
+	EpochRecords int     `json:"epoch_records"`
+	Seed         int64   `json:"seed"`
+	LossThresh   float64 `json:"loss_threshold"`
+	Normalize    bool    `json:"normalize"`
+	Smoothing    float64 `json:"smoothing"`
+	// Lines is the claimed durable line count; Records and Epochs echo
+	// the folded state at the claim for fast inspection.
+	Lines   int   `json:"lines"`
+	Records int64 `json:"records"`
+	Epochs  int   `json:"epochs"`
+}
+
+// journal is the append side: a buffered writer over the journal file
+// plus the checkpoint bookkeeping.
+type journal struct {
+	dir   string
+	f     *os.File
+	w     *bufio.Writer
+	lines int // durable lines written (including recovered prefix)
+	// sinceCheckpoint counts lines since the manifest was last
+	// rewritten; cadence is cfg.CheckpointEvery.
+	sinceCheckpoint int
+	every           int
+	ident           manifest // identity fields, reused for every claim
+}
+
+// errValidationf builds a sweep.ErrValidation-tagged error (config or
+// identity problems: retrying the same open cannot succeed).
+func errValidationf(format string, args ...any) error {
+	return fmt.Errorf(format+" (%w)", append(args, sweep.ErrValidation)...)
+}
+
+// errCorruptf builds a sweep.ErrCorrupt-tagged error (acknowledged
+// journal data is damaged and cannot be re-derived).
+func errCorruptf(format string, args ...any) error {
+	return fmt.Errorf(format+" (%w)", append(args, sweep.ErrCorrupt)...)
+}
+
+// identity derives the manifest identity block from the config.
+func identity(cfg Config) manifest {
+	return manifest{
+		Version:      manifestVersion,
+		Net:          cfg.NetName,
+		Paths:        cfg.Net.NumPaths(),
+		EpochRecords: cfg.EpochRecords,
+		Seed:         cfg.Opts.Seed,
+		LossThresh:   cfg.Opts.LossThreshold,
+		Normalize:    cfg.Opts.Normalize,
+		Smoothing:    cfg.Opts.Smoothing,
+	}
+}
+
+// openJournal opens (or creates) the journal in cfg.Dir and returns
+// the append handle plus the recovered entries to replay, in order.
+//
+// A fresh directory starts an empty journal. An existing journal is
+// adopted only with cfg.Resume — without it, clobbering someone
+// else's data is refused as a validation error. On resume, lines
+// within the manifest's claim must verify (frame CRC + canonical
+// re-marshal); the first invalid or partial line at or past the claim
+// marks a torn tail, and the file is truncated to the last good line.
+func openJournal(cfg Config) (*journal, []journalEntry, error) {
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("serve: journal dir: %w", err)
+	}
+	jpath := filepath.Join(cfg.Dir, journalName)
+	mpath := filepath.Join(cfg.Dir, manifestName)
+	ident := identity(cfg)
+
+	data, err := os.ReadFile(jpath)
+	switch {
+	case errors.Is(err, os.ErrNotExist):
+		data = nil
+	case err != nil:
+		return nil, nil, fmt.Errorf("serve: reading journal: %w", err)
+	}
+
+	if len(data) > 0 && !cfg.Resume {
+		return nil, nil, errValidationf("serve: %s already holds a journal; pass resume to adopt it", cfg.Dir)
+	}
+
+	var entries []journalEntry
+	keep := int64(0)
+	lines := 0
+	if len(data) > 0 {
+		claim := 0
+		mdata, err := os.ReadFile(mpath)
+		switch {
+		case errors.Is(err, os.ErrNotExist):
+			// Journal without a manifest: nothing was ever claimed, so
+			// every line is tail. Still replay what verifies — those
+			// records were written, just never checkpointed.
+		case err != nil:
+			return nil, nil, fmt.Errorf("serve: reading manifest: %w", err)
+		default:
+			var m manifest
+			if err := json.Unmarshal(mdata, &m); err != nil {
+				return nil, nil, errCorruptf("serve: manifest does not parse: %v", err)
+			}
+			if m.Version != ident.Version || m.Net != ident.Net || m.Paths != ident.Paths ||
+				m.EpochRecords != ident.EpochRecords || m.Seed != ident.Seed ||
+				m.LossThresh != ident.LossThresh || m.Normalize != ident.Normalize ||
+				m.Smoothing != ident.Smoothing {
+				return nil, nil, errValidationf("serve: journal identity mismatch: journal is (net=%q paths=%d epoch=%d seed=%d), config is (net=%q paths=%d epoch=%d seed=%d)",
+					m.Net, m.Paths, m.EpochRecords, m.Seed, ident.Net, ident.Paths, ident.EpochRecords, ident.Seed)
+			}
+			claim = m.Lines
+		}
+
+		off := int64(0)
+		for lines < claim || off < int64(len(data)) {
+			nl := bytes.IndexByte(data[off:], '\n')
+			if nl < 0 {
+				// Partial final line: inside the claim it is missing
+				// acknowledged data; past it, an ordinary torn tail.
+				if lines < claim {
+					return nil, nil, errCorruptf("serve: journal truncated inside the claimed %d lines (%d survive)", claim, lines)
+				}
+				break
+			}
+			line := data[off : off+int64(nl)]
+			e, perr := parseEntry(line)
+			if perr != nil {
+				if lines < claim {
+					return nil, nil, errCorruptf("serve: journal line %d (within the claimed %d): %v", lines+1, claim, perr)
+				}
+				break // torn tail: truncate here
+			}
+			entries = append(entries, e)
+			off += int64(nl) + 1
+			keep = off
+			lines++
+		}
+	}
+
+	f, err := os.OpenFile(jpath, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("serve: opening journal: %w", err)
+	}
+	if err := f.Truncate(keep); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("serve: dropping torn tail: %w", err)
+	}
+	if _, err := f.Seek(keep, io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("serve: seeking journal: %w", err)
+	}
+	jr := &journal{
+		dir:   cfg.Dir,
+		f:     f,
+		w:     bufio.NewWriter(f),
+		lines: lines,
+		every: cfg.CheckpointEvery,
+		ident: ident,
+	}
+	return jr, entries, nil
+}
+
+// parseEntry validates one framed journal line: frame CRC, decodable
+// JSON, exactly one of rec/close set, and byte-for-byte canonical form
+// (so replayed bytes are exactly what a re-serialization would write).
+func parseEntry(line []byte) (journalEntry, error) {
+	payload, err := sweep.UnframePayload(line)
+	if err != nil {
+		return journalEntry{}, err
+	}
+	var e journalEntry
+	if err := json.Unmarshal(payload, &e); err != nil {
+		return journalEntry{}, fmt.Errorf("entry does not parse: %v", err)
+	}
+	if (e.Rec == nil) == (e.Close == 0) {
+		return journalEntry{}, fmt.Errorf("entry is neither a record nor a close marker")
+	}
+	canon, err := json.Marshal(e)
+	if err != nil || !bytes.Equal(canon, payload) {
+		return journalEntry{}, fmt.Errorf("entry is not in canonical form")
+	}
+	return e, nil
+}
+
+// append buffers one journal line. Durability comes at the next flush
+// — Ingest flushes before acknowledging.
+func (j *journal) append(e journalEntry) error {
+	payload, err := json.Marshal(e)
+	if err != nil {
+		return fmt.Errorf("serve: journal marshal: %w", err)
+	}
+	if _, err := j.w.Write(sweep.FramePayload(payload)); err != nil {
+		return fmt.Errorf("serve: journal write: %w", err)
+	}
+	j.lines++
+	j.sinceCheckpoint++
+	return nil
+}
+
+// flush pushes buffered lines to the file and, on the checkpoint
+// cadence, rewrites the manifest claim with the folded state.
+func (j *journal) flush(records int64, epochs int) error {
+	if err := j.w.Flush(); err != nil {
+		return fmt.Errorf("serve: journal flush: %w", err)
+	}
+	if j.sinceCheckpoint >= j.every {
+		return j.checkpoint(records, epochs)
+	}
+	return nil
+}
+
+// checkpoint claims everything flushed so far: the manifest is written
+// to a temp file and renamed over the old one, so a kill leaves either
+// the previous claim or the new one, never a torn manifest.
+func (j *journal) checkpoint(records int64, epochs int) error {
+	if err := j.w.Flush(); err != nil {
+		return fmt.Errorf("serve: journal flush: %w", err)
+	}
+	m := j.ident
+	m.Lines = j.lines
+	m.Records = records
+	m.Epochs = epochs
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("serve: manifest marshal: %w", err)
+	}
+	data = append(data, '\n')
+	tmp := filepath.Join(j.dir, manifestName+".tmp")
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("serve: manifest write: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(j.dir, manifestName)); err != nil {
+		return fmt.Errorf("serve: manifest rename: %w", err)
+	}
+	j.sinceCheckpoint = 0
+	return nil
+}
+
+// closeFile closes the journal file (flushing first).
+func (j *journal) closeFile() error {
+	err := j.w.Flush()
+	if cerr := j.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

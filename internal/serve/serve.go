@@ -1,0 +1,585 @@
+// Package serve is the streaming inference service: the paper's batch
+// pipeline (emulate → CSV → infer) inverted into a long-running
+// receiver that ingests measurement records from many vantage points,
+// folds them into the measurement table online, and re-runs the
+// inference incrementally at epoch boundaries.
+//
+// The contract that shapes everything here is determinism: streaming N
+// records in any arrival order within an epoch yields verdicts
+// byte-identical to the batch InferMeasured run over the same records.
+// Three mechanisms deliver it:
+//
+//   - The measurement table folds integer packet counts (Sent/Lost
+//     increments), which commute — arrival order inside an epoch
+//     cannot change the table an epoch closes with.
+//   - Floating-point folds do not commute, so the epoch's loss-stat
+//     aggregates (sweep.Welford + quantile sketch) are built at close
+//     time over the epoch's records in a canonical sort order, never
+//     in arrival order, and merged into the cumulative aggregates in
+//     epoch order — the same merge laws the distributed sweep relies
+//     on.
+//   - Epoch boundaries are defined by accepted-record counts (or an
+//     explicit CloseEpoch call), not by wall-clock or batch shape, so
+//     any chunking of the same stream closes the same epochs.
+//
+// Delivery is at-least-once and idempotent: every record carries a
+// per-source sequence number, the service keeps one high-water mark
+// per source, and duplicates are dropped before they touch any state.
+// Backpressure mirrors the fleet's ErrNoWork convention: when the
+// open-epoch buffer is full the service rejects with ErrBusy ("wait,
+// then retry"), which the HTTP layer maps to 429 + Retry-After.
+//
+// With a journal directory configured, every accepted record and
+// epoch-close marker is appended to a checksummed journal (the shard
+// v2 line framing from FORMAT.md), and a restarted service replays it
+// to byte-identical verdicts; see journal.go.
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"neutrality/internal/cluster"
+	"neutrality/internal/core"
+	"neutrality/internal/graph"
+	"neutrality/internal/measure"
+	"neutrality/internal/sweep"
+)
+
+// ErrBusy reports a full open-epoch buffer: the service is applying
+// bounded-memory backpressure and the sender should retry after a
+// pause (the HTTP layer answers 429 + Retry-After). Records accepted
+// before the buffer filled stay accepted — re-sending the whole batch
+// is safe because the sequence high-water marks drop the duplicates.
+var ErrBusy = errors.New("serve: epoch buffer full, retry later")
+
+// Config parameterizes a Service.
+type Config struct {
+	// Net is the serving topology; records address its path indices.
+	Net *graph.Network
+	// NetName stamps the journal manifest so a resume under a different
+	// topology is rejected; empty skips the name check.
+	NetName string
+	// Opts configures Algorithm 2 over the accumulated table (zero
+	// value: measure.DefaultOptions).
+	Opts measure.Options
+	// Infer configures Algorithm 1 (zero value: core.DefaultConfig).
+	Infer core.Config
+	// EpochRecords closes an epoch after this many accepted records
+	// (default 4096). 0 disables count-based closing — epochs then
+	// close only via CloseEpoch (the CLI's wall-clock ticker), and the
+	// determinism contract narrows to "same close points".
+	EpochRecords int
+	// MaxPending caps the open-epoch record buffer; past it Ingest
+	// rejects with ErrBusy. Defaults to EpochRecords when count-based
+	// closing is on (the buffer never outgrows an epoch), else 65536.
+	MaxPending int
+	// MaxIntervals caps the interval index a record may address, so a
+	// stray record cannot balloon the table (default 1<<20).
+	MaxIntervals int
+	// Dir is the journal directory; empty runs in-memory only.
+	Dir string
+	// Resume adopts an existing journal in Dir instead of requiring an
+	// empty directory.
+	Resume bool
+	// CheckpointEvery is the journal checkpoint cadence in lines
+	// (default 256); epoch closes always checkpoint.
+	CheckpointEvery int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Opts == (measure.Options{}) {
+		c.Opts = measure.DefaultOptions()
+	}
+	if c.EpochRecords < 0 {
+		c.EpochRecords = 0
+	}
+	if c.EpochRecords == 0 && c.MaxPending <= 0 {
+		c.MaxPending = 65536
+	}
+	if c.MaxPending <= 0 {
+		c.MaxPending = c.EpochRecords
+	}
+	if c.MaxIntervals <= 0 {
+		c.MaxIntervals = 1 << 20
+	}
+	if c.CheckpointEvery <= 0 {
+		c.CheckpointEvery = 256
+	}
+	return c
+}
+
+// SliceVerdict is one slice's outcome in the epoch verdict.
+type SliceVerdict struct {
+	// Seq is the slice's link sequence (nslice key order).
+	Seq string `json:"seq"`
+	// Unsolvability is the slice's pair-estimate spread.
+	Unsolvability float64 `json:"unsolvability"`
+	// NonNeutral is the classification; Redundant marks sequences
+	// removed by the post-pass.
+	NonNeutral bool `json:"non_neutral"`
+	Redundant  bool `json:"redundant,omitempty"`
+	// Confidence is the heuristic decision margin in [0,1]: the
+	// distance of the slice's unsolvability from the cluster threshold,
+	// normalized by the centroid gap (or by the MinGap fallback when
+	// the clustering did not split). It is a margin score, not a
+	// calibrated probability.
+	Confidence float64 `json:"confidence"`
+}
+
+// EpochVerdict is the service's latest inference outcome, marshaled
+// canonically (field order below) so byte comparison is meaningful.
+type EpochVerdict struct {
+	// Epoch counts closed epochs; 0 means no inference has run yet.
+	Epoch int `json:"epoch"`
+	// Records is the cumulative accepted-record count at the close.
+	Records int64 `json:"records"`
+	// Intervals and Sources describe the accumulated table.
+	Intervals int `json:"intervals"`
+	Sources   int `json:"sources"`
+	// NonNeutral is the network-level detection verdict; Confidence is
+	// the weakest per-slice margin among the candidates (0 with none).
+	NonNeutral bool    `json:"non_neutral"`
+	Confidence float64 `json:"confidence"`
+	// Slices carries the per-slice verdicts in candidate (key) order.
+	Slices []SliceVerdict `json:"slices"`
+}
+
+// IngestResult reports one Ingest call's effect.
+type IngestResult struct {
+	// Accepted counts records applied by this call; Duplicates counts
+	// records dropped by the per-source sequence high-water marks.
+	Accepted   int `json:"accepted"`
+	Duplicates int `json:"duplicates"`
+	// Epochs is the total closed-epoch count after the call.
+	Epochs int `json:"epochs"`
+	// Records is the cumulative accepted-record count after the call.
+	Records int64 `json:"records"`
+}
+
+// Status is the operational counter snapshot /v1/status serves.
+type Status struct {
+	Records           int64   `json:"records"`
+	Duplicates        int64   `json:"duplicates"`
+	RejectsValidation int64   `json:"rejects_validation"`
+	RejectsBusy       int64   `json:"rejects_busy"`
+	Epochs            int     `json:"epochs"`
+	Pending           int     `json:"pending"`
+	Sources           int     `json:"sources"`
+	Intervals         int     `json:"intervals"`
+	LastInferMillis   float64 `json:"last_infer_ms"`
+	TotalInferMillis  float64 `json:"total_infer_ms"`
+}
+
+// Service is the streaming inference state machine. All methods are
+// safe for concurrent use.
+type Service struct {
+	mu  sync.Mutex
+	cfg Config
+	net *graph.Network
+
+	meas    *measure.Measurements // accumulated fold of every accepted record
+	seqs    map[string]int64      // per-source delivery high-water marks
+	pending []measure.StreamRecord
+	records int64 // cumulative accepted records
+	epoch   int   // closed epochs
+
+	// Cumulative loss-fraction aggregates: per-epoch folds (canonical
+	// order) merged in epoch order — the PR 5 merge laws make this
+	// deterministic under any within-epoch arrival order.
+	cumLoss   sweep.Welford
+	cumSketch *sweep.Sketch
+
+	verdict  []byte   // latest EpochVerdict, canonical JSON
+	listing  []string // per-epoch summary blocks (bounded window)
+	dropped  int      // summary blocks aged out of the window
+	counters Status
+
+	jr *journal // nil when running in-memory
+}
+
+// maxSummaryBlocks bounds the per-epoch summary window; older blocks
+// age out deterministically (the drop depends only on the epoch count).
+const maxSummaryBlocks = 256
+
+// New builds a Service, replaying the journal when Dir is set and
+// Resume is on. Journal identity or integrity failures are tagged with
+// sweep.ErrValidation / sweep.ErrCorrupt.
+func New(cfg Config) (*Service, error) {
+	if cfg.Net == nil {
+		return nil, fmt.Errorf("serve: config needs a network: %w", sweep.ErrValidation)
+	}
+	cfg = cfg.withDefaults()
+	s := &Service{
+		cfg:       cfg,
+		net:       cfg.Net,
+		meas:      measure.NewMeasurements(0, cfg.Net.NumPaths()),
+		seqs:      make(map[string]int64),
+		cumSketch: sweep.NewUnitSketch(),
+	}
+	if v, err := json.Marshal(EpochVerdict{}); err != nil {
+		return nil, err
+	} else {
+		s.verdict = v
+	}
+	if cfg.Dir != "" {
+		jr, entries, err := openJournal(cfg)
+		if err != nil {
+			return nil, err
+		}
+		s.jr = jr
+		for _, e := range entries {
+			if err := s.replayLocked(e); err != nil {
+				jr.closeFile()
+				return nil, err
+			}
+		}
+		if err := jr.checkpoint(s.records, s.epoch); err != nil {
+			jr.closeFile()
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// Paths returns the serving topology's path count.
+func (s *Service) Paths() int { return s.net.NumPaths() }
+
+// replayLocked applies one recovered journal entry. Called from New
+// before the service is shared, so no locking is needed; the name
+// keeps the invariant visible.
+func (s *Service) replayLocked(e journalEntry) error {
+	switch {
+	case e.Rec != nil:
+		if err := e.Rec.Validate(s.net.NumPaths(), s.cfg.MaxIntervals); err != nil {
+			return fmt.Errorf("serve: journal record invalid: %v (%w)", err, sweep.ErrCorrupt)
+		}
+		if e.Rec.Seq <= s.seqs[e.Rec.Source] {
+			return fmt.Errorf("serve: journal replays duplicate %s/%d: %w", e.Rec.Source, e.Rec.Seq, sweep.ErrCorrupt)
+		}
+		s.applyLocked(*e.Rec)
+	case e.Close != 0:
+		if e.Close != s.epoch+1 {
+			return fmt.Errorf("serve: journal closes epoch %d after epoch %d: %w", e.Close, s.epoch, sweep.ErrCorrupt)
+		}
+		s.closeEpochLocked()
+	}
+	return nil
+}
+
+// applyLocked folds one accepted record into the live state. The fold
+// is commutative (integer count increments), so within-epoch arrival
+// order cannot change the table the close sees.
+func (s *Service) applyLocked(r measure.StreamRecord) {
+	s.seqs[r.Source] = r.Seq
+	s.meas.EnsureIntervals(r.Interval+1, s.net.NumPaths())
+	s.meas.Add(r.Interval, graph.PathID(r.Path), r.Sent, r.Lost)
+	s.pending = append(s.pending, r)
+	s.records++
+}
+
+// Ingest validates and applies a batch of stream records. Validation
+// is two-phase: the whole batch is checked first, so a 400-class
+// rejection (measure.ErrValidation) applies nothing. Application then
+// proceeds record by record — duplicates (per-source sequence at or
+// below the high-water mark) are skipped, epochs close inline when the
+// accepted count reaches the boundary, and a full buffer stops the
+// batch with ErrBusy, keeping the records already applied (the result
+// reports how many; a full retry is idempotent).
+func (s *Service) Ingest(recs []measure.StreamRecord) (IngestResult, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, r := range recs {
+		if err := r.Validate(s.net.NumPaths(), s.cfg.MaxIntervals); err != nil {
+			s.counters.RejectsValidation++
+			return s.resultLocked(0, 0), fmt.Errorf("serve: batch record %d: %w", i, err)
+		}
+	}
+	accepted, dups := 0, 0
+	for _, r := range recs {
+		if r.Seq <= s.seqs[r.Source] {
+			dups++
+			continue
+		}
+		if len(s.pending) >= s.cfg.MaxPending {
+			s.counters.RejectsBusy++
+			if err := s.flushLocked(); err != nil {
+				return s.resultLocked(accepted, dups), err
+			}
+			return s.resultLocked(accepted, dups), fmt.Errorf("%w (%d pending)", ErrBusy, len(s.pending))
+		}
+		if s.jr != nil {
+			if err := s.jr.append(journalEntry{Rec: &r}); err != nil {
+				return s.resultLocked(accepted, dups), err
+			}
+		}
+		s.applyLocked(r)
+		accepted++
+		if s.cfg.EpochRecords > 0 && len(s.pending) >= s.cfg.EpochRecords {
+			if err := s.closeAndJournalLocked(); err != nil {
+				return s.resultLocked(accepted, dups), err
+			}
+		}
+	}
+	return s.resultLocked(accepted, dups), s.flushLocked()
+}
+
+func (s *Service) resultLocked(accepted, dups int) IngestResult {
+	s.counters.Duplicates += int64(dups)
+	return IngestResult{Accepted: accepted, Duplicates: dups, Epochs: s.epoch, Records: s.records}
+}
+
+// flushLocked pushes buffered journal writes to the file before an
+// Ingest acknowledges: an acked record must survive a process kill.
+func (s *Service) flushLocked() error {
+	if s.jr == nil {
+		return nil
+	}
+	return s.jr.flush(s.records, s.epoch)
+}
+
+// CloseEpoch closes the open epoch explicitly (the wall-clock path and
+// end-of-stream flush). A service with no pending records is left
+// untouched, so idle ticks do not mint empty epochs.
+func (s *Service) CloseEpoch() (bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.pending) == 0 {
+		return false, nil
+	}
+	if err := s.closeAndJournalLocked(); err != nil {
+		return true, err
+	}
+	return true, s.flushLocked()
+}
+
+// closeAndJournalLocked records the epoch boundary durably, then folds
+// it. The marker is journaled first so a replayed journal closes at
+// exactly the same record counts this process did.
+func (s *Service) closeAndJournalLocked() error {
+	if s.jr != nil {
+		if err := s.jr.append(journalEntry{Close: s.epoch + 1}); err != nil {
+			return err
+		}
+		// Epoch closes always checkpoint: the claim then proves the
+		// boundary, so a restart replays the same epochs.
+		if err := s.jr.checkpoint(s.records, s.epoch+1); err != nil {
+			return err
+		}
+	}
+	s.closeEpochLocked()
+	return nil
+}
+
+// closeEpochLocked folds the open epoch and re-runs the inference.
+// Everything here is a pure function of the accepted-record multiset
+// and the epoch partitioning — the wall clock appears only in the
+// latency counters.
+func (s *Service) closeEpochLocked() {
+	// Canonical order for the floating-point folds: FP addition does
+	// not commute, so the epoch's loss aggregate is built over a sorted
+	// copy, never in arrival order.
+	epochRecs := append([]measure.StreamRecord(nil), s.pending...)
+	sort.Slice(epochRecs, func(i, j int) bool {
+		a, b := epochRecs[i], epochRecs[j]
+		if a.Interval != b.Interval {
+			return a.Interval < b.Interval
+		}
+		if a.Path != b.Path {
+			return a.Path < b.Path
+		}
+		if a.Source != b.Source {
+			return a.Source < b.Source
+		}
+		return a.Seq < b.Seq
+	})
+	var epochLoss sweep.Welford
+	epochSketch := sweep.NewUnitSketch()
+	for _, r := range epochRecs {
+		if r.Sent == 0 {
+			continue // idle probes carry no loss fraction
+		}
+		frac := float64(r.Lost) / float64(r.Sent)
+		epochLoss.Add(frac)
+		epochSketch.Add(frac)
+	}
+	s.cumLoss.Merge(epochLoss)
+	s.cumSketch.Merge(epochSketch) // same unit transform by construction
+
+	start := time.Now()
+	res := core.Infer(s.net, core.MeasurementObserver{Meas: s.meas, Opts: s.cfg.Opts}, s.inferConfig())
+	ms := float64(time.Since(start).Microseconds()) / 1000
+	s.counters.LastInferMillis = ms
+	s.counters.TotalInferMillis += ms
+
+	s.epoch++
+	s.pending = s.pending[:0]
+	ev := s.buildVerdict(res)
+	s.verdict, _ = json.Marshal(ev)
+	s.listing = append(s.listing, s.epochSummary(ev, epochLoss, epochSketch))
+	if len(s.listing) > maxSummaryBlocks {
+		s.dropped += len(s.listing) - maxSummaryBlocks
+		s.listing = s.listing[len(s.listing)-maxSummaryBlocks:]
+	}
+}
+
+func (s *Service) inferConfig() core.Config {
+	if s.cfg.Infer == (core.Config{}) {
+		return core.DefaultConfig()
+	}
+	return s.cfg.Infer
+}
+
+// buildVerdict renders an inference result as the epoch verdict,
+// including the per-slice confidence margins.
+func (s *Service) buildVerdict(res *core.Result) EpochVerdict {
+	ev := EpochVerdict{
+		Epoch:      s.epoch,
+		Records:    s.records,
+		Intervals:  s.meas.Intervals(),
+		Sources:    len(s.seqs),
+		NonNeutral: res.NetworkNonNeutral(),
+	}
+	minGap := s.inferConfig().MinGap
+	if minGap <= 0 {
+		minGap = cluster.DefaultMinGap
+	}
+	first := true
+	for _, v := range res.Candidates {
+		conf := confidence(res.Cluster, v.Unsolvability, minGap)
+		ev.Slices = append(ev.Slices, SliceVerdict{
+			Seq:           v.SeqNames(),
+			Unsolvability: v.Unsolvability,
+			NonNeutral:    v.NonNeutral,
+			Redundant:     v.Redundant,
+			Confidence:    conf,
+		})
+		if first || conf < ev.Confidence {
+			ev.Confidence = conf
+			first = false
+		}
+	}
+	return ev
+}
+
+// confidence is the heuristic decision margin of one slice: how far
+// its unsolvability sits from the decision boundary, normalized by the
+// cluster's centroid gap (or, when the clustering did not split, by
+// the absolute MinGap threshold the fallback rule uses), clamped to
+// [0,1]. A slice right at the boundary scores 0; one a full gap away
+// scores 1. It is deterministic — a pure function of the inference
+// result — and deliberately not a calibrated probability.
+func confidence(cl cluster.Result, unsolv, minGap float64) float64 {
+	var margin float64
+	if cl.Split && cl.HighCentroid > cl.LowCentroid {
+		margin = (unsolv - cl.Threshold) / (cl.HighCentroid - cl.LowCentroid)
+	} else {
+		margin = (unsolv - minGap) / minGap
+	}
+	if margin < 0 {
+		margin = -margin
+	}
+	if margin > 1 {
+		margin = 1
+	}
+	return margin
+}
+
+// epochSummary renders one closed epoch's summary block. Only
+// deterministic quantities appear: operational counters (duplicates,
+// latency) live in Status, not here, so the summary stays
+// byte-identical across arrival orders, chunkings, and restarts.
+func (s *Service) epochSummary(ev EpochVerdict, loss sweep.Welford, sk *sweep.Sketch) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "epoch %d: %d records total, %d intervals, %d sources\n",
+		ev.Epoch, ev.Records, ev.Intervals, ev.Sources)
+	fmt.Fprintf(&sb, "  epoch loss: n=%d mean=%.5f sd=%.5f p50=%.5f p90=%.5f max=%.5f\n",
+		loss.N, loss.Mean, loss.StdDev(), sk.Quantile(0.5), sk.Quantile(0.9), sk.Quantile(1))
+	fmt.Fprintf(&sb, "  cumulative loss: n=%d mean=%.5f sd=%.5f p50=%.5f p90=%.5f\n",
+		s.cumLoss.N, s.cumLoss.Mean, s.cumLoss.StdDev(), s.cumSketch.Quantile(0.5), s.cumSketch.Quantile(0.9))
+	verdict := "neutral"
+	if ev.NonNeutral {
+		verdict = "NON-NEUTRAL"
+	}
+	nn := 0
+	for _, sv := range ev.Slices {
+		if sv.NonNeutral && !sv.Redundant {
+			nn++
+		}
+	}
+	fmt.Fprintf(&sb, "  verdict: %s confidence=%.3f (%d non-neutral of %d slices)\n",
+		verdict, ev.Confidence, nn, len(ev.Slices))
+	return sb.String()
+}
+
+// VerdictJSON returns the latest epoch verdict as canonical JSON (the
+// zero verdict `{"epoch":0,...}` before any epoch closes).
+func (s *Service) VerdictJSON() []byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]byte(nil), s.verdict...)
+}
+
+// SummaryText returns the per-epoch summary window, oldest first. The
+// text is a pure function of the accepted records and epoch
+// boundaries.
+func (s *Service) SummaryText() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var sb strings.Builder
+	if s.dropped > 0 {
+		fmt.Fprintf(&sb, "(%d earlier epochs aged out of the summary window)\n", s.dropped)
+	}
+	for _, b := range s.listing {
+		sb.WriteString(b)
+	}
+	return sb.String()
+}
+
+// Status snapshots the operational counters.
+func (s *Service) Status() Status {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.counters
+	st.Records = s.records
+	st.Epochs = s.epoch
+	st.Pending = len(s.pending)
+	st.Sources = len(s.seqs)
+	st.Intervals = s.meas.Intervals()
+	return st
+}
+
+// Measurements implements measure.Source: it returns a deep copy of
+// the accumulated table, so batch tooling can run over a live
+// service's data without racing it.
+func (s *Service) Measurements() (*measure.Measurements, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := measure.NewMeasurements(s.meas.Intervals(), s.net.NumPaths())
+	for t := range s.meas.Sent {
+		copy(out.Sent[t], s.meas.Sent[t])
+		copy(out.Lost[t], s.meas.Lost[t])
+	}
+	return out, nil
+}
+
+// Close flushes and checkpoints the journal. The service must not be
+// used afterwards.
+func (s *Service) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.jr == nil {
+		return nil
+	}
+	err := s.jr.checkpoint(s.records, s.epoch)
+	if cerr := s.jr.closeFile(); err == nil {
+		err = cerr
+	}
+	s.jr = nil
+	return err
+}

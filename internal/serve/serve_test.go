@@ -1,0 +1,304 @@
+package serve
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"neutrality/internal/graph"
+	"neutrality/internal/measure"
+	"neutrality/internal/sweep"
+	"neutrality/internal/synth"
+	"neutrality/internal/topo"
+)
+
+// testStream synthesizes a measurement run over topo.Figure4 (with the
+// narrative's l1 violation) and flattens it into stream records in
+// canonical (interval, path) order, dealt round-robin across `sources`
+// vantage points with per-source sequence numbers in delivery order —
+// the shape a real at-least-once transport produces.
+func testStream(intervals, sources int, seed int64) (*graph.Network, []measure.StreamRecord) {
+	n := topo.Figure4()
+	perf := graph.NewPerf(n.NumLinks(), n.NumClasses())
+	for i := 0; i < n.NumLinks(); i++ {
+		perf.SetNeutral(graph.LinkID(i), 0.02)
+	}
+	l1, _ := n.LinkByName("l1")
+	perf.Set(l1.ID, topo.C1, 0.05)
+	perf.Set(l1.ID, topo.C2, 0.7)
+	states := synth.NewSampler(n, perf, seed).SampleIntervals(intervals)
+	meas := synth.ToMeasurements(states, synth.DefaultMeasurementOptions())
+
+	var recs []measure.StreamRecord
+	next := make([]int64, sources)
+	i := 0
+	for t := 0; t < meas.Intervals(); t++ {
+		for p := 0; p < meas.NumPaths(); p++ {
+			src := i % sources
+			next[src]++
+			recs = append(recs, measure.StreamRecord{
+				Source:   "vp-" + string(rune('a'+src)),
+				Seq:      next[src],
+				Interval: t,
+				Path:     p,
+				Sent:     meas.Sent[t][p],
+				Lost:     meas.Lost[t][p],
+			})
+			i++
+		}
+	}
+	return n, recs
+}
+
+func mustNew(t *testing.T, cfg Config) *Service {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestIngestDedup: re-sending a fully acknowledged batch applies
+// nothing — at-least-once delivery is idempotent.
+func TestIngestDedup(t *testing.T) {
+	n, recs := testStream(10, 3, 1)
+	s := mustNew(t, Config{Net: n, EpochRecords: 16})
+	r1, err := s.Ingest(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Accepted != len(recs) || r1.Duplicates != 0 {
+		t.Fatalf("first ingest: %+v", r1)
+	}
+	r2, err := s.Ingest(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Accepted != 0 || r2.Duplicates != len(recs) {
+		t.Fatalf("replayed ingest: %+v", r2)
+	}
+	if st := s.Status(); st.Records != int64(len(recs)) || st.Duplicates != int64(len(recs)) {
+		t.Fatalf("status after replay: %+v", st)
+	}
+}
+
+// TestIngestValidationAtomic: a batch containing any invalid record is
+// rejected whole — nothing is applied, and the error carries the
+// measure validation taxonomy the HTTP 400 / exit-3 mapping keys on.
+func TestIngestValidationAtomic(t *testing.T) {
+	n, recs := testStream(4, 2, 1)
+	s := mustNew(t, Config{Net: n, EpochRecords: 8})
+	bad := append(append([]measure.StreamRecord(nil), recs[:4]...), measure.StreamRecord{
+		Source: "vp-x", Seq: 1, Interval: 0, Path: n.NumPaths(), Sent: 5,
+	})
+	if _, err := s.Ingest(bad); !errors.Is(err, measure.ErrValidation) {
+		t.Fatalf("Ingest = %v, want ErrValidation", err)
+	}
+	if st := s.Status(); st.Records != 0 || st.RejectsValidation != 1 {
+		t.Fatalf("invalid batch left state behind: %+v", st)
+	}
+}
+
+// TestBackpressure: a full open-epoch buffer answers ErrBusy, keeps
+// the records accepted so far, and a full retry after the epoch drains
+// goes through cleanly (duplicates dropped).
+func TestBackpressure(t *testing.T) {
+	n, recs := testStream(4, 2, 1)
+	s := mustNew(t, Config{Net: n, EpochRecords: 0, MaxPending: 4})
+	res, err := s.Ingest(recs[:10])
+	if !errors.Is(err, ErrBusy) {
+		t.Fatalf("Ingest over capacity = %v, want ErrBusy", err)
+	}
+	if res.Accepted != 4 {
+		t.Fatalf("accepted %d before backpressure, want 4", res.Accepted)
+	}
+	if closed, err := s.CloseEpoch(); err != nil || !closed {
+		t.Fatalf("CloseEpoch = %v, %v", closed, err)
+	}
+	res, err = s.Ingest(recs[:10])
+	if !errors.Is(err, ErrBusy) || res.Accepted != 4 || res.Duplicates != 4 {
+		t.Fatalf("retry: %+v, %v (want 4 accepted, 4 duplicates, busy again)", res, err)
+	}
+	if st := s.Status(); st.RejectsBusy != 2 || st.Records != 8 {
+		t.Fatalf("status: %+v", st)
+	}
+}
+
+// TestEpochBoundaries: count-based closes fire inline at exact record
+// counts, independent of batch chunking, and CloseEpoch flushes a
+// partial epoch (but not an empty one).
+func TestEpochBoundaries(t *testing.T) {
+	n, recs := testStream(20, 3, 1)
+	s := mustNew(t, Config{Net: n, EpochRecords: 32})
+	for i := 0; i < 70; i += 7 { // deliberately misaligned chunks
+		end := i + 7
+		if end > 70 {
+			end = 70
+		}
+		if _, err := s.Ingest(recs[i:end]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := s.Status(); st.Epochs != 2 || st.Pending != 70-64 {
+		t.Fatalf("after 70 records at epoch=32: %+v", st)
+	}
+	if closed, err := s.CloseEpoch(); err != nil || !closed {
+		t.Fatalf("CloseEpoch = %v, %v", closed, err)
+	}
+	if closed, err := s.CloseEpoch(); err != nil || closed {
+		t.Fatalf("empty CloseEpoch = %v, %v (want no-op)", closed, err)
+	}
+	if st := s.Status(); st.Epochs != 3 || st.Pending != 0 {
+		t.Fatalf("after flush: %+v", st)
+	}
+}
+
+// TestVerdictMatchesBatchInference: after all records are folded, the
+// service's verdict is exactly the batch inference over the same
+// table — same network flag, same per-slice unsolvability bits.
+func TestVerdictMatchesBatchInference(t *testing.T) {
+	n, recs := testStream(2000, 3, 11)
+	s := mustNew(t, Config{Net: n, EpochRecords: len(recs)})
+	if _, err := s.Ingest(recs); err != nil {
+		t.Fatal(err)
+	}
+	ev := decodeVerdict(t, s.VerdictJSON())
+	if ev.Epoch != 1 || ev.Records != int64(len(recs)) {
+		t.Fatalf("verdict header: %+v", ev)
+	}
+	if !ev.NonNeutral {
+		t.Fatalf("streamed l1 violation not detected: %+v", ev)
+	}
+
+	res := batchInfer(t, s)
+	if res.NetworkNonNeutral() != ev.NonNeutral {
+		t.Fatalf("network verdict: batch %v, streaming %v", res.NetworkNonNeutral(), ev.NonNeutral)
+	}
+	if len(res.Candidates) != len(ev.Slices) {
+		t.Fatalf("%d batch candidates vs %d streamed slices", len(res.Candidates), len(ev.Slices))
+	}
+	for i, v := range res.Candidates {
+		sv := ev.Slices[i]
+		if sv.Seq != v.SeqNames() || sv.Unsolvability != v.Unsolvability || sv.NonNeutral != v.NonNeutral {
+			t.Fatalf("slice %d: batch %+v vs streamed %+v", i, v, sv)
+		}
+	}
+}
+
+// TestJournalResume: a journaled service reopened with Resume serves
+// byte-identical verdict and summary; reopening without Resume is
+// refused as a validation error, and a config identity change is too.
+func TestJournalResume(t *testing.T) {
+	n, recs := testStream(40, 3, 5)
+	dir := t.TempDir()
+	s := mustNew(t, Config{Net: n, NetName: "figure4", EpochRecords: 64, Dir: dir})
+	if _, err := s.Ingest(recs); err != nil {
+		t.Fatal(err)
+	}
+	wantVerdict := s.VerdictJSON()
+	wantSummary := s.SummaryText()
+	wantStatus := s.Status()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := New(Config{Net: n, NetName: "figure4", EpochRecords: 64, Dir: dir}); !errors.Is(err, sweep.ErrValidation) {
+		t.Fatalf("adopting without resume = %v, want ErrValidation", err)
+	}
+	if _, err := New(Config{Net: n, NetName: "figure4", EpochRecords: 32, Dir: dir, Resume: true}); !errors.Is(err, sweep.ErrValidation) {
+		t.Fatalf("resume with changed epoch size = %v, want ErrValidation", err)
+	}
+
+	s2 := mustNew(t, Config{Net: n, NetName: "figure4", EpochRecords: 64, Dir: dir, Resume: true})
+	defer s2.Close()
+	if !bytes.Equal(s2.VerdictJSON(), wantVerdict) {
+		t.Fatalf("verdict changed across restart:\n%s\nvs\n%s", wantVerdict, s2.VerdictJSON())
+	}
+	if s2.SummaryText() != wantSummary {
+		t.Fatalf("summary changed across restart:\n%s\nvs\n%s", wantSummary, s2.SummaryText())
+	}
+	if st := s2.Status(); st.Records != wantStatus.Records || st.Epochs != wantStatus.Epochs || st.Pending != wantStatus.Pending {
+		t.Fatalf("replayed state %+v, want %+v", st, wantStatus)
+	}
+	// The replayed service keeps ingesting where the old one stopped.
+	r, err := s2.Ingest(recs) // full resend: all duplicates
+	if err != nil || r.Accepted != 0 || r.Duplicates != len(recs) {
+		t.Fatalf("resend after resume: %+v, %v", r, err)
+	}
+}
+
+// TestJournalDamageTaxonomy: damage inside the manifest claim destroys
+// acknowledged data (ErrCorrupt); bytes past the claim are a torn tail
+// and are silently truncated — the sender never got an ack for them.
+func TestJournalDamageTaxonomy(t *testing.T) {
+	n, recs := testStream(20, 2, 5)
+	dir := t.TempDir()
+	cfg := Config{Net: n, EpochRecords: 32, Dir: dir}
+	s := mustNew(t, cfg)
+	if _, err := s.Ingest(recs); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	jpath := filepath.Join(dir, journalName)
+	good, err := os.ReadFile(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Torn tail: garbage appended past the claim is dropped on resume.
+	cfg.Resume = true
+	if err := os.WriteFile(jpath, append(append([]byte(nil), good...), []byte("deadbeef torn")...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2 := mustNew(t, cfg)
+	st := s2.Status()
+	s2.Close()
+	if st.Records != int64(len(recs)) {
+		t.Fatalf("torn-tail resume folded %d records, want %d", st.Records, len(recs))
+	}
+	if after, _ := os.ReadFile(jpath); !bytes.Equal(after, good) {
+		t.Fatal("torn tail not truncated away")
+	}
+
+	// In-claim damage: flip one byte inside an early record.
+	bad := append([]byte(nil), good...)
+	bad[len(bad)/2] ^= 0x40
+	if err := os.WriteFile(jpath, bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(cfg); !errors.Is(err, sweep.ErrCorrupt) {
+		t.Fatalf("in-claim damage = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestServiceIsSource: the service snapshot feeds the same batch
+// pipeline as any other measure.Source, and mutating the snapshot does
+// not reach back into the live table.
+func TestServiceIsSource(t *testing.T) {
+	n, recs := testStream(10, 2, 1)
+	s := mustNew(t, Config{Net: n, EpochRecords: 0})
+	if _, err := s.Ingest(recs); err != nil {
+		t.Fatal(err)
+	}
+	var src measure.Source = s
+	m, err := src.Measurements()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Intervals() != 10 || m.NumPaths() != n.NumPaths() {
+		t.Fatalf("snapshot is %dx%d", m.Intervals(), m.NumPaths())
+	}
+	m.Sent[0][0] += 999
+	m2, _ := src.Measurements()
+	if m2.Sent[0][0] == m.Sent[0][0] {
+		t.Fatal("snapshot aliases the live table")
+	}
+}

@@ -41,6 +41,17 @@ func frameRecord(r Record) ([]byte, error) {
 	return framePayload(payload), nil
 }
 
+// FramePayload wraps an already-canonical JSON payload in the v2
+// frame — the exported face of the framing for other durable-log
+// writers (the streaming ingest journal uses it), so every
+// checksummed artifact in the tree shares one byte format.
+func FramePayload(payload []byte) []byte { return framePayload(payload) }
+
+// UnframePayload validates one framed line (without its newline) and
+// returns the JSON payload; see unframe. Record-level validation stays
+// with the caller.
+func UnframePayload(line []byte) ([]byte, error) { return unframe(line) }
+
 // framePayload wraps an already-canonical JSON payload in the v2
 // frame.
 func framePayload(payload []byte) []byte {

@@ -1,0 +1,64 @@
+package neutrality
+
+import (
+	"neutrality/internal/fleet"
+	"neutrality/internal/measure"
+	"neutrality/internal/serve"
+)
+
+// Streaming inference API: the long-running ingest service that folds
+// measurement records online and re-runs the inference at epoch
+// boundaries. Streaming any arrival order within an epoch yields
+// verdicts byte-identical to the batch pipeline over the same records.
+
+type (
+	// ServeConfig parameterizes the streaming service.
+	ServeConfig = serve.Config
+	// ServeService is the streaming inference state machine.
+	ServeService = serve.Service
+	// ServeStatus is the service's operational counter snapshot.
+	ServeStatus = serve.Status
+	// ServeIngestResult reports one ingest batch's effect.
+	ServeIngestResult = serve.IngestResult
+	// ServeEpochVerdict is the per-epoch inference outcome.
+	ServeEpochVerdict = serve.EpochVerdict
+	// ServeServer exposes a service over HTTP.
+	ServeServer = serve.Server
+	// StreamRecord is one streamed measurement observation.
+	StreamRecord = measure.StreamRecord
+	// MeasurementSource abstracts where a measurement table comes from
+	// (CSV, in-memory, a live streaming service).
+	MeasurementSource = measure.Source
+	// CSVMeasurementSource reads the batch CSV interchange format.
+	CSVMeasurementSource = measure.CSVSource
+	// MemMeasurementSource serves an in-memory table.
+	MemMeasurementSource = measure.MemSource
+	// FleetPartialSummary is the merged-so-far view of a running fleet.
+	FleetPartialSummary = fleet.PartialSummary
+)
+
+var (
+	// ErrServeBusy reports streaming backpressure: the open-epoch
+	// buffer is full; retry after a pause.
+	ErrServeBusy = serve.ErrBusy
+	// ErrMeasureValidation tags malformed measurement input (corrupt
+	// CSV, invalid stream record, inconsistent table).
+	ErrMeasureValidation = measure.ErrValidation
+)
+
+// NewServe builds a streaming inference service (replaying its journal
+// when the config names a directory and Resume is set).
+func NewServe(cfg ServeConfig) (*ServeService, error) { return serve.New(cfg) }
+
+// NewServeServer wraps a service in the HTTP ingest/verdict protocol.
+func NewServeServer(s *ServeService) *ServeServer { return serve.NewServer(s) }
+
+// InferSource runs the practical pipeline over any measurement source:
+// the streaming analogue of InferMeasured.
+func InferSource(n *Network, src MeasurementSource, opts MeasureOptions) (*Result, error) {
+	m, err := src.Measurements()
+	if err != nil {
+		return nil, err
+	}
+	return InferMeasured(n, m, opts), nil
+}

@@ -435,6 +435,93 @@ func BenchmarkServeIngest(b *testing.B) {
 	}
 }
 
+// BenchmarkServeIngestSharded is the concurrent multi-source variant:
+// eight vantage points stream their own sequence spaces from separate
+// goroutines into a journal partitioned eight ways by source hash.
+// It measures the ingest path under sender concurrency — lock
+// contention, per-shard journal appends, and the out-of-lock epoch
+// inference — and its ingest_records_per_sec gate keeps the sharded
+// path from regressing below the single-sender one.
+func BenchmarkServeIngestSharded(b *testing.B) {
+	n := neutrality.Figure4()
+	perf := neutrality.NewPerf(n.NumLinks(), n.NumClasses())
+	for l := 0; l < n.NumLinks(); l++ {
+		perf.SetNeutral(neutrality.LinkID(l), 0.02)
+	}
+	l1, _ := n.LinkByName("l1")
+	perf.Set(l1.ID, neutrality.C1, 0.05)
+	perf.Set(l1.ID, neutrality.C2, 0.7)
+	const intervals = 1024
+	const senders = 8
+	states := neutrality.NewSampler(n, perf, 11).SampleIntervals(intervals)
+	meas := neutrality.SyntheticMeasurements(states, neutrality.DefaultSyntheticOptions())
+	// Deal the flattened table round-robin across the senders, each
+	// with its own source name and contiguous sequence space.
+	streams := make([][]neutrality.StreamRecord, senders)
+	seqs := make([]int64, senders)
+	total := 0
+	for t := 0; t < intervals; t++ {
+		for p := 0; p < n.NumPaths(); p++ {
+			i := total % senders
+			seqs[i]++
+			streams[i] = append(streams[i], neutrality.StreamRecord{
+				Source: fmt.Sprintf("bench-%d", i), Seq: seqs[i], Interval: t, Path: p,
+				Sent: meas.Sent[t][p], Lost: meas.Lost[t][p],
+			})
+			total++
+		}
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	records := 0
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		svc, err := neutrality.NewServe(neutrality.ServeConfig{
+			Net: n, EpochRecords: total, Dir: b.TempDir(),
+			JournalShards: senders,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		var wg sync.WaitGroup
+		for _, stream := range streams {
+			wg.Add(1)
+			go func(stream []neutrality.StreamRecord) {
+				defer wg.Done()
+				for lo := 0; lo < len(stream); lo += 256 {
+					hi := lo + 256
+					if hi > len(stream) {
+						hi = len(stream)
+					}
+					if _, err := svc.Ingest(stream[lo:hi]); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			}(stream)
+		}
+		wg.Wait()
+		records += total
+		b.StopTimer()
+		var ev neutrality.ServeEpochVerdict
+		if err := json.Unmarshal(svc.VerdictJSON(), &ev); err != nil {
+			b.Fatal(err)
+		}
+		if ev.Epoch != 1 || !ev.NonNeutral {
+			b.Fatalf("sharded bench stream verdict off target: %+v", ev)
+		}
+		if err := svc.Close(); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+	}
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(records)/sec, "ingest_records_per_sec")
+	}
+}
+
 // BenchmarkShardVerify measures the read-only integrity scrub of a
 // persisted sweep directory: every record's CRC32C frame re-checked
 // and every shard's SHA-256 recomputed over its claimed prefix.

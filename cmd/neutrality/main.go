@@ -23,7 +23,10 @@
 //	                   [-cell-timeout 0] [-heartbeat 2s]
 //	neutrality serve   -net ... [-addr :8090] [-dir DIR] [-resume]
 //	                   [-epoch-records 4096] [-epoch-interval 0]
-//	                   [-max-pending 0] [-seed 1] [-loss-threshold 0.01]
+//	                   [-max-pending 0] [-journal-shards 1]
+//	                   [-compact-every 0] [-seed 1] [-loss-threshold 0.01]
+//	                   [-leaf NAME -root-url URL]
+//	neutrality serve   -root -leaves N -net ... [-addr :8090]
 //
 // `emulate` runs packet-level TCP emulation and then inference; `infer`
 // uses the fast synthetic substrate with a configurable violation gap;
@@ -44,8 +47,12 @@
 // records (at-least-once, per-source sequence dedup), folds them into
 // the measurement table online, re-runs the inference at epoch
 // boundaries, and serves the latest verdict; with a journal directory
-// it checkpoints every accepted record and resumes to byte-identical
-// state.
+// it checkpoints every accepted record (across -journal-shards files,
+// compacting into hash-verified snapshots every -compact-every epochs)
+// and resumes to byte-identical state; `serve -leaf NAME -root-url URL`
+// ships each closed epoch to an aggregation root, and `serve -root
+// -leaves N` folds those reports into a tree-wide verdict
+// byte-identical to a single instance ingesting the union.
 // With -runs N > 1, emulate replicates the experiment N times with
 // per-run seeds derived from (-seed, run index), fans the replicas out
 // across a bounded worker pool (-workers, default one per CPU), and
@@ -134,6 +141,11 @@ commands:
            seqs), epochs close on record count and/or wall clock,
            GET /v1/verdict|/v1/summary|/v1/status; -dir journals every
            record so -resume replays to byte-identical verdicts
+           (-journal-shards partitions the journal by source,
+           -compact-every snapshots + truncates to bound disk); scale
+           out as a tree: -leaf NAME -root-url URL ships closed epochs
+           to a 'serve -root -leaves N' aggregator whose verdict is
+           byte-identical to one instance ingesting the union
 
 exit codes (sweep/merge/verify/fleet/serve): 0 ok, 1 fatal, 2 usage,
   3 validation failure (incl. artifact corruption), 4 resumable incomplete

@@ -24,10 +24,25 @@ import (
 //	neutrality serve -net figure4 -addr :8090 -dir /var/lib/nserve
 //
 // With -dir the service journals every accepted record (checksummed
-// framing, FORMAT.md); a restart with -resume replays the journal to
-// byte-identical verdicts. Delivery is at-least-once and idempotent:
-// per-source sequence numbers dedup retries, and a full epoch buffer
+// framing across -journal-shards files, FORMAT.md); a restart with
+// -resume replays the journal to byte-identical verdicts, and
+// -compact-every N checkpoints the folded state into a hash-verified
+// snapshot every N epochs and truncates the journals, bounding disk.
+// Delivery is at-least-once and idempotent: per-source sequence
+// numbers dedup retries (strictly in-order per source — a record below
+// its source's high-water mark that was never seen is rejected as
+// out-of-order so the sender can detect loss), and a full epoch buffer
 // answers 429 + Retry-After rather than growing without bound.
+//
+// Scale-out runs as a two-level tree. Leaves ingest disjoint source
+// populations and ship their closed epochs upstream:
+//
+//	neutrality serve -net figure4 -leaf vp-east -root-url http://root:8090
+//
+// The root folds the leaf reports and serves the tree-wide verdict —
+// byte-identical to a single instance ingesting the union:
+//
+//	neutrality serve -net figure4 -root -leaves 2 -addr :8090
 func cmdServe(ctx context.Context, args []string) {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	netName := fs.String("net", "figure4", "serving topology name")
@@ -37,6 +52,12 @@ func cmdServe(ctx context.Context, args []string) {
 	epochRecords := fs.Int("epoch-records", 4096, "close an epoch after this many accepted records (0 = wall-clock only)")
 	epochInterval := fs.Duration("epoch-interval", 0, "also close a non-empty epoch on this wall-clock period (0 = disabled)")
 	maxPending := fs.Int("max-pending", 0, "open-epoch buffer cap before 429 backpressure (0 = epoch-records, or 65536 when count-close is off)")
+	journalShards := fs.Int("journal-shards", 1, "partition the journal into this many files by source hash")
+	compactEvery := fs.Int("compact-every", 0, "snapshot + truncate the journal every N epochs (0 = never)")
+	leaf := fs.String("leaf", "", "run as a named leaf: queue closed-epoch reports for a root")
+	rootURL := fs.String("root-url", "", "ship queued epoch reports to this root (requires -leaf)")
+	root := fs.Bool("root", false, "run as an aggregation root folding leaf epoch reports (POST /v1/epoch)")
+	leaves := fs.Int("leaves", 0, "expected leaf count in -root mode (an epoch folds when every leaf delivered it)")
 	seed := fs.Int64("seed", 1, "measurement-processing seed")
 	lossThreshold := fs.Float64("loss-threshold", 0.01, "per-interval loss fraction counted as congestion")
 	quiet := fs.Bool("quiet", false, "suppress the epoch log on stderr")
@@ -46,10 +67,21 @@ func cmdServe(ctx context.Context, args []string) {
 	opts := neutrality.DefaultMeasureOptions()
 	opts.Seed = *seed
 	opts.LossThreshold = *lossThreshold
+
+	if *root {
+		cmdServeRoot(ctx, n, *netName, *leaves, *addr, opts)
+		return
+	}
+	if *rootURL != "" && *leaf == "" {
+		log.Fatal("-root-url requires -leaf (the leaf's name in the tree)")
+	}
+
 	svc, err := neutrality.NewServe(neutrality.ServeConfig{
 		Net: n, NetName: *netName, Opts: opts,
 		EpochRecords: *epochRecords, MaxPending: *maxPending,
 		Dir: *dir, Resume: *resume,
+		JournalShards: *journalShards, CompactEvery: *compactEvery,
+		Leaf: *leaf,
 	})
 	if err != nil {
 		fatal(err)
@@ -59,13 +91,22 @@ func cmdServe(ctx context.Context, args []string) {
 	if err != nil {
 		fatal(err)
 	}
-	srv := &http.Server{Handler: neutrality.NewServeServer(svc)}
+	h := neutrality.NewServeServer(svc)
+	h.EpochInterval = *epochInterval
+	srv := &http.Server{Handler: h}
 	go srv.Serve(ln)
 	defer srv.Close()
 	st := svc.Status()
 	fmt.Fprintf(os.Stderr, "serve %s: %d paths, listening on %s (resumed: %d records, %d epochs)\n",
 		*netName, n.NumPaths(), ln.Addr(), st.Records, st.Epochs)
 	fmt.Fprintf(os.Stderr, "ingest with: curl --data-binary @records.jsonl http://%s/v1/ingest\n", ln.Addr())
+
+	shipDone := make(chan error, 1)
+	if *rootURL != "" {
+		sh := &neutrality.ServeShipper{S: svc, URL: *rootURL}
+		go func() { shipDone <- sh.Run(ctx) }()
+		fmt.Fprintf(os.Stderr, "leaf %q shipping epoch reports to %s\n", *leaf, *rootURL)
+	}
 
 	if *epochInterval > 0 {
 		go func() {
@@ -88,7 +129,15 @@ func cmdServe(ctx context.Context, args []string) {
 		}()
 	}
 
-	<-ctx.Done()
+	select {
+	case <-ctx.Done():
+	case err := <-shipDone:
+		// The shipper only returns early on a permanent rejection: the
+		// root refused a report as invalid, so shipping cannot proceed.
+		if err != nil {
+			fatal(err)
+		}
+	}
 	// Graceful shutdown: flush the open epoch into a verdict, then
 	// checkpoint the journal so a -resume restart replays everything.
 	if _, err := svc.CloseEpoch(); err != nil {
@@ -100,4 +149,32 @@ func cmdServe(ctx context.Context, args []string) {
 	st = svc.Status()
 	fmt.Fprintf(os.Stderr, "\nserve stopped cleanly: %d records, %d epochs, %d duplicates dropped\n",
 		st.Records, st.Epochs, st.Duplicates)
+}
+
+// cmdServeRoot runs the aggregation root: it accepts sealed leaf epoch
+// reports (POST /v1/epoch, idempotent per-leaf in-order delivery),
+// folds complete tree epochs in canonical leaf order, and serves the
+// tree-wide verdict. Root state is in-memory: after a restart the
+// leaves' shippers re-send their unacked reports and the fold rebuilds.
+func cmdServeRoot(ctx context.Context, n *neutrality.Network, netName string, leaves int, addr string, opts neutrality.MeasureOptions) {
+	r, err := neutrality.NewServeRoot(neutrality.ServeRootConfig{
+		Net: n, Leaves: leaves, Opts: opts,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fatal(err)
+	}
+	srv := &http.Server{Handler: neutrality.NewServeRootServer(r)}
+	go srv.Serve(ln)
+	defer srv.Close()
+	fmt.Fprintf(os.Stderr, "serve root %s: %d paths, expecting %d leaves, listening on %s\n",
+		netName, n.NumPaths(), leaves, ln.Addr())
+
+	<-ctx.Done()
+	st := r.Status()
+	fmt.Fprintf(os.Stderr, "\nroot stopped: %d records over %d epochs from %d leaves (%d duplicate deliveries)\n",
+		st.Records, st.Epochs, st.Leaves, st.Duplicates)
 }

@@ -6,7 +6,10 @@ import (
 	"encoding/json"
 	"errors"
 	"io"
+	"math"
 	"net/http"
+	"strconv"
+	"time"
 
 	"neutrality/internal/measure"
 )
@@ -37,6 +40,12 @@ type httpError struct {
 type Server struct {
 	S   *Service
 	mux *http.ServeMux
+	// EpochInterval is the wall-clock epoch cadence when the service
+	// closes epochs on a ticker (zero for count-based closing). It
+	// drives the Retry-After answer on 429: with count-based closing
+	// the buffer drains at the next boundary, so one second is an
+	// honest hint; with a wall-clock cadence the drain is the tick.
+	EpochInterval time.Duration
 }
 
 // NewServer builds the handler for a service.
@@ -50,6 +59,18 @@ func NewServer(s *Service) *Server {
 }
 
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// retryAfterSeconds derives the 429 Retry-After from the epoch drain:
+// the full wall-clock cadence when epochs close on a ticker, else one
+// second (count-based closes drain the buffer at the next boundary).
+func (s *Server) retryAfterSeconds() int {
+	if s.EpochInterval > 0 {
+		if secs := int(math.Ceil(s.EpochInterval.Seconds())); secs > 1 {
+			return secs
+		}
+	}
+	return 1
+}
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -107,11 +128,19 @@ func (s *Server) ingest(w http.ResponseWriter, r *http.Request) {
 		// Backpressure: the records already applied stay applied; the
 		// sender retries the whole batch after the pause and the
 		// sequence high-water marks drop what was already accepted.
-		w.Header().Set("Retry-After", "1")
+		retry := s.retryAfterSeconds()
+		pending := 0
+		var busy *BusyError
+		if errors.As(err, &busy) {
+			pending = busy.Pending
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(retry))
 		writeJSON(w, http.StatusTooManyRequests, struct {
 			httpError
 			IngestResult
-		}{httpError{Err: "busy", Msg: err.Error()}, res})
+			Pending        int `json:"pending"`
+			RetryAfterSecs int `json:"retry_after_seconds"`
+		}{httpError{Err: "busy", Msg: err.Error()}, res, pending, retry})
 	case errors.Is(err, measure.ErrValidation):
 		writeJSON(w, http.StatusBadRequest, httpError{Err: "validation", Msg: err.Error()})
 	default:

@@ -10,6 +10,7 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"neutrality/internal/measure"
 )
@@ -182,5 +183,49 @@ func TestHTTPBackpressure(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusOK || res.Accepted != 4 || res.Duplicates != 4 {
 		t.Fatalf("retry after drain: %d %+v", resp.StatusCode, res)
+	}
+}
+
+// TestHTTPRetryAfterDerived pins the 429 Retry-After contract: the
+// header is derived from the epoch cadence (the honest drain estimate),
+// not hardcoded, and the body reports the pending backlog so a sender
+// can size its pause.
+func TestHTTPRetryAfterDerived(t *testing.T) {
+	n, recs := testStream(4, 2, 7)
+
+	cases := []struct {
+		interval time.Duration
+		want     string
+	}{
+		{0, "1"},                       // count-based closing: next boundary drains
+		{500 * time.Millisecond, "1"},  // sub-second cadence still answers 1
+		{7 * time.Second, "7"},         // wall-clock cadence: the tick is the drain
+		{2500 * time.Millisecond, "3"}, // fractional cadences round up
+	}
+	for _, tc := range cases {
+		s := mustNew(t, Config{Net: n, EpochRecords: 0, MaxPending: 4})
+		srv := NewServer(s)
+		srv.EpochInterval = tc.interval
+		ts := httptest.NewServer(srv)
+
+		resp := postIngest(t, ts, strings.NewReader(recordLines(recs[:8])), false)
+		var busy struct {
+			httpError
+			IngestResult
+			Pending        int `json:"pending"`
+			RetryAfterSecs int `json:"retry_after_seconds"`
+		}
+		json.NewDecoder(resp.Body).Decode(&busy)
+		resp.Body.Close()
+		ts.Close()
+		if resp.StatusCode != http.StatusTooManyRequests {
+			t.Fatalf("interval %v: status %d", tc.interval, resp.StatusCode)
+		}
+		if got := resp.Header.Get("Retry-After"); got != tc.want {
+			t.Fatalf("interval %v: Retry-After %q, want %q", tc.interval, got, tc.want)
+		}
+		if busy.Pending != 4 || fmt.Sprint(busy.RetryAfterSecs) != tc.want {
+			t.Fatalf("interval %v: body %+v (want pending=4, retry=%s)", tc.interval, busy, tc.want)
+		}
 	}
 }

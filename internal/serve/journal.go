@@ -3,9 +3,12 @@ package serve
 import (
 	"bufio"
 	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"os"
 	"path/filepath"
@@ -22,21 +25,50 @@ import (
 // fold and close logic as live ingest, so it reaches byte-identical
 // verdicts.
 //
+// Since journal format v2 the journal is partitioned by source hash
+// into JournalShards files, journal-NNNN.jsonl, each with its own
+// append buffer. A record lands in the shard its source hashes to, so
+// one source's records stay in one file in delivery order; an
+// epoch-close marker is appended to every shard, so each shard is
+// independently partitioned into the same epochs and replay can fold
+// the shards epoch by epoch — the canonical close-time sort makes the
+// fold independent of cross-shard interleaving, which is what keeps
+// verdicts byte-identical for every shard count.
+//
+// Journals no longer grow without bound: at a configurable epoch
+// cadence the service writes a hash-verified snapshot of its entire
+// folded state (snapshot-NNNNNNNN.json, see snapshot.go), points the
+// manifest at it with all shard claims reset to zero, and truncates
+// the shard files. The manifest's shard_lines therefore always count
+// lines *since the current snapshot*.
+//
 // Unlike sweep shards, journal records are NOT re-derivable from a
 // seed — they are external observations. That changes the recovery
 // posture: damage past the manifest claim is a torn tail (bytes with
 // no ack behind them) and is truncated, because the sender never got
 // an acknowledgement and will retry; damage inside the claim destroys
 // acknowledged data that cannot be recomputed, so it is reported as
-// sweep.ErrCorrupt rather than silently repaired.
-
+// sweep.ErrCorrupt rather than silently repaired. A manifest that
+// claims more lines than a shard holds — including a deleted shard
+// file — is the same class: acknowledged data is gone, ErrCorrupt.
 const (
-	journalName  = "journal.jsonl"
-	manifestName = "serve.json"
+	legacyJournalName = "journal.jsonl" // journal format v1 (PR 9), rejected
+	manifestName      = "serve.json"
 	// manifestVersion is the journal format version; bumping it
 	// invalidates older journals explicitly instead of misreading them.
-	manifestVersion = 1
+	// Version 2 introduced sharded journal files and snapshots.
+	manifestVersion = 2
 )
+
+// journalShardName is the on-disk name of journal shard s.
+func journalShardName(dir string, s int) string {
+	return filepath.Join(dir, fmt.Sprintf("journal-%04d.jsonl", s))
+}
+
+// snapshotName is the on-disk name of the snapshot taken at an epoch.
+func snapshotName(dir string, epoch int) string {
+	return filepath.Join(dir, fmt.Sprintf("snapshot-%08d.json", epoch))
+}
 
 // journalEntry is one journal line: exactly one of Rec (an accepted
 // stream record) or Close (an epoch-close marker carrying the 1-based
@@ -48,36 +80,59 @@ type journalEntry struct {
 
 // manifest is the journal's durability claim plus the configuration
 // identity a resume must match (a journal replayed under a different
-// topology or fold parameters would produce a silently different
-// service).
+// topology, shard layout, or fold parameters would produce a silently
+// different service).
 type manifest struct {
 	Version      int     `json:"version"`
 	Net          string  `json:"net"`
 	Paths        int     `json:"paths"`
 	EpochRecords int     `json:"epoch_records"`
+	Shards       int     `json:"shards"`
 	Seed         int64   `json:"seed"`
 	LossThresh   float64 `json:"loss_threshold"`
 	Normalize    bool    `json:"normalize"`
 	Smoothing    float64 `json:"smoothing"`
-	// Lines is the claimed durable line count; Records and Epochs echo
-	// the folded state at the claim for fast inspection.
-	Lines   int   `json:"lines"`
-	Records int64 `json:"records"`
-	Epochs  int   `json:"epochs"`
+	// ShardLines is the claimed durable line count of each journal
+	// shard since the current snapshot; Records and Epochs echo the
+	// folded state at the claim for fast inspection.
+	ShardLines []int `json:"shard_lines"`
+	Records    int64 `json:"records"`
+	Epochs     int   `json:"epochs"`
+	// SnapshotEpoch names the snapshot file the journal suffix extends
+	// (0 = none); SnapshotSHA256 is the content hash the snapshot must
+	// verify against before a single byte of it is trusted.
+	SnapshotEpoch  int    `json:"snapshot_epoch,omitempty"`
+	SnapshotSHA256 string `json:"snapshot_sha256,omitempty"`
 }
 
-// journal is the append side: a buffered writer over the journal file
-// plus the checkpoint bookkeeping.
+// journal is the append side: buffered writers over the journal shard
+// files plus the checkpoint bookkeeping.
 type journal struct {
 	dir   string
-	f     *os.File
-	w     *bufio.Writer
-	lines int // durable lines written (including recovered prefix)
+	files []*os.File
+	ws    []*bufio.Writer
+	// lines counts durable+buffered lines per shard since the current
+	// snapshot (the manifest claim at the next checkpoint).
+	lines []int
 	// sinceCheckpoint counts lines since the manifest was last
 	// rewritten; cadence is cfg.CheckpointEvery.
 	sinceCheckpoint int
 	every           int
 	ident           manifest // identity fields, reused for every claim
+	snapEpoch       int      // current snapshot (0 = none)
+	snapSum         string
+	// broken latches the first write/compaction failure: once the
+	// on-disk state may disagree with memory, every further operation
+	// refuses rather than acking records into an inconsistent journal.
+	broken error
+	// fault is a test seam: when non-nil it runs before every line
+	// write and its error aborts the append (simulating a failing
+	// journal writer mid-batch).
+	fault func() error
+	// compactHook is a test seam for the compaction kill matrix: when
+	// non-nil it runs before each named compaction step and its error
+	// aborts the sequence at exactly that point.
+	compactHook func(step string) error
 }
 
 // errValidationf builds a sweep.ErrValidation-tagged error (config or
@@ -99,6 +154,7 @@ func identity(cfg Config) manifest {
 		Net:          cfg.NetName,
 		Paths:        cfg.Net.NumPaths(),
 		EpochRecords: cfg.EpochRecords,
+		Shards:       cfg.JournalShards,
 		Seed:         cfg.Opts.Seed,
 		LossThresh:   cfg.Opts.LossThreshold,
 		Normalize:    cfg.Opts.Normalize,
@@ -106,110 +162,207 @@ func identity(cfg Config) manifest {
 	}
 }
 
-// openJournal opens (or creates) the journal in cfg.Dir and returns
-// the append handle plus the recovered entries to replay, in order.
-//
-// A fresh directory starts an empty journal. An existing journal is
-// adopted only with cfg.Resume — without it, clobbering someone
-// else's data is refused as a validation error. On resume, lines
-// within the manifest's claim must verify (frame CRC + canonical
-// re-marshal); the first invalid or partial line at or past the claim
-// marks a torn tail, and the file is truncated to the last good line.
-func openJournal(cfg Config) (*journal, []journalEntry, error) {
+// shardOf maps a source name to its journal shard: an FNV-1a hash so
+// the partition is stable across processes and restarts.
+func shardOf(source string, shards int) int {
+	h := fnv.New32a()
+	h.Write([]byte(source))
+	return int(h.Sum32() % uint32(shards))
+}
+
+// shaSum is the snapshot content hash: SHA-256, lowercase hex.
+func shaSum(data []byte) string {
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
+
+// shardRecovery is one journal shard's recovered image: the framed
+// entries that survived frame-level validation, with the byte offset
+// each one ends at (so the semantic replay can pick a truncation
+// point), and how many of them sit inside the manifest claim.
+type shardRecovery struct {
+	entries []journalEntry
+	ends    []int64
+	claimed int
+}
+
+// recovered is everything openJournal hands the service to replay: the
+// decoded snapshot (nil when the manifest names none) and each shard's
+// recovered entries.
+type recovered struct {
+	snap   *snapWire
+	shards []shardRecovery
+}
+
+// openJournal opens (or creates) the sharded journal in cfg.Dir and
+// returns the append handle plus the recovered snapshot and per-shard
+// entries. Frame-level validation happens here (claimed lines must
+// verify — anything else is ErrCorrupt; tail lines are adopted until
+// the first invalid one); the semantic epoch-merge replay and the
+// final truncation decision belong to the service, which calls
+// (*journal).adopt with the outcome.
+func openJournal(cfg Config) (*journal, *recovered, error) {
 	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
 		return nil, nil, fmt.Errorf("serve: journal dir: %w", err)
 	}
-	jpath := filepath.Join(cfg.Dir, journalName)
-	mpath := filepath.Join(cfg.Dir, manifestName)
+	if _, err := os.Stat(filepath.Join(cfg.Dir, legacyJournalName)); err == nil {
+		return nil, nil, errValidationf("serve: %s holds a format-v1 journal (%s); v1 predates sharding and snapshots and cannot be adopted — re-ingest from the senders", cfg.Dir, legacyJournalName)
+	}
 	ident := identity(cfg)
+	shards := cfg.JournalShards
 
-	data, err := os.ReadFile(jpath)
+	// Manifest: identity + claims. Read before the shard files so a
+	// claim over a missing file classifies as the corruption it is.
+	var m manifest
+	mExists := false
+	mdata, err := os.ReadFile(filepath.Join(cfg.Dir, manifestName))
 	switch {
 	case errors.Is(err, os.ErrNotExist):
-		data = nil
 	case err != nil:
-		return nil, nil, fmt.Errorf("serve: reading journal: %w", err)
+		return nil, nil, fmt.Errorf("serve: reading manifest: %w", err)
+	default:
+		mExists = true
+		if err := json.Unmarshal(mdata, &m); err != nil {
+			return nil, nil, errCorruptf("serve: manifest does not parse: %v", err)
+		}
+		if m.Version != manifestVersion {
+			return nil, nil, errValidationf("serve: journal format version %d, this build writes %d; the journal cannot be adopted", m.Version, manifestVersion)
+		}
+		if m.Net != ident.Net || m.Paths != ident.Paths ||
+			m.EpochRecords != ident.EpochRecords || m.Shards != ident.Shards ||
+			m.Seed != ident.Seed || m.LossThresh != ident.LossThresh ||
+			m.Normalize != ident.Normalize || m.Smoothing != ident.Smoothing {
+			return nil, nil, errValidationf("serve: journal identity mismatch: journal is (net=%q paths=%d epoch=%d shards=%d seed=%d), config is (net=%q paths=%d epoch=%d shards=%d seed=%d)",
+				m.Net, m.Paths, m.EpochRecords, m.Shards, m.Seed,
+				ident.Net, ident.Paths, ident.EpochRecords, ident.Shards, ident.Seed)
+		}
+		if len(m.ShardLines) != shards {
+			return nil, nil, errCorruptf("serve: manifest claims %d shard counts for %d shards", len(m.ShardLines), shards)
+		}
+		for s, n := range m.ShardLines {
+			if n < 0 {
+				return nil, nil, errCorruptf("serve: manifest claims %d lines for shard %d", n, s)
+			}
+		}
 	}
 
-	if len(data) > 0 && !cfg.Resume {
+	images := make([][]byte, shards)
+	dataExists := false
+	for s := 0; s < shards; s++ {
+		data, err := os.ReadFile(journalShardName(cfg.Dir, s))
+		switch {
+		case errors.Is(err, os.ErrNotExist):
+		case err != nil:
+			return nil, nil, fmt.Errorf("serve: reading journal shard %d: %w", s, err)
+		default:
+			images[s] = data
+			if len(data) > 0 {
+				dataExists = true
+			}
+		}
+	}
+	snapFiles, err := filepath.Glob(filepath.Join(cfg.Dir, "snapshot-*.json"))
+	if err != nil {
+		return nil, nil, fmt.Errorf("serve: listing snapshots: %w", err)
+	}
+	if (mExists || dataExists || len(snapFiles) > 0) && !cfg.Resume {
 		return nil, nil, errValidationf("serve: %s already holds a journal; pass resume to adopt it", cfg.Dir)
 	}
 
-	var entries []journalEntry
-	keep := int64(0)
-	lines := 0
-	if len(data) > 0 {
-		claim := 0
-		mdata, err := os.ReadFile(mpath)
-		switch {
-		case errors.Is(err, os.ErrNotExist):
-			// Journal without a manifest: nothing was ever claimed, so
-			// every line is tail. Still replay what verifies — those
-			// records were written, just never checkpointed.
-		case err != nil:
-			return nil, nil, fmt.Errorf("serve: reading manifest: %w", err)
-		default:
-			var m manifest
-			if err := json.Unmarshal(mdata, &m); err != nil {
-				return nil, nil, errCorruptf("serve: manifest does not parse: %v", err)
-			}
-			if m.Version != ident.Version || m.Net != ident.Net || m.Paths != ident.Paths ||
-				m.EpochRecords != ident.EpochRecords || m.Seed != ident.Seed ||
-				m.LossThresh != ident.LossThresh || m.Normalize != ident.Normalize ||
-				m.Smoothing != ident.Smoothing {
-				return nil, nil, errValidationf("serve: journal identity mismatch: journal is (net=%q paths=%d epoch=%d seed=%d), config is (net=%q paths=%d epoch=%d seed=%d)",
-					m.Net, m.Paths, m.EpochRecords, m.Seed, ident.Net, ident.Paths, ident.EpochRecords, ident.Seed)
-			}
-			claim = m.Lines
-		}
+	rec := &recovered{shards: make([]shardRecovery, shards)}
 
-		off := int64(0)
-		for lines < claim || off < int64(len(data)) {
-			nl := bytes.IndexByte(data[off:], '\n')
-			if nl < 0 {
-				// Partial final line: inside the claim it is missing
-				// acknowledged data; past it, an ordinary torn tail.
-				if lines < claim {
-					return nil, nil, errCorruptf("serve: journal truncated inside the claimed %d lines (%d survive)", claim, lines)
-				}
-				break
-			}
-			line := data[off : off+int64(nl)]
-			e, perr := parseEntry(line)
-			if perr != nil {
-				if lines < claim {
-					return nil, nil, errCorruptf("serve: journal line %d (within the claimed %d): %v", lines+1, claim, perr)
-				}
-				break // torn tail: truncate here
-			}
-			entries = append(entries, e)
-			off += int64(nl) + 1
-			keep = off
-			lines++
+	// Snapshot: the manifest names exactly one; any other snapshot file
+	// is an orphan from an interrupted compaction (either a newer one
+	// whose manifest rename never happened, or an older one whose
+	// cleanup was cut short) and is removed.
+	current := ""
+	if m.SnapshotEpoch > 0 {
+		current = snapshotName(cfg.Dir, m.SnapshotEpoch)
+		sdata, err := os.ReadFile(current)
+		if err != nil {
+			return nil, nil, errCorruptf("serve: manifest names snapshot epoch %d but %v", m.SnapshotEpoch, err)
+		}
+		if got := shaSum(sdata); got != m.SnapshotSHA256 {
+			return nil, nil, errCorruptf("serve: snapshot %d content hash %.12s…, manifest claims %.12s…", m.SnapshotEpoch, got, m.SnapshotSHA256)
+		}
+		snap, err := decodeSnapshot(sdata)
+		if err != nil {
+			return nil, nil, err
+		}
+		if snap.Epoch != m.SnapshotEpoch {
+			return nil, nil, errCorruptf("serve: snapshot file for epoch %d records epoch %d", m.SnapshotEpoch, snap.Epoch)
+		}
+		rec.snap = snap
+	}
+	for _, f := range snapFiles {
+		if f != current {
+			os.Remove(f) // best-effort orphan cleanup
 		}
 	}
 
-	f, err := os.OpenFile(jpath, os.O_CREATE|os.O_RDWR, 0o644)
-	if err != nil {
-		return nil, nil, fmt.Errorf("serve: opening journal: %w", err)
+	for s := 0; s < shards; s++ {
+		sh, err := recoverShard(images[s], m.ShardLines, s)
+		if err != nil {
+			return nil, nil, err
+		}
+		rec.shards[s] = sh
 	}
-	if err := f.Truncate(keep); err != nil {
-		f.Close()
-		return nil, nil, fmt.Errorf("serve: dropping torn tail: %w", err)
-	}
-	if _, err := f.Seek(keep, io.SeekStart); err != nil {
-		f.Close()
-		return nil, nil, fmt.Errorf("serve: seeking journal: %w", err)
-	}
+
 	jr := &journal{
-		dir:   cfg.Dir,
-		f:     f,
-		w:     bufio.NewWriter(f),
-		lines: lines,
-		every: cfg.CheckpointEvery,
-		ident: ident,
+		dir:       cfg.Dir,
+		files:     make([]*os.File, shards),
+		ws:        make([]*bufio.Writer, shards),
+		lines:     make([]int, shards),
+		every:     cfg.CheckpointEvery,
+		ident:     ident,
+		snapEpoch: m.SnapshotEpoch,
+		snapSum:   m.SnapshotSHA256,
 	}
-	return jr, entries, nil
+	for s := 0; s < shards; s++ {
+		f, err := os.OpenFile(journalShardName(cfg.Dir, s), os.O_CREATE|os.O_RDWR, 0o644)
+		if err != nil {
+			jr.closeFile()
+			return nil, nil, fmt.Errorf("serve: opening journal shard %d: %w", s, err)
+		}
+		jr.files[s] = f
+	}
+	return jr, rec, nil
+}
+
+// recoverShard frame-validates one shard image. Lines within the claim
+// must verify — a parse failure, a partial line, or a file that ends
+// early (including a missing file read as empty) all mean acknowledged
+// data is gone, ErrCorrupt. Past the claim, valid lines are adopted
+// until the first invalid one; the rest is torn tail.
+func recoverShard(data []byte, claims []int, s int) (shardRecovery, error) {
+	claim := 0
+	if claims != nil {
+		claim = claims[s]
+	}
+	var sh shardRecovery
+	sh.claimed = claim
+	off := int64(0)
+	for len(sh.entries) < claim || off < int64(len(data)) {
+		nl := bytes.IndexByte(data[off:], '\n')
+		if nl < 0 {
+			if len(sh.entries) < claim {
+				return sh, errCorruptf("serve: journal shard %d truncated inside the claimed %d lines (%d survive)", s, claim, len(sh.entries))
+			}
+			break
+		}
+		line := data[off : off+int64(nl)]
+		e, perr := parseEntry(line)
+		if perr != nil {
+			if len(sh.entries) < claim {
+				return sh, errCorruptf("serve: journal shard %d line %d (within the claimed %d): %v", s, len(sh.entries)+1, claim, perr)
+			}
+			break // torn tail: the adopt step truncates here
+		}
+		off += int64(nl) + 1
+		sh.entries = append(sh.entries, e)
+		sh.ends = append(sh.ends, off)
+	}
+	return sh, nil
 }
 
 // parseEntry validates one framed journal line: frame CRC, decodable
@@ -234,26 +387,72 @@ func parseEntry(line []byte) (journalEntry, error) {
 	return e, nil
 }
 
-// append buffers one journal line. Durability comes at the next flush
-// — Ingest flushes before acknowledging.
+// adopt finalizes recovery: each shard file is truncated to the byte
+// offset of its last semantically adopted line (dropping torn tails
+// and pre-snapshot residue) and the append side picks up from there.
+func (j *journal) adopt(keeps []int64, counts []int) error {
+	for s, f := range j.files {
+		if err := f.Truncate(keeps[s]); err != nil {
+			return fmt.Errorf("serve: dropping shard %d torn tail: %w", s, err)
+		}
+		if _, err := f.Seek(keeps[s], io.SeekStart); err != nil {
+			return fmt.Errorf("serve: seeking journal shard %d: %w", s, err)
+		}
+		j.ws[s] = bufio.NewWriter(f)
+		j.lines[s] = counts[s]
+	}
+	return nil
+}
+
+// append buffers one journal line: a record into the shard its source
+// hashes to, a close marker into every shard (each shard partitions
+// into the same epochs). Durability comes at the next flush — Ingest
+// flushes before acknowledging.
 func (j *journal) append(e journalEntry) error {
+	if j.broken != nil {
+		return j.broken
+	}
 	payload, err := json.Marshal(e)
 	if err != nil {
 		return fmt.Errorf("serve: journal marshal: %w", err)
 	}
-	if _, err := j.w.Write(sweep.FramePayload(payload)); err != nil {
-		return fmt.Errorf("serve: journal write: %w", err)
+	if e.Close != 0 {
+		for s := range j.ws {
+			if err := j.writeLine(s, payload); err != nil {
+				return err
+			}
+		}
+		return nil
 	}
-	j.lines++
+	return j.writeLine(shardOf(e.Rec.Source, len(j.ws)), payload)
+}
+
+func (j *journal) writeLine(s int, payload []byte) error {
+	if j.fault != nil {
+		if err := j.fault(); err != nil {
+			return fmt.Errorf("serve: journal write: %w", err)
+		}
+	}
+	if _, err := j.ws[s].Write(sweep.FramePayload(payload)); err != nil {
+		j.broken = fmt.Errorf("serve: journal write: %w", err)
+		return j.broken
+	}
+	j.lines[s]++
 	j.sinceCheckpoint++
 	return nil
 }
 
-// flush pushes buffered lines to the file and, on the checkpoint
+// flush pushes buffered lines to the files and, on the checkpoint
 // cadence, rewrites the manifest claim with the folded state.
 func (j *journal) flush(records int64, epochs int) error {
-	if err := j.w.Flush(); err != nil {
-		return fmt.Errorf("serve: journal flush: %w", err)
+	if j.broken != nil {
+		return j.broken
+	}
+	for s, w := range j.ws {
+		if err := w.Flush(); err != nil {
+			j.broken = fmt.Errorf("serve: journal shard %d flush: %w", s, err)
+			return j.broken
+		}
 	}
 	if j.sinceCheckpoint >= j.every {
 		return j.checkpoint(records, epochs)
@@ -265,13 +464,30 @@ func (j *journal) flush(records int64, epochs int) error {
 // to a temp file and renamed over the old one, so a kill leaves either
 // the previous claim or the new one, never a torn manifest.
 func (j *journal) checkpoint(records int64, epochs int) error {
-	if err := j.w.Flush(); err != nil {
-		return fmt.Errorf("serve: journal flush: %w", err)
+	if j.broken != nil {
+		return j.broken
 	}
+	for s, w := range j.ws {
+		if err := w.Flush(); err != nil {
+			j.broken = fmt.Errorf("serve: journal shard %d flush: %w", s, err)
+			return j.broken
+		}
+	}
+	if err := j.writeManifest(records, epochs); err != nil {
+		j.broken = err
+		return err
+	}
+	j.sinceCheckpoint = 0
+	return nil
+}
+
+func (j *journal) writeManifest(records int64, epochs int) error {
 	m := j.ident
-	m.Lines = j.lines
+	m.ShardLines = append([]int(nil), j.lines...)
 	m.Records = records
 	m.Epochs = epochs
+	m.SnapshotEpoch = j.snapEpoch
+	m.SnapshotSHA256 = j.snapSum
 	data, err := json.MarshalIndent(m, "", "  ")
 	if err != nil {
 		return fmt.Errorf("serve: manifest marshal: %w", err)
@@ -284,15 +500,112 @@ func (j *journal) checkpoint(records int64, epochs int) error {
 	if err := os.Rename(tmp, filepath.Join(j.dir, manifestName)); err != nil {
 		return fmt.Errorf("serve: manifest rename: %w", err)
 	}
+	return nil
+}
+
+// compact runs the snapshot + truncate sequence. The step order is the
+// whole crash-safety argument, so it is spelled out:
+//
+//  1. snapshot: write the full-state snapshot to a temp file and
+//     rename it into place. A kill here leaves an orphan snapshot the
+//     manifest never names; open removes it.
+//  2. manifest: atomically rename a manifest naming the snapshot with
+//     every shard claim reset to zero. This is the commit point: from
+//     here the journal bytes are pre-snapshot residue. A kill after it
+//     leaves residue on disk, which recovery detects (stale sequence
+//     numbers / stale close markers behind a zero claim) and truncates.
+//  3. truncate-NNNN: per shard, drop the buffered writer state and
+//     truncate the file to zero. A kill between shards leaves a mix of
+//     empty and residue shards — each recovers independently.
+//  4. cleanup: remove the previous snapshot file. A kill before this
+//     leaves an orphan the next open removes.
+//
+// Any failure latches the journal broken: memory and disk may disagree
+// past this point, so no further record may be acked.
+func (j *journal) compact(epoch int, snapData []byte, records int64, epochs int) error {
+	if j.broken != nil {
+		return j.broken
+	}
+	fail := func(err error) error {
+		j.broken = err
+		return err
+	}
+	if err := j.hook("snapshot"); err != nil {
+		return fail(err)
+	}
+	snap := snapshotName(j.dir, epoch)
+	if err := os.WriteFile(snap+".tmp", snapData, 0o644); err != nil {
+		return fail(fmt.Errorf("serve: snapshot write: %w", err))
+	}
+	if err := os.Rename(snap+".tmp", snap); err != nil {
+		return fail(fmt.Errorf("serve: snapshot rename: %w", err))
+	}
+
+	if err := j.hook("manifest"); err != nil {
+		return fail(err)
+	}
+	oldEpoch := j.snapEpoch
+	j.snapEpoch, j.snapSum = epoch, shaSum(snapData)
+	for s := range j.lines {
+		j.lines[s] = 0
+	}
+	// The writers may hold buffered pre-snapshot lines; they are
+	// residue now — drop them rather than flushing them to disk.
+	for s, f := range j.files {
+		j.ws[s].Reset(f)
+	}
+	if err := j.writeManifest(records, epochs); err != nil {
+		return fail(err)
+	}
+
+	for s, f := range j.files {
+		if err := j.hook(fmt.Sprintf("truncate-%04d", s)); err != nil {
+			return fail(err)
+		}
+		if err := f.Truncate(0); err != nil {
+			return fail(fmt.Errorf("serve: truncating journal shard %d: %w", s, err))
+		}
+		if _, err := f.Seek(0, io.SeekStart); err != nil {
+			return fail(fmt.Errorf("serve: seeking journal shard %d: %w", s, err))
+		}
+		j.ws[s].Reset(f)
+	}
+
+	if err := j.hook("cleanup"); err != nil {
+		return fail(err)
+	}
+	if oldEpoch > 0 {
+		os.Remove(snapshotName(j.dir, oldEpoch)) // best-effort
+	}
 	j.sinceCheckpoint = 0
 	return nil
 }
 
-// closeFile closes the journal file (flushing first).
+func (j *journal) hook(step string) error {
+	if j.compactHook == nil {
+		return nil
+	}
+	return j.compactHook(step)
+}
+
+// closeFile closes the journal shard files (flushing first).
 func (j *journal) closeFile() error {
-	err := j.w.Flush()
-	if cerr := j.f.Close(); err == nil {
-		err = cerr
+	var err error
+	for _, w := range j.ws {
+		if w == nil {
+			continue
+		}
+		if ferr := w.Flush(); err == nil {
+			err = ferr
+		}
+	}
+	for _, f := range j.files {
+		if f == nil {
+			continue
+		}
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
 	}
 	return err
 }

@@ -5,7 +5,6 @@ import (
 	"encoding/json"
 	"math/rand"
 	"os"
-	"path/filepath"
 	"strconv"
 	"testing"
 	"time"
@@ -120,14 +119,23 @@ func runTrial(t *testing.T, rng *rand.Rand, cfg Config, recs []measure.StreamRec
 		if i == killAt {
 			kill(t, s)
 			// A kill can leave a torn tail: bytes written but never
-			// acknowledged. Resume must shed them.
-			jpath := filepath.Join(cfg.Dir, journalName)
-			f, err := os.OpenFile(jpath, os.O_APPEND|os.O_WRONLY, 0o644)
-			if err != nil {
-				t.Fatal(err)
+			// acknowledged. Resume must shed them — on a random subset
+			// of the journal shards, as a real crash would.
+			shards := cfg.JournalShards
+			if shards <= 0 {
+				shards = 1
 			}
-			f.WriteString("deadbeef {\"rec\":torn")
-			f.Close()
+			for sh := 0; sh < shards; sh++ {
+				if sh > 0 && rng.Intn(2) == 0 {
+					continue
+				}
+				f, err := os.OpenFile(journalShardName(cfg.Dir, sh), os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+				if err != nil {
+					t.Fatal(err)
+				}
+				f.WriteString("deadbeef {\"rec\":torn")
+				f.Close()
+			}
 
 			rcfg := cfg
 			rcfg.Resume = true
@@ -180,19 +188,27 @@ func runDeterminismTrials(t *testing.T, trials int, seed int64) {
 	}
 
 	rng := rand.New(rand.NewSource(seed))
+	shardCounts := []int{1, 2, 8}
+	compactCadences := []int{0, 2, 3} // off, and two on-cadences
 	for trial := 0; trial < trials; trial++ {
 		restart := trial%2 == 1 // odd trials kill+resume mid-epoch
 		cfg := Config{Net: n, EpochRecords: epoch}
-		if restart {
+		if trial >= 2 || restart {
+			// Journaled trials randomize the journal geometry: shard
+			// count and compaction cadence must not change a byte.
 			cfg.Dir = t.TempDir()
 			cfg.CheckpointEvery = 37 // off-cadence: claims land mid-epoch
+			cfg.JournalShards = shardCounts[rng.Intn(len(shardCounts))]
+			cfg.CompactEvery = compactCadences[rng.Intn(len(compactCadences))]
 		}
 		verdict, summary := runTrial(t, rng, cfg, recs, restart)
 		if !bytes.Equal(verdict, wantVerdict) {
-			t.Fatalf("trial %d (restart=%v): verdict diverged\ngot  %s\nwant %s", trial, restart, verdict, wantVerdict)
+			t.Fatalf("trial %d (restart=%v shards=%d compact=%d): verdict diverged\ngot  %s\nwant %s",
+				trial, restart, cfg.JournalShards, cfg.CompactEvery, verdict, wantVerdict)
 		}
 		if summary != wantSummary {
-			t.Fatalf("trial %d (restart=%v): summary diverged\ngot:\n%s\nwant:\n%s", trial, restart, summary, wantSummary)
+			t.Fatalf("trial %d (restart=%v shards=%d compact=%d): summary diverged\ngot:\n%s\nwant:\n%s",
+				trial, restart, cfg.JournalShards, cfg.CompactEvery, summary, wantSummary)
 		}
 	}
 }

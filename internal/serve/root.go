@@ -1,0 +1,541 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"neutrality/internal/core"
+	"neutrality/internal/graph"
+	"neutrality/internal/measure"
+	"neutrality/internal/sweep"
+)
+
+// Multi-instance tree: leaf services each ingest a disjoint slice of
+// the source population and ship one EpochReport per closed epoch to a
+// Root, which folds the reports and runs the inference over the merged
+// table. The determinism contract extends across the tree: the root's
+// per-epoch verdict is byte-identical to a single service ingesting
+// the union of the leaf streams with the same epoch boundaries,
+// because everything the verdict depends on merges exactly — the
+// measurement table is integer counts, cumulative record/source counts
+// are sums (leaves own disjoint source sets), and the loss-fraction
+// accumulators merge under the property-tested Welford/Sketch merge
+// laws, folded in leaf-name order so the fold order is canonical.
+//
+// Transport reuses the fleet idioms: reports are content-hash-sealed
+// (SHA-256 over the canonical JSON with the hash field empty),
+// delivery is idempotent (per-leaf epoch high-water marks answer
+// duplicates with 200), and a gap — epoch e+2 arriving before e+1 —
+// is refused with ErrReportGap (HTTP 409) so the shipper's in-order
+// retry loop can close it.
+
+// PathCount is one (interval, path) cell's packet-count delta in an
+// epoch report.
+type PathCount struct {
+	Interval int `json:"interval"`
+	Path     int `json:"path"`
+	Sent     int `json:"sent"`
+	Lost     int `json:"lost"`
+}
+
+// EpochReport is one leaf's closed epoch, aggregated for shipment:
+// the sparse measurement-table delta in canonical (interval, path)
+// order, the epoch's loss accumulators in exact wire form, and a
+// content hash sealing the document.
+type EpochReport struct {
+	// Leaf names the shipping instance; Epoch is its closed-epoch
+	// number (leaves close epochs in lockstep, see Root).
+	Leaf  string `json:"leaf"`
+	Epoch int    `json:"epoch"`
+	// Records is the epoch's accepted-record count; Sources the leaf's
+	// cumulative distinct-source count at the close.
+	Records int `json:"records"`
+	Sources int `json:"sources"`
+	// Counts is the epoch's table delta, sorted by (interval, path).
+	Counts []PathCount `json:"counts"`
+	// Loss / LossSketch are the epoch's canonical-order loss folds.
+	Loss       sweep.WelfordWire `json:"loss"`
+	LossSketch sweep.SketchWire  `json:"loss_sketch"`
+	// Sum is the SHA-256 (lowercase hex) of the report's canonical
+	// JSON with Sum itself empty.
+	Sum string `json:"sum,omitempty"`
+}
+
+// sealReport stamps the content hash.
+func sealReport(r *EpochReport) {
+	r.Sum = ""
+	b, _ := json.Marshal(r)
+	r.Sum = shaSum(b)
+}
+
+// verifyReport recomputes the content hash.
+func verifyReport(r EpochReport) bool {
+	want := r.Sum
+	r.Sum = ""
+	b, _ := json.Marshal(&r)
+	return want != "" && shaSum(b) == want
+}
+
+// ErrReportGap reports an epoch report arriving ahead of its leaf's
+// next expected epoch: an earlier report was lost in transit and must
+// be re-sent first (HTTP 409). Retrying the same report later cannot
+// succeed until the gap is closed.
+var ErrReportGap = errors.New("serve: epoch report out of order, earlier epoch missing")
+
+// RootConfig parameterizes a Root.
+type RootConfig struct {
+	// Net is the shared topology; leaf reports address its path
+	// indices.
+	Net *graph.Network
+	// Leaves is the expected leaf count: epoch e folds once every one
+	// of the first Leaves distinct leaf names has delivered e.
+	Leaves int
+	// Opts / Infer mirror Config (zero values: defaults).
+	Opts  measure.Options
+	Infer core.Config
+	// MaxIntervals caps the interval index a report may address
+	// (default 1<<20).
+	MaxIntervals int
+}
+
+// RootStatus is the root's operational counter snapshot.
+type RootStatus struct {
+	Records           int64 `json:"records"`
+	Epochs            int   `json:"epochs"`
+	Leaves            int   `json:"leaves"`
+	ExpectedLeaves    int   `json:"expected_leaves"`
+	Staged            int   `json:"staged"`
+	Duplicates        int64 `json:"duplicates"`
+	Gaps              int64 `json:"gaps"`
+	RejectsValidation int64 `json:"rejects_validation"`
+	Intervals         int   `json:"intervals"`
+}
+
+// Root folds leaf epoch reports into a merged table and serves the
+// tree-wide verdict. State is in-memory only: on a root restart the
+// leaves' shippers re-send from their journals' unacked outboxes, and
+// the idempotent delivery rebuilds the fold. All methods are safe for
+// concurrent use; the epoch fold runs the inference under the root
+// lock (root folds are rare — one per tree epoch — so the narrow-lock
+// machinery of Service is not replicated here).
+type Root struct {
+	mu  sync.Mutex
+	cfg RootConfig
+	net *graph.Network
+
+	meas      *measure.Measurements
+	leafEpoch map[string]int                  // per-leaf delivered high-water mark
+	staged    map[string]map[int]*EpochReport // undigested reports by leaf, epoch
+	records   int64
+	epoch     int
+	sources   int // tree-wide source count at the last fold (sum over leaves)
+
+	cumLoss   sweep.Welford
+	cumSketch *sweep.Sketch
+
+	verdict  []byte
+	listing  []string
+	dropped  int
+	counters RootStatus
+}
+
+// NewRoot builds a Root.
+func NewRoot(cfg RootConfig) (*Root, error) {
+	if cfg.Net == nil {
+		return nil, fmt.Errorf("serve: root config needs a network: %w", sweep.ErrValidation)
+	}
+	if cfg.Leaves <= 0 {
+		return nil, fmt.Errorf("serve: root config needs the expected leaf count: %w", sweep.ErrValidation)
+	}
+	if cfg.Opts == (measure.Options{}) {
+		cfg.Opts = measure.DefaultOptions()
+	}
+	if cfg.MaxIntervals <= 0 {
+		cfg.MaxIntervals = 1 << 20
+	}
+	r := &Root{
+		cfg:       cfg,
+		net:       cfg.Net,
+		meas:      measure.NewMeasurements(0, cfg.Net.NumPaths()),
+		leafEpoch: make(map[string]int),
+		staged:    make(map[string]map[int]*EpochReport),
+		cumSketch: sweep.NewUnitSketch(),
+	}
+	v, err := json.Marshal(EpochVerdict{})
+	if err != nil {
+		return nil, err
+	}
+	r.verdict = v
+	return r, nil
+}
+
+// RootDeliverResult reports one delivery's effect.
+type RootDeliverResult struct {
+	// Duplicate marks an already-delivered epoch (acked again — the
+	// idempotent at-least-once contract).
+	Duplicate bool `json:"duplicate,omitempty"`
+	// Epoch echoes the delivered epoch; Folded is the root's folded
+	// epoch count after the call.
+	Epoch  int `json:"epoch"`
+	Folded int `json:"folded"`
+}
+
+func (r *Root) validateReport(rep EpochReport) error {
+	if !verifyReport(rep) {
+		return fmt.Errorf("serve: epoch report content hash mismatch: %w", measure.ErrValidation)
+	}
+	if rep.Leaf == "" || rep.Epoch <= 0 || rep.Records < 0 {
+		return fmt.Errorf("serve: epoch report malformed (leaf=%q epoch=%d records=%d): %w", rep.Leaf, rep.Epoch, rep.Records, measure.ErrValidation)
+	}
+	if rep.Sources < 0 || len(rep.Counts) > rep.Records {
+		return fmt.Errorf("serve: epoch report counts inconsistent: %w", measure.ErrValidation)
+	}
+	paths := r.net.NumPaths()
+	for i, c := range rep.Counts {
+		if c.Interval < 0 || c.Interval >= r.cfg.MaxIntervals || c.Path < 0 || c.Path >= paths ||
+			c.Sent < 0 || c.Lost < 0 || c.Lost > c.Sent {
+			return fmt.Errorf("serve: epoch report count %d out of domain: %w", i, measure.ErrValidation)
+		}
+		if i > 0 {
+			p := rep.Counts[i-1]
+			if c.Interval < p.Interval || (c.Interval == p.Interval && c.Path <= p.Path) {
+				return fmt.Errorf("serve: epoch report counts out of canonical order at %d: %w", i, measure.ErrValidation)
+			}
+		}
+	}
+	if loss, err := sweep.CheckWelford(rep.Loss, "report loss"); err != nil {
+		return fmt.Errorf("serve: %v: %w", err, measure.ErrValidation)
+	} else if loss.N > rep.Records {
+		return fmt.Errorf("serve: epoch report loss folds %d of %d records: %w", loss.N, rep.Records, measure.ErrValidation)
+	}
+	if _, err := sweep.CheckSketch(rep.LossSketch, "report loss sketch", false); err != nil {
+		return fmt.Errorf("serve: %v: %w", err, measure.ErrValidation)
+	}
+	return nil
+}
+
+// Deliver accepts one leaf epoch report: content-hash verification,
+// per-leaf in-order idempotent delivery, then as many tree-epoch folds
+// as the staged reports complete. Duplicates are acked (not errors);
+// a per-leaf gap is ErrReportGap; validation failures carry
+// measure.ErrValidation and apply nothing.
+func (r *Root) Deliver(rep EpochReport) (RootDeliverResult, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := r.validateReport(rep); err != nil {
+		r.counters.RejectsValidation++
+		return RootDeliverResult{Epoch: rep.Epoch, Folded: r.epoch}, err
+	}
+	hwm, known := r.leafEpoch[rep.Leaf]
+	if !known && len(r.leafEpoch) >= r.cfg.Leaves {
+		r.counters.RejectsValidation++
+		return RootDeliverResult{Epoch: rep.Epoch, Folded: r.epoch},
+			fmt.Errorf("serve: leaf %q beyond the expected %d leaves: %w", rep.Leaf, r.cfg.Leaves, measure.ErrValidation)
+	}
+	if rep.Epoch <= hwm {
+		r.counters.Duplicates++
+		return RootDeliverResult{Duplicate: true, Epoch: rep.Epoch, Folded: r.epoch}, nil
+	}
+	if rep.Epoch != hwm+1 {
+		r.counters.Gaps++
+		return RootDeliverResult{Epoch: rep.Epoch, Folded: r.epoch},
+			fmt.Errorf("%w: leaf %q delivered epoch %d after %d", ErrReportGap, rep.Leaf, rep.Epoch, hwm)
+	}
+	r.leafEpoch[rep.Leaf] = rep.Epoch
+	if r.staged[rep.Leaf] == nil {
+		r.staged[rep.Leaf] = make(map[int]*EpochReport)
+	}
+	stored := rep
+	r.staged[rep.Leaf][rep.Epoch] = &stored
+
+	for r.foldReadyLocked() {
+		if err := r.foldEpochLocked(); err != nil {
+			return RootDeliverResult{Epoch: rep.Epoch, Folded: r.epoch}, err
+		}
+	}
+	return RootDeliverResult{Epoch: rep.Epoch, Folded: r.epoch}, nil
+}
+
+// foldReadyLocked reports whether every expected leaf has staged the
+// next tree epoch.
+func (r *Root) foldReadyLocked() bool {
+	if len(r.leafEpoch) < r.cfg.Leaves {
+		return false
+	}
+	next := r.epoch + 1
+	for leaf := range r.leafEpoch {
+		if r.staged[leaf][next] == nil {
+			return false
+		}
+	}
+	return true
+}
+
+// foldEpochLocked folds one complete tree epoch in leaf-name order —
+// the canonical fold order that makes the cumulative accumulators
+// deterministic — and runs the inference over the merged table.
+func (r *Root) foldEpochLocked() error {
+	next := r.epoch + 1
+	leaves := make([]string, 0, len(r.leafEpoch))
+	for leaf := range r.leafEpoch {
+		leaves = append(leaves, leaf)
+	}
+	sort.Strings(leaves)
+
+	var epochLoss sweep.Welford
+	epochSketch := sweep.NewUnitSketch()
+	sources := 0
+	paths := r.net.NumPaths()
+	for _, leaf := range leaves {
+		rep := r.staged[leaf][next]
+		for _, c := range rep.Counts {
+			r.meas.EnsureIntervals(c.Interval+1, paths)
+			r.meas.Add(c.Interval, graph.PathID(c.Path), c.Sent, c.Lost)
+		}
+		r.records += int64(rep.Records)
+		sources += rep.Sources
+		loss, err := sweep.CheckWelford(rep.Loss, "report loss")
+		if err != nil {
+			return err // validated at delivery; unreachable
+		}
+		sk, err := sweep.CheckSketch(rep.LossSketch, "report loss sketch", false)
+		if err != nil {
+			return err
+		}
+		epochLoss.Merge(loss)
+		epochSketch.Merge(sk)
+		delete(r.staged[leaf], next)
+	}
+	r.cumLoss.Merge(epochLoss)
+	r.cumSketch.Merge(epochSketch)
+	r.epoch = next
+	r.sources = sources
+
+	cfg := r.cfg.Infer
+	if cfg == (core.Config{}) {
+		cfg = core.DefaultConfig()
+	}
+	res := core.Infer(r.net, core.MeasurementObserver{Meas: r.meas, Opts: r.cfg.Opts}, cfg)
+	ev := buildVerdict(res, r.epoch, r.records, r.meas.Intervals(), sources, resolveMinGap(cfg))
+	vb, err := json.Marshal(ev)
+	if err != nil {
+		return err
+	}
+	r.verdict = vb
+	cumSk := *r.cumSketch
+	r.listing = append(r.listing, renderEpochSummary(ev, epochLoss, epochSketch, r.cumLoss, &cumSk))
+	if len(r.listing) > maxSummaryBlocks {
+		r.dropped += len(r.listing) - maxSummaryBlocks
+		r.listing = r.listing[len(r.listing)-maxSummaryBlocks:]
+	}
+	return nil
+}
+
+// VerdictJSON returns the latest tree-wide verdict (canonical JSON).
+func (r *Root) VerdictJSON() []byte {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]byte(nil), r.verdict...)
+}
+
+// SummaryText returns the per-epoch summary window, oldest first.
+func (r *Root) SummaryText() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var sb strings.Builder
+	if r.dropped > 0 {
+		fmt.Fprintf(&sb, "(%d earlier epochs aged out of the summary window)\n", r.dropped)
+	}
+	for _, b := range r.listing {
+		sb.WriteString(b)
+	}
+	return sb.String()
+}
+
+// Status snapshots the root's operational counters.
+func (r *Root) Status() RootStatus {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := r.counters
+	st.Records = r.records
+	st.Epochs = r.epoch
+	st.Leaves = len(r.leafEpoch)
+	st.ExpectedLeaves = r.cfg.Leaves
+	st.Intervals = r.meas.Intervals()
+	staged := 0
+	for _, m := range r.staged {
+		staged += len(m)
+	}
+	st.Staged = staged
+	return st
+}
+
+// RootServer exposes a Root over HTTP:
+//
+//	POST /v1/epoch    one EpochReport (JSON body) → 200 RootDeliverResult
+//	                  (duplicates also 200), 400 on validation failure,
+//	                  409 on a per-leaf epoch gap (re-send earlier first)
+//	GET  /v1/verdict  latest tree-wide EpochVerdict
+//	GET  /v1/summary  per-epoch summary window (text/plain)
+//	GET  /v1/status   operational counters
+type RootServer struct {
+	R   *Root
+	mux *http.ServeMux
+}
+
+// NewRootServer builds the handler for a root.
+func NewRootServer(r *Root) *RootServer {
+	srv := &RootServer{R: r, mux: http.NewServeMux()}
+	srv.mux.HandleFunc("POST /v1/epoch", srv.epoch)
+	srv.mux.HandleFunc("GET /v1/verdict", srv.verdict)
+	srv.mux.HandleFunc("GET /v1/summary", srv.summary)
+	srv.mux.HandleFunc("GET /v1/status", srv.status)
+	return srv
+}
+
+func (s *RootServer) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func (s *RootServer) epoch(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxIngestBytes+1))
+	if err != nil || int64(len(body)) > maxIngestBytes {
+		writeJSON(w, http.StatusBadRequest, httpError{Err: "validation", Msg: "report body unreadable or too large"})
+		return
+	}
+	var rep EpochReport
+	if err := json.Unmarshal(body, &rep); err != nil {
+		writeJSON(w, http.StatusBadRequest, httpError{Err: "validation", Msg: "report does not parse: " + err.Error()})
+		return
+	}
+	res, err := s.R.Deliver(rep)
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusOK, res)
+	case errors.Is(err, ErrReportGap):
+		writeJSON(w, http.StatusConflict, httpError{Err: "gap", Msg: err.Error()})
+	case errors.Is(err, measure.ErrValidation):
+		writeJSON(w, http.StatusBadRequest, httpError{Err: "validation", Msg: err.Error()})
+	default:
+		writeJSON(w, http.StatusInternalServerError, httpError{Err: "internal", Msg: err.Error()})
+	}
+}
+
+func (s *RootServer) verdict(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(s.R.VerdictJSON())
+	w.Write([]byte("\n"))
+}
+
+func (s *RootServer) summary(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	io.WriteString(w, s.R.SummaryText())
+}
+
+func (s *RootServer) status(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.R.Status())
+}
+
+// Shipper drains one leaf service's report outbox to a root over HTTP,
+// in epoch order, retrying transient failures with exponential backoff
+// (the fleet idiom: delivery is idempotent, so re-sending after an
+// ambiguous failure is always safe). Run blocks until the context is
+// done or a permanent (validation-class) rejection occurs.
+type Shipper struct {
+	S *Service
+	// URL is the root's base URL (e.g. http://root:8080).
+	URL string
+	// Client defaults to a 30s-timeout client; Backoff is the initial
+	// retry pause (default 250ms, doubling to a 10s cap).
+	Client  *http.Client
+	Backoff time.Duration
+}
+
+func (sh *Shipper) client() *http.Client {
+	if sh.Client != nil {
+		return sh.Client
+	}
+	return &http.Client{Timeout: 30 * time.Second}
+}
+
+// Run ships queued reports until ctx is done. Returns nil on context
+// cancellation, an error only on a permanent rejection.
+func (sh *Shipper) Run(ctx context.Context) error {
+	backoff := sh.Backoff
+	if backoff <= 0 {
+		backoff = 250 * time.Millisecond
+	}
+	for {
+		for _, rep := range sh.S.Reports() {
+			pause := backoff
+			for {
+				err := sh.post(ctx, rep)
+				if err == nil {
+					sh.S.AckReports(rep.Epoch)
+					break
+				}
+				var perm *permanentShipError
+				if errors.As(err, &perm) {
+					return fmt.Errorf("serve: root rejected epoch %d report: %s: %w", rep.Epoch, perm.msg, measure.ErrValidation)
+				}
+				select {
+				case <-ctx.Done():
+					return nil
+				case <-time.After(pause):
+				}
+				if pause *= 2; pause > 10*time.Second {
+					pause = 10 * time.Second
+				}
+			}
+		}
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-sh.S.ReportSignal():
+		case <-time.After(2 * time.Second):
+		}
+	}
+}
+
+// permanentShipError marks a 400-class rejection: retrying the same
+// bytes cannot succeed.
+type permanentShipError struct{ msg string }
+
+func (e *permanentShipError) Error() string { return e.msg }
+
+func (sh *Shipper) post(ctx context.Context, rep EpochReport) error {
+	body, err := json.Marshal(rep)
+	if err != nil {
+		return &permanentShipError{msg: err.Error()}
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, strings.TrimRight(sh.URL, "/")+"/v1/epoch", bytes.NewReader(body))
+	if err != nil {
+		return &permanentShipError{msg: err.Error()}
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := sh.client().Do(req)
+	if err != nil {
+		return err // transient: network failure, root down
+	}
+	defer resp.Body.Close()
+	msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		return nil
+	case resp.StatusCode == http.StatusBadRequest:
+		return &permanentShipError{msg: strings.TrimSpace(string(msg))}
+	default:
+		// 409 (gap) and 5xx retry: the in-order drain closes gaps, and
+		// a restarted root rebuilds from re-sent reports.
+		return fmt.Errorf("serve: root answered %d: %s", resp.StatusCode, strings.TrimSpace(string(msg)))
+	}
+}

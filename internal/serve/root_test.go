@@ -1,0 +1,256 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"math/rand"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"neutrality/internal/measure"
+)
+
+// splitBySource deals a stream across leaves by source name, keeping
+// each leaf's slice in delivery order. Leaves own disjoint source sets
+// — the precondition for the tree's source-count sum being exact.
+func splitBySource(recs []measure.StreamRecord, leaves int) [][]measure.StreamRecord {
+	idx := map[string]int{}
+	out := make([][]measure.StreamRecord, leaves)
+	for _, r := range recs {
+		i, ok := idx[r.Source]
+		if !ok {
+			i = len(idx) % leaves
+			idx[r.Source] = i
+		}
+		out[i] = append(out[i], r)
+	}
+	return out
+}
+
+// driveTree ingests a stream through `leaves` leaf services closing
+// epochs in lockstep with a union reference service, and returns the
+// leaves, their queued reports, and the union's verdicts per epoch.
+func driveTree(t *testing.T, leaves, rounds int) (leafSvcs []*Service, union *Service, perEpoch [][]byte) {
+	t.Helper()
+	n, recs := testStream(60, 4, 7)
+	parts := splitBySource(recs, leaves)
+
+	union = mustNew(t, Config{Net: n, EpochRecords: 0})
+	names := []string{"leaf-a", "leaf-b", "leaf-c"}
+	for i := 0; i < leaves; i++ {
+		leafSvcs = append(leafSvcs, mustNew(t, Config{Net: n, EpochRecords: 0, Leaf: names[i]}))
+	}
+
+	per := (len(recs) + rounds - 1) / rounds
+	for lo := 0; lo < len(recs); lo += per {
+		hi := lo + per
+		if hi > len(recs) {
+			hi = len(recs)
+		}
+		round := recs[lo:hi]
+		inRound := map[string]bool{}
+		for _, r := range round {
+			inRound[r.Source+":"+itoa(r.Seq)] = true
+		}
+		for i, leaf := range leafSvcs {
+			var slice []measure.StreamRecord
+			for _, r := range parts[i] {
+				if inRound[r.Source+":"+itoa(r.Seq)] {
+					slice = append(slice, r)
+				}
+			}
+			if _, err := leaf.Ingest(slice); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := leaf.CloseEpoch(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := union.Ingest(round); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := union.CloseEpoch(); err != nil {
+			t.Fatal(err)
+		}
+		perEpoch = append(perEpoch, union.VerdictJSON())
+	}
+	return leafSvcs, union, perEpoch
+}
+
+func itoa(v int64) string {
+	var b [20]byte
+	i := len(b)
+	for {
+		i--
+		b[i] = byte('0' + v%10)
+		if v /= 10; v == 0 {
+			break
+		}
+	}
+	return string(b[i:])
+}
+
+// TestRootMatchesUnion is the tree-mode determinism contract: the
+// root's verdict after folding every leaf's epoch reports is
+// byte-identical to a single service that ingested the union of the
+// leaf streams with the same epoch boundaries — for every epoch, and
+// regardless of the (per-leaf in-order) interleaving of deliveries.
+func TestRootMatchesUnion(t *testing.T) {
+	const leaves, rounds = 2, 5
+	leafSvcs, union, perEpoch := driveTree(t, leaves, rounds)
+
+	root, err := NewRoot(RootConfig{Net: union.net, Leaves: leaves})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Interleave deliveries across leaves at random, preserving each
+	// leaf's own order (the shipper's in-order drain guarantee).
+	rng := rand.New(rand.NewSource(11))
+	queues := make([][]EpochReport, leaves)
+	for i, leaf := range leafSvcs {
+		queues[i] = leaf.Reports()
+		if len(queues[i]) != rounds {
+			t.Fatalf("leaf %d queued %d reports, want %d", i, len(queues[i]), rounds)
+		}
+	}
+	folded := 0
+	for {
+		live := 0
+		for _, q := range queues {
+			if len(q) > 0 {
+				live++
+			}
+		}
+		if live == 0 {
+			break
+		}
+		i := rng.Intn(leaves)
+		if len(queues[i]) == 0 {
+			continue
+		}
+		rep := queues[i][0]
+		queues[i] = queues[i][1:]
+		res, err := root.Deliver(rep)
+		if err != nil {
+			t.Fatalf("deliver leaf %d epoch %d: %v", i, rep.Epoch, err)
+		}
+		for ; folded < res.Folded; folded++ {
+			// Every newly folded tree epoch must reproduce the union
+			// service's verdict for that epoch, byte for byte.
+			if got := root.VerdictJSON(); folded == res.Folded-1 && !bytes.Equal(got, perEpoch[folded]) {
+				t.Fatalf("tree epoch %d verdict diverged from union:\ngot  %s\nwant %s", folded+1, got, perEpoch[folded])
+			}
+		}
+	}
+	if folded != rounds {
+		t.Fatalf("root folded %d epochs, want %d", folded, rounds)
+	}
+	if got, want := root.VerdictJSON(), union.VerdictJSON(); !bytes.Equal(got, want) {
+		t.Fatalf("final tree verdict diverged from union:\ngot  %s\nwant %s", got, want)
+	}
+	st := root.Status()
+	if st.Records != union.Status().Records || st.Epochs != rounds || st.Leaves != leaves {
+		t.Fatalf("root status inconsistent with union: %+v", st)
+	}
+
+	// Idempotent delivery: re-sending an already-folded report is a
+	// duplicate ack, and changes nothing.
+	rep := leafSvcs[0].Reports()[0]
+	res, err := root.Deliver(rep)
+	if err != nil || !res.Duplicate {
+		t.Fatalf("re-delivery = (%+v, %v), want duplicate ack", res, err)
+	}
+	if got := root.VerdictJSON(); !bytes.Equal(got, union.VerdictJSON()) {
+		t.Fatalf("duplicate delivery changed the verdict")
+	}
+}
+
+// TestRootRejectsAndGaps pins the delivery failure taxonomy: a
+// tampered report is a validation rejection that applies nothing, and
+// an epoch skipping ahead of its leaf's high-water mark is a gap (the
+// shipper must close it by re-sending the earlier epoch first).
+func TestRootRejectsAndGaps(t *testing.T) {
+	leafSvcs, union, _ := driveTree(t, 1, 3)
+	reports := leafSvcs[0].Reports()
+
+	root, err := NewRoot(RootConfig{Net: union.net, Leaves: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tampered := reports[0]
+	tampered.Records++ // content no longer matches the seal
+	if _, err := root.Deliver(tampered); !errors.Is(err, measure.ErrValidation) {
+		t.Fatalf("tampered report = %v, want validation error", err)
+	}
+	if _, err := root.Deliver(reports[1]); !errors.Is(err, ErrReportGap) {
+		t.Fatalf("epoch 2 before epoch 1 = %v, want ErrReportGap", err)
+	}
+	if st := root.Status(); st.RejectsValidation != 1 || st.Gaps != 1 || st.Epochs != 0 {
+		t.Fatalf("counters after rejections: %+v", st)
+	}
+	for _, rep := range reports {
+		if _, err := root.Deliver(rep); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got, want := root.VerdictJSON(), union.VerdictJSON(); !bytes.Equal(got, want) {
+		t.Fatalf("verdict after gap recovery diverged:\ngot  %s\nwant %s", got, want)
+	}
+}
+
+// TestShipperDrainsToRoot runs the real HTTP path: two leaf services,
+// two shippers, one root server. The shippers drain the outboxes
+// (acking as they go) and the root converges on the union verdict.
+func TestShipperDrainsToRoot(t *testing.T) {
+	const leaves, rounds = 2, 4
+	leafSvcs, union, _ := driveTree(t, leaves, rounds)
+
+	root, err := NewRoot(RootConfig{Net: union.net, Leaves: leaves})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewRootServer(root))
+	defer ts.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	done := make(chan error, leaves)
+	for _, leaf := range leafSvcs {
+		sh := &Shipper{S: leaf, URL: ts.URL, Backoff: 10 * time.Millisecond}
+		go func() { done <- sh.Run(ctx) }()
+	}
+	// Wait for the tree to fold every epoch AND for the shippers to ack
+	// every report (a cancel racing the final in-flight response would
+	// otherwise leave it delivered but unacked).
+	drained := func() bool {
+		if root.Status().Epochs < rounds {
+			return false
+		}
+		for _, leaf := range leafSvcs {
+			if len(leaf.Reports()) > 0 {
+				return false
+			}
+		}
+		return true
+	}
+	deadline := time.Now().Add(20 * time.Second)
+	for !drained() {
+		if time.Now().After(deadline) {
+			t.Fatalf("tree stuck at %d/%d epochs: %+v", root.Status().Epochs, rounds, root.Status())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	cancel()
+	for i := 0; i < leaves; i++ {
+		if err := <-done; err != nil {
+			t.Fatalf("shipper: %v", err)
+		}
+	}
+
+	if got, want := root.VerdictJSON(), union.VerdictJSON(); !bytes.Equal(got, want) {
+		t.Fatalf("shipped tree verdict diverged from union:\ngot  %s\nwant %s", got, want)
+	}
+}

@@ -22,17 +22,28 @@
 //     explicit CloseEpoch call), not by wall-clock or batch shape, so
 //     any chunking of the same stream closes the same epochs.
 //
-// Delivery is at-least-once and idempotent: every record carries a
-// per-source sequence number, the service keeps one high-water mark
-// per source, and duplicates are dropped before they touch any state.
+// Delivery is at-least-once, idempotent, and strictly in order per
+// source: every record carries a per-source sequence number, the
+// service keeps one high-water mark per source, and any record at or
+// below the mark is rejected — as a duplicate if that sequence was
+// seen, or (counted separately) as out-of-order if it falls in a gap
+// the source skipped over, so a gapped sender can detect its own loss.
 // Backpressure mirrors the fleet's ErrNoWork convention: when the
 // open-epoch buffer is full the service rejects with ErrBusy ("wait,
 // then retry"), which the HTTP layer maps to 429 + Retry-After.
 //
 // With a journal directory configured, every accepted record and
-// epoch-close marker is appended to a checksummed journal (the shard
-// v2 line framing from FORMAT.md), and a restarted service replays it
-// to byte-identical verdicts; see journal.go.
+// epoch-close marker is appended to a checksummed journal — since
+// journal format v2 sharded by source hash across JournalShards files,
+// compacted on a snapshot cadence — and a restarted service replays it
+// to byte-identical verdicts; see journal.go and snapshot.go.
+//
+// Epoch closes do not stall ingest on inference: the close folds the
+// epoch and deep-copies the measurement table under the lock, then
+// runs core.Infer outside it and publishes the verdict atomically in
+// epoch order, so concurrent Ingest calls proceed while inference
+// runs. A service can also be one *leaf* of a multi-instance tree,
+// shipping every closed epoch's aggregate to a Root; see root.go.
 package serve
 
 import (
@@ -57,6 +68,14 @@ import (
 // before the buffer filled stay accepted — re-sending the whole batch
 // is safe because the sequence high-water marks drop the duplicates.
 var ErrBusy = errors.New("serve: epoch buffer full, retry later")
+
+// BusyError is the concrete ErrBusy rejection: it carries the pending
+// count at rejection time so transports can tell the sender how much
+// drain it is waiting on. errors.Is(err, ErrBusy) matches it.
+type BusyError struct{ Pending int }
+
+func (e *BusyError) Error() string { return fmt.Sprintf("%v (%d pending)", ErrBusy, e.Pending) }
+func (e *BusyError) Unwrap() error { return ErrBusy }
 
 // Config parameterizes a Service.
 type Config struct {
@@ -90,6 +109,19 @@ type Config struct {
 	// CheckpointEvery is the journal checkpoint cadence in lines
 	// (default 256); epoch closes always checkpoint.
 	CheckpointEvery int
+	// JournalShards partitions the journal by source hash into this
+	// many journal-NNNN.jsonl files (default 1). Part of the journal
+	// identity: a resume must use the shard count the journal was
+	// written with. Verdicts are byte-identical for every shard count.
+	JournalShards int
+	// CompactEvery runs snapshot+truncate compaction every this many
+	// closed epochs (0 disables), bounding journal disk usage; see
+	// snapshot.go.
+	CompactEvery int
+	// Leaf, when non-empty, names this instance as one leaf of a
+	// multi-instance tree: every closed epoch also queues an
+	// EpochReport for shipment to a Root (see root.go, Reports).
+	Leaf string
 }
 
 func (c Config) withDefaults() Config {
@@ -110,6 +142,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CheckpointEvery <= 0 {
 		c.CheckpointEvery = 256
+	}
+	if c.JournalShards <= 0 {
+		c.JournalShards = 1
+	}
+	if c.CompactEvery < 0 {
+		c.CompactEvery = 0
 	}
 	return c
 }
@@ -153,9 +191,13 @@ type EpochVerdict struct {
 // IngestResult reports one Ingest call's effect.
 type IngestResult struct {
 	// Accepted counts records applied by this call; Duplicates counts
-	// records dropped by the per-source sequence high-water marks.
+	// records dropped by the per-source sequence high-water marks;
+	// OutOfOrder counts rejected records that were never seen — they
+	// fall inside a gap the source skipped over, so a sender seeing
+	// this non-zero has violated the in-order contract and lost data.
 	Accepted   int `json:"accepted"`
 	Duplicates int `json:"duplicates"`
+	OutOfOrder int `json:"out_of_order,omitempty"`
 	// Epochs is the total closed-epoch count after the call.
 	Epochs int `json:"epochs"`
 	// Records is the cumulative accepted-record count after the call.
@@ -166,6 +208,7 @@ type IngestResult struct {
 type Status struct {
 	Records           int64   `json:"records"`
 	Duplicates        int64   `json:"duplicates"`
+	RejectsOutOfOrder int64   `json:"rejects_out_of_order"`
 	RejectsValidation int64   `json:"rejects_validation"`
 	RejectsBusy       int64   `json:"rejects_busy"`
 	Epochs            int     `json:"epochs"`
@@ -176,18 +219,35 @@ type Status struct {
 	TotalInferMillis  float64 `json:"total_infer_ms"`
 }
 
+// seqRange is one never-seen gap [Lo, Hi] below a source's sequence
+// high-water mark: the source skipped these sequence numbers. Ranges
+// are kept sorted and disjoint; a later record landing inside one is
+// rejected as out-of-order (the strict per-source in-order contract),
+// not miscounted as a duplicate.
+type seqRange struct {
+	Lo int64 `json:"lo"`
+	Hi int64 `json:"hi"`
+}
+
 // Service is the streaming inference state machine. All methods are
 // safe for concurrent use.
 type Service struct {
 	mu  sync.Mutex
+	pub *sync.Cond // signals verdict publication / epoch settle (on mu)
 	cfg Config
 	net *graph.Network
 
 	meas    *measure.Measurements // accumulated fold of every accepted record
 	seqs    map[string]int64      // per-source delivery high-water marks
+	holes   map[string][]seqRange // never-seen gaps below the marks
 	pending []measure.StreamRecord
 	records int64 // cumulative accepted records
-	epoch   int   // closed epochs
+
+	// epoch counts folded (closed) epochs; published counts epochs
+	// whose verdict has been installed. They differ only while an
+	// inference runs outside the lock (published < epoch).
+	epoch     int
+	published int
 
 	// Cumulative loss-fraction aggregates: per-epoch folds (canonical
 	// order) merged in epoch order — the PR 5 merge laws make this
@@ -199,6 +259,14 @@ type Service struct {
 	listing  []string // per-epoch summary blocks (bounded window)
 	dropped  int      // summary blocks aged out of the window
 	counters Status
+
+	// Leaf mode: closed-epoch reports awaiting shipment to the root,
+	// in epoch order; reportCh pulses when one is queued.
+	outbox   []EpochReport
+	reportCh chan struct{}
+
+	compactDue bool // a compaction cadence boundary passed; run when settled
+	replaying  bool // journal replay in progress: no compaction, no re-journal
 
 	jr *journal // nil when running in-memory
 }
@@ -220,29 +288,43 @@ func New(cfg Config) (*Service, error) {
 		net:       cfg.Net,
 		meas:      measure.NewMeasurements(0, cfg.Net.NumPaths()),
 		seqs:      make(map[string]int64),
+		holes:     make(map[string][]seqRange),
 		cumSketch: sweep.NewUnitSketch(),
+		reportCh:  make(chan struct{}, 1),
 	}
+	s.pub = sync.NewCond(&s.mu)
 	if v, err := json.Marshal(EpochVerdict{}); err != nil {
 		return nil, err
 	} else {
 		s.verdict = v
 	}
 	if cfg.Dir != "" {
-		jr, entries, err := openJournal(cfg)
+		jr, rec, err := openJournal(cfg)
 		if err != nil {
 			return nil, err
 		}
 		s.jr = jr
-		for _, e := range entries {
-			if err := s.replayLocked(e); err != nil {
+		s.replaying = true
+		if rec.snap != nil {
+			if err := s.restoreSnapshot(rec.snap); err != nil {
 				jr.closeFile()
 				return nil, err
 			}
+		}
+		keeps, counts, err := s.replayShards(rec.shards)
+		if err != nil {
+			jr.closeFile()
+			return nil, err
+		}
+		if err := jr.adopt(keeps, counts); err != nil {
+			jr.closeFile()
+			return nil, err
 		}
 		if err := jr.checkpoint(s.records, s.epoch); err != nil {
 			jr.closeFile()
 			return nil, err
 		}
+		s.replaying = false
 	}
 	return s, nil
 }
@@ -250,32 +332,139 @@ func New(cfg Config) (*Service, error) {
 // Paths returns the serving topology's path count.
 func (s *Service) Paths() int { return s.net.NumPaths() }
 
-// replayLocked applies one recovered journal entry. Called from New
-// before the service is shared, so no locking is needed; the name
-// keeps the invariant visible.
-func (s *Service) replayLocked(e journalEntry) error {
-	switch {
-	case e.Rec != nil:
-		if err := e.Rec.Validate(s.net.NumPaths(), s.cfg.MaxIntervals); err != nil {
-			return fmt.Errorf("serve: journal record invalid: %v (%w)", err, sweep.ErrCorrupt)
-		}
-		if e.Rec.Seq <= s.seqs[e.Rec.Source] {
-			return fmt.Errorf("serve: journal replays duplicate %s/%d: %w", e.Rec.Source, e.Rec.Seq, sweep.ErrCorrupt)
-		}
-		s.applyLocked(*e.Rec)
-	case e.Close != 0:
-		if e.Close != s.epoch+1 {
-			return fmt.Errorf("serve: journal closes epoch %d after epoch %d: %w", e.Close, s.epoch, sweep.ErrCorrupt)
-		}
-		s.closeEpochLocked()
+// replayShards merge-replays the recovered journal shards into the
+// service state. Each shard holds one source-partition of the record
+// stream plus a copy of every epoch-close marker, so the merge is:
+// apply every shard's leading records (the fold commutes, and each
+// source's order is preserved because a source lives in one shard),
+// then close the epoch once *every* shard's cursor sits on the next
+// close marker. Returns, per shard, the byte offset and line count of
+// the adopted prefix — everything past it is torn tail or
+// pre-snapshot residue and is truncated by (*journal).adopt.
+//
+// Violations inside a shard's manifest claim are ErrCorrupt
+// (acknowledged data is damaged); violations in the unclaimed tail
+// stop adoption of that shard at that point. A close marker missing
+// from some shard's tail discards the marker from the shards that do
+// hold it: an incomplete close was never acknowledged, so dropping it
+// re-opens the epoch exactly as the sender observed it.
+func (s *Service) replayShards(shards []shardRecovery) (keeps []int64, counts []int, err error) {
+	type cursor struct {
+		i       int
+		stopped bool
 	}
-	return nil
+	curs := make([]cursor, len(shards))
+	paths := s.net.NumPaths()
+
+	stop := func(si int) { curs[si].stopped = true }
+
+	for {
+		// Apply every shard's leading records up to its next marker.
+		for si := range shards {
+			c := &curs[si]
+			sh := &shards[si]
+			for !c.stopped && c.i < len(sh.entries) && sh.entries[c.i].Rec != nil {
+				r := sh.entries[c.i].Rec
+				inClaim := c.i < sh.claimed
+				if verr := r.Validate(paths, s.cfg.MaxIntervals); verr != nil {
+					if inClaim {
+						return nil, nil, errCorruptf("serve: journal shard %d record invalid: %v", si, verr)
+					}
+					stop(si)
+					break
+				}
+				if want := shardOf(r.Source, len(shards)); want != si {
+					if inClaim {
+						return nil, nil, errCorruptf("serve: journal shard %d holds source %q belonging to shard %d", si, r.Source, want)
+					}
+					stop(si)
+					break
+				}
+				if r.Seq <= s.seqs[r.Source] {
+					if inClaim {
+						return nil, nil, errCorruptf("serve: journal replays duplicate %s/%d", r.Source, r.Seq)
+					}
+					// Tail residue (pre-snapshot bytes after an interrupted
+					// truncation) or a torn re-send: never acknowledged
+					// under this manifest, safe to drop.
+					stop(si)
+					break
+				}
+				s.applyLocked(*r)
+				c.i++
+			}
+		}
+
+		// An epoch closes only when every shard agrees on the marker.
+		next := s.epoch + 1
+		all, any := true, false
+		for si := range shards {
+			c := &curs[si]
+			if c.stopped || c.i >= len(shards[si].entries) {
+				all = false
+				continue
+			}
+			e := shards[si].entries[c.i]
+			any = true
+			if e.Close != next {
+				if c.i < shards[si].claimed {
+					return nil, nil, errCorruptf("serve: journal shard %d closes epoch %d after epoch %d", si, e.Close, s.epoch)
+				}
+				stop(si) // stale or future marker in the tail: residue
+				all = false
+			}
+		}
+		if !all {
+			if !any {
+				break // every shard exhausted or stopped: replay done
+			}
+			// Some shards hold the next marker, others do not: the close
+			// never completed. Inside a claim that is impossible for a
+			// consistent checkpoint (claims are taken after all markers
+			// flush); in the tail it is an unacked partial close.
+			for si := range shards {
+				c := &curs[si]
+				if !c.stopped && c.i < len(shards[si].entries) && shards[si].entries[c.i].Close == next {
+					if c.i < shards[si].claimed {
+						return nil, nil, errCorruptf("serve: journal shard %d claims a close of epoch %d missing from other shards", si, next)
+					}
+					stop(si)
+				}
+			}
+			break
+		}
+		// All shards at the marker: adopt it everywhere and fold.
+		for si := range curs {
+			curs[si].i++
+		}
+		job := s.foldEpochLocked()
+		if err := s.finishClose(job); err != nil {
+			return nil, nil, err
+		}
+	}
+
+	keeps = make([]int64, len(shards))
+	counts = make([]int, len(shards))
+	for si := range shards {
+		n := curs[si].i
+		counts[si] = n
+		if n > 0 {
+			keeps[si] = shards[si].ends[n-1]
+		}
+	}
+	return keeps, counts, nil
 }
 
 // applyLocked folds one accepted record into the live state. The fold
 // is commutative (integer count increments), so within-epoch arrival
-// order cannot change the table the close sees.
+// order cannot change the table the close sees. A record that jumps
+// the source's sequence forward records the skipped range as a hole,
+// so a later below-mark arrival classifies as out-of-order, not
+// duplicate.
 func (s *Service) applyLocked(r measure.StreamRecord) {
+	if hwm := s.seqs[r.Source]; r.Seq > hwm+1 {
+		s.holes[r.Source] = append(s.holes[r.Source], seqRange{Lo: hwm + 1, Hi: r.Seq - 1})
+	}
 	s.seqs[r.Source] = r.Seq
 	s.meas.EnsureIntervals(r.Interval+1, s.net.NumPaths())
 	s.meas.Add(r.Interval, graph.PathID(r.Path), r.Sent, r.Lost)
@@ -283,55 +472,94 @@ func (s *Service) applyLocked(r measure.StreamRecord) {
 	s.records++
 }
 
+// inHoleLocked reports whether seq falls in one of source's recorded
+// gaps — a sequence number the service has provably never accepted.
+func (s *Service) inHoleLocked(source string, seq int64) bool {
+	hs := s.holes[source]
+	// Ranges are sorted by Lo (they are appended with increasing marks).
+	i := sort.Search(len(hs), func(i int) bool { return hs[i].Hi >= seq })
+	return i < len(hs) && hs[i].Lo <= seq
+}
+
 // Ingest validates and applies a batch of stream records. Validation
 // is two-phase: the whole batch is checked first, so a 400-class
 // rejection (measure.ErrValidation) applies nothing. Application then
-// proceeds record by record — duplicates (per-source sequence at or
-// below the high-water mark) are skipped, epochs close inline when the
-// accepted count reaches the boundary, and a full buffer stops the
-// batch with ErrBusy, keeping the records already applied (the result
-// reports how many; a full retry is idempotent).
+// proceeds record by record — records at or below their source's
+// high-water mark are rejected (duplicates, or out-of-order when they
+// land in a never-seen gap), epochs close inline when the accepted
+// count reaches the boundary (inference runs outside the lock; the
+// verdict is published before Ingest returns), and a full buffer stops
+// the batch with ErrBusy, keeping the records already applied (the
+// result reports how many; a full retry is idempotent).
 func (s *Service) Ingest(recs []measure.StreamRecord) (IngestResult, error) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	for i, r := range recs {
 		if err := r.Validate(s.net.NumPaths(), s.cfg.MaxIntervals); err != nil {
 			s.counters.RejectsValidation++
-			return s.resultLocked(0, 0), fmt.Errorf("serve: batch record %d: %w", i, err)
+			res := s.resultLocked(0, 0, 0)
+			s.mu.Unlock()
+			return res, fmt.Errorf("serve: batch record %d: %w", i, err)
 		}
 	}
-	accepted, dups := 0, 0
+	accepted, dups, ooo := 0, 0, 0
 	for _, r := range recs {
 		if r.Seq <= s.seqs[r.Source] {
-			dups++
+			if s.inHoleLocked(r.Source, r.Seq) {
+				ooo++
+			} else {
+				dups++
+			}
 			continue
 		}
 		if len(s.pending) >= s.cfg.MaxPending {
 			s.counters.RejectsBusy++
-			if err := s.flushLocked(); err != nil {
-				return s.resultLocked(accepted, dups), err
+			ferr := s.flushLocked()
+			res := s.resultLocked(accepted, dups, ooo)
+			pending := len(s.pending)
+			s.mu.Unlock()
+			if ferr != nil {
+				return res, ferr
 			}
-			return s.resultLocked(accepted, dups), fmt.Errorf("%w (%d pending)", ErrBusy, len(s.pending))
+			return res, &BusyError{Pending: pending}
 		}
 		if s.jr != nil {
 			if err := s.jr.append(journalEntry{Rec: &r}); err != nil {
-				return s.resultLocked(accepted, dups), err
+				res := s.resultLocked(accepted, dups, ooo)
+				s.mu.Unlock()
+				return res, err
 			}
 		}
 		s.applyLocked(r)
 		accepted++
 		if s.cfg.EpochRecords > 0 && len(s.pending) >= s.cfg.EpochRecords {
-			if err := s.closeAndJournalLocked(); err != nil {
-				return s.resultLocked(accepted, dups), err
+			job, err := s.closeBeginLocked()
+			if err != nil {
+				res := s.resultLocked(accepted, dups, ooo)
+				s.mu.Unlock()
+				return res, err
 			}
+			// Inference runs without the lock: concurrent Ingest calls
+			// proceed into the next epoch meanwhile.
+			s.mu.Unlock()
+			if err := s.finishClose(job); err != nil {
+				s.mu.Lock()
+				res := s.resultLocked(accepted, dups, ooo)
+				s.mu.Unlock()
+				return res, err
+			}
+			s.mu.Lock()
 		}
 	}
-	return s.resultLocked(accepted, dups), s.flushLocked()
+	res := s.resultLocked(accepted, dups, ooo)
+	err := s.flushLocked()
+	s.mu.Unlock()
+	return res, err
 }
 
-func (s *Service) resultLocked(accepted, dups int) IngestResult {
+func (s *Service) resultLocked(accepted, dups, ooo int) IngestResult {
 	s.counters.Duplicates += int64(dups)
-	return IngestResult{Accepted: accepted, Duplicates: dups, Epochs: s.epoch, Records: s.records}
+	s.counters.RejectsOutOfOrder += int64(ooo)
+	return IngestResult{Accepted: accepted, Duplicates: dups, OutOfOrder: ooo, Epochs: s.epoch, Records: s.records}
 }
 
 // flushLocked pushes buffered journal writes to the file before an
@@ -348,39 +576,62 @@ func (s *Service) flushLocked() error {
 // untouched, so idle ticks do not mint empty epochs.
 func (s *Service) CloseEpoch() (bool, error) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if len(s.pending) == 0 {
+		s.mu.Unlock()
 		return false, nil
 	}
-	if err := s.closeAndJournalLocked(); err != nil {
+	job, err := s.closeBeginLocked()
+	if err != nil {
+		s.mu.Unlock()
 		return true, err
 	}
-	return true, s.flushLocked()
+	s.mu.Unlock()
+	return true, s.finishClose(job)
 }
 
-// closeAndJournalLocked records the epoch boundary durably, then folds
-// it. The marker is journaled first so a replayed journal closes at
+// closeJob is one folded epoch in flight between closeBeginLocked and
+// finishClose: everything the out-of-lock inference and the ordered
+// publish need, snapshotted at the close point so later folds cannot
+// race it.
+type closeJob struct {
+	epoch     int
+	records   int64
+	intervals int
+	sources   int
+	meas      *measure.Measurements // deep copy of the table at close
+	epochLoss sweep.Welford
+	epochSk   *sweep.Sketch
+	cumLoss   sweep.Welford // cumulative accumulators *at this epoch*
+	cumSk     *sweep.Sketch
+	report    *EpochReport // leaf mode: sealed aggregate for the root
+}
+
+// closeBeginLocked records the epoch boundary durably, then folds it.
+// The marker is journaled first so a replayed journal closes at
 // exactly the same record counts this process did.
-func (s *Service) closeAndJournalLocked() error {
+func (s *Service) closeBeginLocked() (*closeJob, error) {
 	if s.jr != nil {
 		if err := s.jr.append(journalEntry{Close: s.epoch + 1}); err != nil {
-			return err
+			return nil, err
 		}
 		// Epoch closes always checkpoint: the claim then proves the
-		// boundary, so a restart replays the same epochs.
+		// boundary, so a restart replays the same epochs. The claim is
+		// taken after every shard's marker is flushed, so a claim never
+		// splits a close across shards.
 		if err := s.jr.checkpoint(s.records, s.epoch+1); err != nil {
-			return err
+			return nil, err
 		}
 	}
-	s.closeEpochLocked()
-	return nil
+	return s.foldEpochLocked(), nil
 }
 
-// closeEpochLocked folds the open epoch and re-runs the inference.
-// Everything here is a pure function of the accepted-record multiset
-// and the epoch partitioning — the wall clock appears only in the
-// latency counters.
-func (s *Service) closeEpochLocked() {
+// foldEpochLocked folds the open epoch under the lock: the canonical-
+// order floating-point folds, the cumulative merges, the epoch count —
+// everything order-sensitive — plus a deep copy of the measurement
+// table for the inference to run on outside the lock. Everything here
+// is a pure function of the accepted-record multiset and the epoch
+// partitioning.
+func (s *Service) foldEpochLocked() *closeJob {
 	// Canonical order for the floating-point folds: FP addition does
 	// not commute, so the epoch's loss aggregate is built over a sorted
 	// copy, never in arrival order.
@@ -411,21 +662,107 @@ func (s *Service) closeEpochLocked() {
 	s.cumLoss.Merge(epochLoss)
 	s.cumSketch.Merge(epochSketch) // same unit transform by construction
 
-	start := time.Now()
-	res := core.Infer(s.net, core.MeasurementObserver{Meas: s.meas, Opts: s.cfg.Opts}, s.inferConfig())
-	ms := float64(time.Since(start).Microseconds()) / 1000
-	s.counters.LastInferMillis = ms
-	s.counters.TotalInferMillis += ms
-
 	s.epoch++
 	s.pending = s.pending[:0]
-	ev := s.buildVerdict(res)
-	s.verdict, _ = json.Marshal(ev)
-	s.listing = append(s.listing, s.epochSummary(ev, epochLoss, epochSketch))
+
+	cumSk := *s.cumSketch // value copy: fixed-size bin array
+	job := &closeJob{
+		epoch:     s.epoch,
+		records:   s.records,
+		intervals: s.meas.Intervals(),
+		sources:   len(s.seqs),
+		meas:      s.copyMeasLocked(),
+		epochLoss: epochLoss,
+		epochSk:   epochSketch,
+		cumLoss:   s.cumLoss,
+		cumSk:     &cumSk,
+	}
+	if s.cfg.Leaf != "" {
+		rep := EpochReport{
+			Leaf:       s.cfg.Leaf,
+			Epoch:      s.epoch,
+			Records:    len(epochRecs),
+			Sources:    len(s.seqs),
+			Loss:       sweep.WireWelford(epochLoss),
+			LossSketch: sweep.WireSketch(epochSketch),
+		}
+		// The canonical sort groups (interval, path), so the sparse
+		// count delta aggregates in one linear pass.
+		for _, r := range epochRecs {
+			if n := len(rep.Counts); n > 0 && rep.Counts[n-1].Interval == r.Interval && rep.Counts[n-1].Path == r.Path {
+				rep.Counts[n-1].Sent += r.Sent
+				rep.Counts[n-1].Lost += r.Lost
+			} else {
+				rep.Counts = append(rep.Counts, PathCount{Interval: r.Interval, Path: r.Path, Sent: r.Sent, Lost: r.Lost})
+			}
+		}
+		sealReport(&rep)
+		job.report = &rep
+	}
+	return job
+}
+
+// finishClose runs the inference for one folded epoch *without*
+// holding the service lock, then publishes the verdict atomically and
+// in epoch order (a later epoch's inference finishing first waits its
+// turn). Settled-state side effects — queueing the leaf report,
+// running due compaction — happen inside the publish critical section.
+func (s *Service) finishClose(job *closeJob) error {
+	start := time.Now()
+	res := core.Infer(s.net, core.MeasurementObserver{Meas: job.meas, Opts: s.cfg.Opts}, s.inferConfig())
+	ms := float64(time.Since(start).Microseconds()) / 1000
+
+	ev := buildVerdict(res, job.epoch, job.records, job.intervals, job.sources, resolveMinGap(s.inferConfig()))
+	vb, err := json.Marshal(ev)
+	if err != nil {
+		return err
+	}
+	summary := renderEpochSummary(ev, job.epochLoss, job.epochSk, job.cumLoss, job.cumSk)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for s.published != job.epoch-1 {
+		s.pub.Wait()
+	}
+	s.verdict = vb
+	s.listing = append(s.listing, summary)
 	if len(s.listing) > maxSummaryBlocks {
 		s.dropped += len(s.listing) - maxSummaryBlocks
 		s.listing = s.listing[len(s.listing)-maxSummaryBlocks:]
 	}
+	s.counters.LastInferMillis = ms
+	s.counters.TotalInferMillis += ms
+	s.published = job.epoch
+	if job.report != nil {
+		s.outbox = append(s.outbox, *job.report)
+		select {
+		case s.reportCh <- struct{}{}:
+		default:
+		}
+	}
+	if s.cfg.CompactEvery > 0 && job.epoch%s.cfg.CompactEvery == 0 {
+		s.compactDue = true
+	}
+	var cerr error
+	if s.compactDue && s.jr != nil && !s.replaying && s.published == s.epoch {
+		// Settled: every folded epoch is published, so the snapshot's
+		// verdict bytes agree with its fold state.
+		if cerr = s.compactLocked(); cerr == nil {
+			s.compactDue = false
+		}
+	}
+	s.pub.Broadcast()
+	return cerr
+}
+
+// compactLocked captures the snapshot document and runs the journal's
+// snapshot+truncate sequence. Caller guarantees settled state.
+func (s *Service) compactLocked() error {
+	data, err := s.snapshotLocked()
+	if err != nil {
+		return fmt.Errorf("serve: snapshot marshal: %w", err)
+	}
+	return s.jr.compact(s.epoch, data, s.records, s.epoch)
 }
 
 func (s *Service) inferConfig() core.Config {
@@ -435,19 +772,36 @@ func (s *Service) inferConfig() core.Config {
 	return s.cfg.Infer
 }
 
-// buildVerdict renders an inference result as the epoch verdict,
-// including the per-slice confidence margins.
-func (s *Service) buildVerdict(res *core.Result) EpochVerdict {
-	ev := EpochVerdict{
-		Epoch:      s.epoch,
-		Records:    s.records,
-		Intervals:  s.meas.Intervals(),
-		Sources:    len(s.seqs),
-		NonNeutral: res.NetworkNonNeutral(),
+// copyMeasLocked deep-copies the accumulated table (for out-of-lock
+// inference and for the measure.Source view).
+func (s *Service) copyMeasLocked() *measure.Measurements {
+	out := measure.NewMeasurements(s.meas.Intervals(), s.net.NumPaths())
+	for t := range s.meas.Sent {
+		copy(out.Sent[t], s.meas.Sent[t])
+		copy(out.Lost[t], s.meas.Lost[t])
 	}
-	minGap := s.inferConfig().MinGap
-	if minGap <= 0 {
-		minGap = cluster.DefaultMinGap
+	return out
+}
+
+// resolveMinGap applies the cluster fallback default to an inference
+// config's MinGap.
+func resolveMinGap(cfg core.Config) float64 {
+	if cfg.MinGap > 0 {
+		return cfg.MinGap
+	}
+	return cluster.DefaultMinGap
+}
+
+// buildVerdict renders an inference result as the epoch verdict,
+// including the per-slice confidence margins. It is a pure function of
+// its arguments, shared by the Service and the Root.
+func buildVerdict(res *core.Result, epoch int, records int64, intervals, sources int, minGap float64) EpochVerdict {
+	ev := EpochVerdict{
+		Epoch:      epoch,
+		Records:    records,
+		Intervals:  intervals,
+		Sources:    sources,
+		NonNeutral: res.NetworkNonNeutral(),
 	}
 	first := true
 	for _, v := range res.Candidates {
@@ -490,18 +844,20 @@ func confidence(cl cluster.Result, unsolv, minGap float64) float64 {
 	return margin
 }
 
-// epochSummary renders one closed epoch's summary block. Only
+// renderEpochSummary renders one closed epoch's summary block. Only
 // deterministic quantities appear: operational counters (duplicates,
 // latency) live in Status, not here, so the summary stays
-// byte-identical across arrival orders, chunkings, and restarts.
-func (s *Service) epochSummary(ev EpochVerdict, loss sweep.Welford, sk *sweep.Sketch) string {
+// byte-identical across arrival orders, chunkings, and restarts. The
+// cumulative accumulators are the values *at that epoch*, so summaries
+// published out of the lock cannot see later folds.
+func renderEpochSummary(ev EpochVerdict, loss sweep.Welford, sk *sweep.Sketch, cumLoss sweep.Welford, cumSk *sweep.Sketch) string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "epoch %d: %d records total, %d intervals, %d sources\n",
 		ev.Epoch, ev.Records, ev.Intervals, ev.Sources)
 	fmt.Fprintf(&sb, "  epoch loss: n=%d mean=%.5f sd=%.5f p50=%.5f p90=%.5f max=%.5f\n",
 		loss.N, loss.Mean, loss.StdDev(), sk.Quantile(0.5), sk.Quantile(0.9), sk.Quantile(1))
 	fmt.Fprintf(&sb, "  cumulative loss: n=%d mean=%.5f sd=%.5f p50=%.5f p90=%.5f\n",
-		s.cumLoss.N, s.cumLoss.Mean, s.cumLoss.StdDev(), s.cumSketch.Quantile(0.5), s.cumSketch.Quantile(0.9))
+		cumLoss.N, cumLoss.Mean, cumLoss.StdDev(), cumSk.Quantile(0.5), cumSk.Quantile(0.9))
 	verdict := "neutral"
 	if ev.NonNeutral {
 		verdict = "NON-NEUTRAL"
@@ -518,7 +874,9 @@ func (s *Service) epochSummary(ev EpochVerdict, loss sweep.Welford, sk *sweep.Sk
 }
 
 // VerdictJSON returns the latest epoch verdict as canonical JSON (the
-// zero verdict `{"epoch":0,...}` before any epoch closes).
+// zero verdict `{"epoch":0,...}` before any epoch closes). Verdicts
+// publish in epoch order before the closing call returns, so a caller
+// that just ingested past a boundary reads that boundary's verdict.
 func (s *Service) VerdictJSON() []byte {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -554,25 +912,46 @@ func (s *Service) Status() Status {
 	return st
 }
 
+// Reports returns a copy of the unshipped leaf reports, oldest first
+// (empty unless Config.Leaf is set). The caller ships them in order
+// and calls AckReports with the last epoch the root accepted.
+func (s *Service) Reports() []EpochReport {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]EpochReport(nil), s.outbox...)
+}
+
+// AckReports drops queued reports with Epoch <= through.
+func (s *Service) AckReports(through int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	i := 0
+	for i < len(s.outbox) && s.outbox[i].Epoch <= through {
+		i++
+	}
+	s.outbox = append(s.outbox[:0], s.outbox[i:]...)
+}
+
+// ReportSignal pulses when a leaf report is queued (coalesced).
+func (s *Service) ReportSignal() <-chan struct{} { return s.reportCh }
+
 // Measurements implements measure.Source: it returns a deep copy of
 // the accumulated table, so batch tooling can run over a live
 // service's data without racing it.
 func (s *Service) Measurements() (*measure.Measurements, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	out := measure.NewMeasurements(s.meas.Intervals(), s.net.NumPaths())
-	for t := range s.meas.Sent {
-		copy(out.Sent[t], s.meas.Sent[t])
-		copy(out.Lost[t], s.meas.Lost[t])
-	}
-	return out, nil
+	return s.copyMeasLocked(), nil
 }
 
-// Close flushes and checkpoints the journal. The service must not be
-// used afterwards.
+// Close flushes and checkpoints the journal, waiting for in-flight
+// epoch publishes first. The service must not be used afterwards.
 func (s *Service) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	for s.published != s.epoch {
+		s.pub.Wait()
+	}
 	if s.jr == nil {
 		return nil
 	}

@@ -244,7 +244,7 @@ func TestJournalDamageTaxonomy(t *testing.T) {
 	if err := s.Close(); err != nil {
 		t.Fatal(err)
 	}
-	jpath := filepath.Join(dir, journalName)
+	jpath := journalShardName(dir, 0)
 	good, err := os.ReadFile(jpath)
 	if err != nil {
 		t.Fatal(err)
@@ -273,6 +273,223 @@ func TestJournalDamageTaxonomy(t *testing.T) {
 	}
 	if _, err := New(cfg); !errors.Is(err, sweep.ErrCorrupt) {
 		t.Fatalf("in-claim damage = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestOutOfOrderRejects: a record below its source's high-water mark
+// that was never actually seen (it falls in a gap the source skipped)
+// is rejected as out-of-order, distinctly from a duplicate, so a
+// gapped sender can detect its own loss — including across a restart,
+// because the holes are rebuilt from the journal.
+func TestOutOfOrderRejects(t *testing.T) {
+	n, _ := testStream(2, 1, 1)
+	dir := t.TempDir()
+	s := mustNew(t, Config{Net: n, EpochRecords: 0, Dir: dir})
+	rec := func(seq int64) measure.StreamRecord {
+		return measure.StreamRecord{Source: "vp", Seq: seq, Interval: 0, Path: 0, Sent: 10, Lost: 1}
+	}
+	if _, err := s.Ingest([]measure.StreamRecord{rec(1), rec(2), rec(5)}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Ingest([]measure.StreamRecord{rec(3), rec(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accepted != 0 || res.OutOfOrder != 1 || res.Duplicates != 1 {
+		t.Fatalf("gapped resend: %+v (want 1 out-of-order, 1 duplicate)", res)
+	}
+	if st := s.Status(); st.RejectsOutOfOrder != 1 || st.Duplicates != 1 {
+		t.Fatalf("status: %+v", st)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := mustNew(t, Config{Net: n, EpochRecords: 0, Dir: dir, Resume: true})
+	defer s2.Close()
+	res, err = s2.Ingest([]measure.StreamRecord{rec(4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OutOfOrder != 1 || res.Duplicates != 0 {
+		t.Fatalf("gap detection lost across restart: %+v", res)
+	}
+}
+
+// TestJournalFaultMidBatch: a journal writer failing mid-batch stops
+// the batch with an error; nothing the journal cannot replay was
+// reported accepted, and a full retry — in-process or after a kill and
+// resume — is idempotent and converges to the clean-run verdict.
+func TestJournalFaultMidBatch(t *testing.T) {
+	n, recs := testStream(20, 2, 5)
+	cfg := Config{Net: n, EpochRecords: 16}
+	ref := mustNew(t, cfg)
+	if _, err := ref.Ingest(recs); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ref.CloseEpoch(); err != nil {
+		t.Fatal(err)
+	}
+	want := ref.VerdictJSON()
+
+	boom := errors.New("journal writer failed")
+	arm := func(s *Service, failAt int) {
+		writes := 0
+		s.jr.fault = func() error {
+			writes++
+			if writes == failAt {
+				s.jr.fault = nil // transient: the retry writes clean
+				return boom
+			}
+			return nil
+		}
+	}
+
+	// Kill path: after the fault, the journal must not replay a single
+	// record beyond what the failed call reported accepted.
+	cfg.Dir = t.TempDir()
+	s := mustNew(t, cfg)
+	arm(s, 11)
+	res, err := s.Ingest(recs)
+	if !errors.Is(err, boom) {
+		t.Fatalf("Ingest with failing writer = %v, want the injected fault", err)
+	}
+	kill(t, s)
+	rcfg := cfg
+	rcfg.Resume = true
+	s2 := mustNew(t, rcfg)
+	if got := s2.Status().Records; got > int64(res.Accepted) {
+		t.Fatalf("journal replays %d records, only %d were reported accepted", got, res.Accepted)
+	}
+	if _, err := s2.Ingest(recs); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.CloseEpoch(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s2.VerdictJSON(); !bytes.Equal(got, want) {
+		t.Fatalf("verdict after fault+kill+retry diverged:\n%s\nvs\n%s", got, want)
+	}
+	s2.Close()
+
+	// In-process path: the same service retries the whole batch after a
+	// transient fault; high-water marks drop what was already applied.
+	cfg.Dir = t.TempDir()
+	s3 := mustNew(t, cfg)
+	arm(s3, 7)
+	if _, err := s3.Ingest(recs); !errors.Is(err, boom) {
+		t.Fatalf("Ingest with failing writer = %v, want the injected fault", err)
+	}
+	if _, err := s3.Ingest(recs); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s3.CloseEpoch(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s3.VerdictJSON(); !bytes.Equal(got, want) {
+		t.Fatalf("verdict after in-process retry diverged:\n%s\nvs\n%s", got, want)
+	}
+	s3.Close()
+}
+
+// TestManifestOverClaim: a manifest claiming more lines than the shard
+// holds — a truncated or deleted shard file — is destroyed
+// acknowledged data: ErrCorrupt, never a silent fresh start or a
+// torn-tail truncate.
+func TestManifestOverClaim(t *testing.T) {
+	n, recs := testStream(20, 2, 5)
+	dir := t.TempDir()
+	cfg := Config{Net: n, EpochRecords: 32, Dir: dir}
+	s := mustNew(t, cfg)
+	if _, err := s.Ingest(recs); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	cfg.Resume = true
+	jpath := journalShardName(dir, 0)
+	good, err := os.ReadFile(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := os.WriteFile(jpath, good[:len(good)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(cfg); !errors.Is(err, sweep.ErrCorrupt) {
+		t.Fatalf("over-claimed short shard = %v, want ErrCorrupt", err)
+	}
+
+	if err := os.Remove(jpath); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(cfg); !errors.Is(err, sweep.ErrCorrupt) {
+		t.Fatalf("missing claimed shard = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestLegacyJournalRejected: a format-v1 journal directory (single
+// journal.jsonl) is refused with a validation error, not misread.
+func TestLegacyJournalRejected(t *testing.T) {
+	n, _ := testStream(2, 1, 1)
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "journal.jsonl"), []byte("x\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(Config{Net: n, Dir: dir, Resume: true}); !errors.Is(err, sweep.ErrValidation) {
+		t.Fatalf("v1 journal adoption = %v, want ErrValidation", err)
+	}
+}
+
+// TestShardedJournalLayout: with JournalShards > 1 each source's
+// records land in exactly one shard file, close markers land in all of
+// them, and the shard count is part of the journal identity.
+func TestShardedJournalLayout(t *testing.T) {
+	n, recs := testStream(30, 4, 5)
+	dir := t.TempDir()
+	cfg := Config{Net: n, EpochRecords: 32, Dir: dir, JournalShards: 4}
+	s := mustNew(t, cfg)
+	if _, err := s.Ingest(recs); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	populated := 0
+	for sh := 0; sh < 4; sh++ {
+		sr, err := func() (shardRecovery, error) {
+			data, err := os.ReadFile(journalShardName(dir, sh))
+			if err != nil {
+				return shardRecovery{}, err
+			}
+			return recoverShard(data, nil, sh)
+		}()
+		if err != nil {
+			t.Fatal(err)
+		}
+		hasRec := false
+		for _, e := range sr.entries {
+			if e.Rec != nil {
+				hasRec = true
+				if got := shardOf(e.Rec.Source, 4); got != sh {
+					t.Fatalf("shard %d holds source %q (belongs to %d)", sh, e.Rec.Source, got)
+				}
+			}
+		}
+		if hasRec {
+			populated++
+		}
+	}
+	if populated < 2 {
+		t.Fatalf("only %d of 4 shards populated; source hash not partitioning", populated)
+	}
+
+	rcfg := cfg
+	rcfg.Resume = true
+	rcfg.JournalShards = 2
+	if _, err := New(rcfg); !errors.Is(err, sweep.ErrValidation) {
+		t.Fatalf("resume with changed shard count = %v, want ErrValidation", err)
 	}
 }
 

@@ -1,0 +1,169 @@
+package serve
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"neutrality/internal/measure"
+)
+
+// TestCompactionKillMatrix kills the service at every step of the
+// snapshot/truncate sequence — after the snapshot rename, after the
+// manifest commit, after each shard truncation, before the old-snapshot
+// cleanup — on both the first compaction (no prior snapshot) and the
+// second (a prior snapshot exists to clean up). Resume plus a full
+// sender retry must converge to byte-identical verdicts in every cell.
+func TestCompactionKillMatrix(t *testing.T) {
+	n, recs := testStream(60, 4, 7)
+	const epoch = 48
+
+	ref := mustNew(t, Config{Net: n, EpochRecords: epoch})
+	if _, err := ref.Ingest(recs); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ref.CloseEpoch(); err != nil {
+		t.Fatal(err)
+	}
+	wantVerdict, wantSummary := ref.VerdictJSON(), ref.SummaryText()
+
+	steps := []string{"snapshot", "manifest", "truncate-0000", "truncate-0001", "cleanup"}
+	for _, step := range steps {
+		for _, failOn := range []int{1, 2} {
+			t.Run(fmt.Sprintf("%s/compaction-%d", step, failOn), func(t *testing.T) {
+				dir := t.TempDir()
+				cfg := Config{
+					Net: n, EpochRecords: epoch, Dir: dir,
+					JournalShards: 2, CompactEvery: 2, CheckpointEvery: 37,
+				}
+				s := mustNew(t, cfg)
+				compactions := 0
+				boom := errors.New("killed at " + step)
+				s.jr.compactHook = func(st string) error {
+					if st == "snapshot" {
+						compactions++
+					}
+					if compactions == failOn && st == step {
+						return boom
+					}
+					return nil
+				}
+				var ingestErr error
+				for lo := 0; lo < len(recs); lo += 64 {
+					hi := lo + 64
+					if hi > len(recs) {
+						hi = len(recs)
+					}
+					if _, err := s.Ingest(recs[lo:hi]); err != nil {
+						ingestErr = err
+						break
+					}
+				}
+				if !errors.Is(ingestErr, boom) {
+					t.Fatalf("compaction hook never fired: %v", ingestErr)
+				}
+				kill(t, s)
+
+				rcfg := cfg
+				rcfg.Resume = true
+				s2 := mustNew(t, rcfg)
+				if _, err := s2.Ingest(recs); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := s2.CloseEpoch(); err != nil {
+					t.Fatal(err)
+				}
+				if got := s2.VerdictJSON(); !bytes.Equal(got, wantVerdict) {
+					t.Fatalf("verdict diverged after kill at %s:\ngot  %s\nwant %s", step, got, wantVerdict)
+				}
+				if got := s2.SummaryText(); got != wantSummary {
+					t.Fatalf("summary diverged after kill at %s:\ngot:\n%s\nwant:\n%s", step, got, wantSummary)
+				}
+				if err := s2.Close(); err != nil {
+					t.Fatal(err)
+				}
+				// Recovery must not leave snapshot litter behind: the
+				// manifest names at most one trusted snapshot and open
+				// removes the orphans.
+				snaps, err := filepath.Glob(filepath.Join(dir, "snapshot-*.json"))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(snaps) > 1 {
+					t.Fatalf("recovery left %d snapshots on disk: %v", len(snaps), snaps)
+				}
+			})
+		}
+	}
+}
+
+func dirSize(t *testing.T, dir string) int64 {
+	t.Helper()
+	var total int64
+	err := filepath.Walk(dir, func(_ string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if !info.IsDir() {
+			total += info.Size()
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return total
+}
+
+// TestCompactionBoundsDisk runs many epochs through a compacting
+// journal and asserts the directory footprint stays bounded — the
+// whole point of snapshot+truncate. Without compaction the journal
+// would grow linearly with the record count.
+func TestCompactionBoundsDisk(t *testing.T) {
+	n, _ := testStream(2, 1, 1)
+	dir := t.TempDir()
+	cfg := Config{Net: n, EpochRecords: 8, Dir: dir, JournalShards: 2, CompactEvery: 4}
+	s := mustNew(t, cfg)
+	const epochs = 400
+	seq := int64(0)
+	var peak int64
+	for e := 0; e < epochs; e++ {
+		batch := make([]measure.StreamRecord, cfg.EpochRecords)
+		for i := range batch {
+			seq++
+			batch[i] = measure.StreamRecord{
+				Source: "vp", Seq: seq,
+				Interval: i % 4, Path: 0, Sent: 100, Lost: i % 3,
+			}
+		}
+		if _, err := s.Ingest(batch); err != nil {
+			t.Fatal(err)
+		}
+		if size := dirSize(t, dir); size > peak {
+			peak = size
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// 3200 records at ~120 framed bytes a line would be ~380 KB of
+	// journal alone; the compacted directory must stay far below that.
+	// The steady-state footprint is the snapshot (dominated by the
+	// capped summary window) plus at most CompactEvery epochs of lines.
+	const bound = 192 << 10
+	if peak > bound {
+		t.Fatalf("journal directory peaked at %d bytes over %d epochs; compaction is not bounding disk (limit %d)",
+			peak, epochs, bound)
+	}
+	snaps, err := filepath.Glob(filepath.Join(dir, "snapshot-*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) != 1 {
+		t.Fatalf("steady state should hold exactly one snapshot, found %v", snaps)
+	}
+}

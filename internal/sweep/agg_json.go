@@ -24,6 +24,32 @@ type welfordWire struct {
 	M2   float64 `json:"m2"`
 }
 
+// WelfordWire and SketchWire are the exported wire forms of the two
+// streaming accumulators, for other durable-state writers (the serve
+// snapshot embeds both in its checkpoint document). The encoding is
+// the same exact float64 JSON the aggregate transport uses, so a
+// decode of an encode reproduces the accumulator bit for bit.
+type (
+	WelfordWire = welfordWire
+	SketchWire  = sketchWire
+)
+
+// WireWelford renders an accumulator as its wire form.
+func WireWelford(w Welford) WelfordWire { return w.wire() }
+
+// CheckWelford rebuilds an accumulator from its wire form, validating
+// every structural invariant (the bytes may cross a disk or a network).
+func CheckWelford(w WelfordWire, name string) (Welford, error) { return w.check(name) }
+
+// WireSketch renders a sketch as its wire form.
+func WireSketch(s *Sketch) SketchWire { return s.wire() }
+
+// CheckSketch rebuilds a sketch from its wire form, validating bin
+// structure and extremes; squash pins the expected transform.
+func CheckSketch(w SketchWire, name string, squash bool) (*Sketch, error) {
+	return w.check(name, squash)
+}
+
 func (w *Welford) wire() welfordWire { return welfordWire{N: w.N, Mean: w.Mean, M2: w.m2} }
 
 func (w welfordWire) check(name string) (Welford, error) {

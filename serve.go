@@ -24,6 +24,18 @@ type (
 	ServeEpochVerdict = serve.EpochVerdict
 	// ServeServer exposes a service over HTTP.
 	ServeServer = serve.Server
+	// ServeRootConfig parameterizes an aggregation root.
+	ServeRootConfig = serve.RootConfig
+	// ServeRoot folds leaf epoch reports into a tree-wide verdict.
+	ServeRoot = serve.Root
+	// ServeRootStatus is the root's operational counter snapshot.
+	ServeRootStatus = serve.RootStatus
+	// ServeRootServer exposes a root over HTTP.
+	ServeRootServer = serve.RootServer
+	// ServeEpochReport is one leaf's closed epoch, sealed for shipment.
+	ServeEpochReport = serve.EpochReport
+	// ServeShipper drains a leaf's report outbox to a root over HTTP.
+	ServeShipper = serve.Shipper
 	// StreamRecord is one streamed measurement observation.
 	StreamRecord = measure.StreamRecord
 	// MeasurementSource abstracts where a measurement table comes from
@@ -41,6 +53,9 @@ var (
 	// ErrServeBusy reports streaming backpressure: the open-epoch
 	// buffer is full; retry after a pause.
 	ErrServeBusy = serve.ErrBusy
+	// ErrServeReportGap reports a leaf epoch report arriving ahead of
+	// its leaf's next expected epoch (re-send the earlier epoch first).
+	ErrServeReportGap = serve.ErrReportGap
 	// ErrMeasureValidation tags malformed measurement input (corrupt
 	// CSV, invalid stream record, inconsistent table).
 	ErrMeasureValidation = measure.ErrValidation
@@ -52,6 +67,15 @@ func NewServe(cfg ServeConfig) (*ServeService, error) { return serve.New(cfg) }
 
 // NewServeServer wraps a service in the HTTP ingest/verdict protocol.
 func NewServeServer(s *ServeService) *ServeServer { return serve.NewServer(s) }
+
+// NewServeRoot builds a multi-instance aggregation root: leaf services
+// ship their closed epochs to it, and its per-epoch verdict is
+// byte-identical to a single service ingesting the union of the leaf
+// streams.
+func NewServeRoot(cfg ServeRootConfig) (*ServeRoot, error) { return serve.NewRoot(cfg) }
+
+// NewServeRootServer wraps a root in the HTTP report/verdict protocol.
+func NewServeRootServer(r *ServeRoot) *ServeRootServer { return serve.NewRootServer(r) }
 
 // InferSource runs the practical pipeline over any measurement source:
 // the streaming analogue of InferMeasured.

@@ -42,13 +42,19 @@ import (
 // The root folds the leaf reports and serves the tree-wide verdict —
 // byte-identical to a single instance ingesting the union:
 //
-//	neutrality serve -net figure4 -root -leaves 2 -addr :8090
+//	neutrality serve -net figure4 -root -leaves 2 -addr :8090 -dir /var/lib/nroot
+//
+// With -dir the root logs every accepted report before acking it, so a
+// restart with -resume restores the per-leaf delivery marks and the
+// fold — running leaves just keep shipping. Without -dir a root
+// restart requires restarting every leaf from empty state (leaves drop
+// reports once acked).
 func cmdServe(ctx context.Context, args []string) {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	netName := fs.String("net", "figure4", "serving topology name")
 	addr := fs.String("addr", "127.0.0.1:8090", "listen address for the ingest protocol")
-	dir := fs.String("dir", "", "journal directory for checkpoint/resume (empty = in-memory only)")
-	resume := fs.Bool("resume", false, "adopt an existing journal in -dir (replays to byte-identical state)")
+	dir := fs.String("dir", "", "durable state directory: the ingest journal, or the report log in -root mode (empty = in-memory only)")
+	resume := fs.Bool("resume", false, "adopt an existing journal or root log in -dir (replays to byte-identical state)")
 	epochRecords := fs.Int("epoch-records", 4096, "close an epoch after this many accepted records (0 = wall-clock only)")
 	epochInterval := fs.Duration("epoch-interval", 0, "also close a non-empty epoch on this wall-clock period (0 = disabled)")
 	maxPending := fs.Int("max-pending", 0, "open-epoch buffer cap before 429 backpressure (0 = epoch-records, or 65536 when count-close is off)")
@@ -69,7 +75,7 @@ func cmdServe(ctx context.Context, args []string) {
 	opts.LossThreshold = *lossThreshold
 
 	if *root {
-		cmdServeRoot(ctx, n, *netName, *leaves, *addr, opts)
+		cmdServeRoot(ctx, n, *netName, *leaves, *addr, *dir, *resume, opts)
 		return
 	}
 	if *rootURL != "" && *leaf == "" {
@@ -154,11 +160,14 @@ func cmdServe(ctx context.Context, args []string) {
 // cmdServeRoot runs the aggregation root: it accepts sealed leaf epoch
 // reports (POST /v1/epoch, idempotent per-leaf in-order delivery),
 // folds complete tree epochs in canonical leaf order, and serves the
-// tree-wide verdict. Root state is in-memory: after a restart the
-// leaves' shippers re-send their unacked reports and the fold rebuilds.
-func cmdServeRoot(ctx context.Context, n *neutrality.Network, netName string, leaves int, addr string, opts neutrality.MeasureOptions) {
+// tree-wide verdict. With -dir every accepted report is logged before
+// it is acked, and a -resume restart replays the log to the exact
+// pre-restart marks and fold; without it, a root restart requires a
+// full-tree restart from empty state.
+func cmdServeRoot(ctx context.Context, n *neutrality.Network, netName string, leaves int, addr, dir string, resume bool, opts neutrality.MeasureOptions) {
 	r, err := neutrality.NewServeRoot(neutrality.ServeRootConfig{
-		Net: n, Leaves: leaves, Opts: opts,
+		Net: n, NetName: netName, Leaves: leaves, Opts: opts,
+		Dir: dir, Resume: resume,
 	})
 	if err != nil {
 		fatal(err)
@@ -170,11 +179,15 @@ func cmdServeRoot(ctx context.Context, n *neutrality.Network, netName string, le
 	srv := &http.Server{Handler: neutrality.NewServeRootServer(r)}
 	go srv.Serve(ln)
 	defer srv.Close()
-	fmt.Fprintf(os.Stderr, "serve root %s: %d paths, expecting %d leaves, listening on %s\n",
-		netName, n.NumPaths(), leaves, ln.Addr())
+	st := r.Status()
+	fmt.Fprintf(os.Stderr, "serve root %s: %d paths, expecting %d leaves, listening on %s (resumed: %d records, %d epochs)\n",
+		netName, n.NumPaths(), leaves, ln.Addr(), st.Records, st.Epochs)
 
 	<-ctx.Done()
-	st := r.Status()
+	if err := r.Close(); err != nil {
+		fatal(err)
+	}
+	st = r.Status()
 	fmt.Fprintf(os.Stderr, "\nroot stopped: %d records over %d epochs from %d leaves (%d duplicate deliveries)\n",
 		st.Records, st.Epochs, st.Leaves, st.Duplicates)
 }

@@ -92,6 +92,11 @@ type manifest struct {
 	LossThresh   float64 `json:"loss_threshold"`
 	Normalize    bool    `json:"normalize"`
 	Smoothing    float64 `json:"smoothing"`
+	// Leaf is the tree role the journal was written under: a leaf's
+	// snapshots carry its unacked report outbox keyed by this name, so
+	// resuming under a different name (or as a non-leaf) would corrupt
+	// the tree's per-leaf epoch sequence.
+	Leaf string `json:"leaf,omitempty"`
 	// ShardLines is the claimed durable line count of each journal
 	// shard since the current snapshot; Records and Epochs echo the
 	// folded state at the claim for fast inspection.
@@ -159,6 +164,7 @@ func identity(cfg Config) manifest {
 		LossThresh:   cfg.Opts.LossThreshold,
 		Normalize:    cfg.Opts.Normalize,
 		Smoothing:    cfg.Opts.Smoothing,
+		Leaf:         cfg.Leaf,
 	}
 }
 
@@ -231,10 +237,11 @@ func openJournal(cfg Config) (*journal, *recovered, error) {
 		if m.Net != ident.Net || m.Paths != ident.Paths ||
 			m.EpochRecords != ident.EpochRecords || m.Shards != ident.Shards ||
 			m.Seed != ident.Seed || m.LossThresh != ident.LossThresh ||
-			m.Normalize != ident.Normalize || m.Smoothing != ident.Smoothing {
-			return nil, nil, errValidationf("serve: journal identity mismatch: journal is (net=%q paths=%d epoch=%d shards=%d seed=%d), config is (net=%q paths=%d epoch=%d shards=%d seed=%d)",
-				m.Net, m.Paths, m.EpochRecords, m.Shards, m.Seed,
-				ident.Net, ident.Paths, ident.EpochRecords, ident.Shards, ident.Seed)
+			m.Normalize != ident.Normalize || m.Smoothing != ident.Smoothing ||
+			m.Leaf != ident.Leaf {
+			return nil, nil, errValidationf("serve: journal identity mismatch: journal is (net=%q paths=%d epoch=%d shards=%d seed=%d leaf=%q), config is (net=%q paths=%d epoch=%d shards=%d seed=%d leaf=%q)",
+				m.Net, m.Paths, m.EpochRecords, m.Shards, m.Seed, m.Leaf,
+				ident.Net, ident.Paths, ident.EpochRecords, ident.Shards, ident.Seed, ident.Leaf)
 		}
 		if len(m.ShardLines) != shards {
 			return nil, nil, errCorruptf("serve: manifest claims %d shard counts for %d shards", len(m.ShardLines), shards)

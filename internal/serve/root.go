@@ -96,6 +96,9 @@ type RootConfig struct {
 	// Net is the shared topology; leaf reports address its path
 	// indices.
 	Net *graph.Network
+	// NetName stamps the report-log manifest so a resume under a
+	// different topology is rejected; empty skips the name check.
+	NetName string
 	// Leaves is the expected leaf count: epoch e folds once every one
 	// of the first Leaves distinct leaf names has delivered e.
 	Leaves int
@@ -105,6 +108,15 @@ type RootConfig struct {
 	// MaxIntervals caps the interval index a report may address
 	// (default 1<<20).
 	MaxIntervals int
+	// Dir is the durable report-log directory (see rootlog.go): every
+	// accepted report is logged before it is acked, and a restart
+	// restores the per-leaf high-water marks and the fold, so running
+	// leaves continue from their next unacked epoch. Empty runs
+	// in-memory — a root restart then requires restarting every leaf
+	// too, because leaves drop reports once acked.
+	Dir string
+	// Resume adopts an existing report log in Dir.
+	Resume bool
 }
 
 // RootStatus is the root's operational counter snapshot.
@@ -121,16 +133,22 @@ type RootStatus struct {
 }
 
 // Root folds leaf epoch reports into a merged table and serves the
-// tree-wide verdict. State is in-memory only: on a root restart the
-// leaves' shippers re-send from their journals' unacked outboxes, and
-// the idempotent delivery rebuilds the fold. All methods are safe for
-// concurrent use; the epoch fold runs the inference under the root
-// lock (root folds are rare — one per tree epoch — so the narrow-lock
-// machinery of Service is not replicated here).
+// tree-wide verdict. With RootConfig.Dir set, every accepted report is
+// logged durably before it is acked and a restart replays the log —
+// per-leaf high-water marks, fold state, and verdict all restore, so
+// running leaves continue shipping from their next unacked epoch.
+// Without a directory the state is in-memory only, and a root restart
+// requires restarting every leaf from empty state too: a running
+// leaf's outbox holds only epochs past its last ack, which a fresh
+// root (expecting epoch 1) would refuse forever as a gap. All methods
+// are safe for concurrent use; the epoch fold runs the inference under
+// the root lock (root folds are rare — one per tree epoch — so the
+// narrow-lock machinery of Service is not replicated here).
 type Root struct {
 	mu  sync.Mutex
 	cfg RootConfig
 	net *graph.Network
+	log *rootLog // nil when running in-memory
 
 	meas      *measure.Measurements
 	leafEpoch map[string]int                  // per-leaf delivered high-water mark
@@ -175,7 +193,61 @@ func NewRoot(cfg RootConfig) (*Root, error) {
 		return nil, err
 	}
 	r.verdict = v
+	if cfg.Dir != "" {
+		if err := r.replayLog(); err != nil {
+			return nil, err
+		}
+	}
 	return r, nil
+}
+
+// replayLog opens the durable report log and replays it through the
+// same delivery path as live shipment, rebuilding the per-leaf marks
+// and the fold to the exact pre-restart state. Claimed lines were
+// acked (the leaf may have dropped its copy), so any replay failure
+// inside the claim is ErrCorrupt; an unclaimed line that does not
+// extend the fold cleanly stops adoption — it was never acked, and the
+// leaf re-sends it.
+func (r *Root) replayLog() error {
+	lg, rec, err := openRootLog(r.cfg)
+	if err != nil {
+		return err
+	}
+	adopted := 0
+	for i, rep := range rec.reports {
+		if err := r.replayReport(rep); err != nil {
+			if i < rec.claimed {
+				lg.closeFile()
+				return errCorruptf("serve: root log line %d (within the claimed %d): %v", i+1, rec.claimed, err)
+			}
+			break
+		}
+		adopted++
+	}
+	// Adoption claims the replayed lines: their state is folded in, so
+	// from here they answer duplicate acks and must be durable.
+	if err := lg.adopt(rec, adopted, r.records, r.epoch); err != nil {
+		lg.closeFile()
+		return err
+	}
+	r.log = lg
+	return nil
+}
+
+// replayReport re-applies one logged report during recovery: the same
+// validation and ordering gates as Deliver, minus the logging.
+func (r *Root) replayReport(rep EpochReport) error {
+	if err := r.validateReport(rep); err != nil {
+		return err
+	}
+	hwm, known := r.leafEpoch[rep.Leaf]
+	if !known && len(r.leafEpoch) >= r.cfg.Leaves {
+		return fmt.Errorf("leaf %q beyond the expected %d leaves", rep.Leaf, r.cfg.Leaves)
+	}
+	if rep.Epoch != hwm+1 {
+		return fmt.Errorf("leaf %q logged epoch %d after %d", rep.Leaf, rep.Epoch, hwm)
+	}
+	return r.acceptLocked(rep)
 }
 
 // RootDeliverResult reports one delivery's effect.
@@ -250,6 +322,22 @@ func (r *Root) Deliver(rep EpochReport) (RootDeliverResult, error) {
 		return RootDeliverResult{Epoch: rep.Epoch, Folded: r.epoch},
 			fmt.Errorf("%w: leaf %q delivered epoch %d after %d", ErrReportGap, rep.Leaf, rep.Epoch, hwm)
 	}
+	if r.log != nil {
+		// Durability before acknowledgement: once the leaf sees 200 it
+		// may drop its only other copy of this report.
+		if err := r.log.append(rep, r.records, r.epoch); err != nil {
+			return RootDeliverResult{Epoch: rep.Epoch, Folded: r.epoch}, err
+		}
+	}
+	if err := r.acceptLocked(rep); err != nil {
+		return RootDeliverResult{Epoch: rep.Epoch, Folded: r.epoch}, err
+	}
+	return RootDeliverResult{Epoch: rep.Epoch, Folded: r.epoch}, nil
+}
+
+// acceptLocked installs one validated, in-order report and folds any
+// tree epochs it completes. Shared by live delivery and log replay.
+func (r *Root) acceptLocked(rep EpochReport) error {
 	r.leafEpoch[rep.Leaf] = rep.Epoch
 	if r.staged[rep.Leaf] == nil {
 		r.staged[rep.Leaf] = make(map[int]*EpochReport)
@@ -259,10 +347,26 @@ func (r *Root) Deliver(rep EpochReport) (RootDeliverResult, error) {
 
 	for r.foldReadyLocked() {
 		if err := r.foldEpochLocked(); err != nil {
-			return RootDeliverResult{Epoch: rep.Epoch, Folded: r.epoch}, err
+			return err
 		}
 	}
-	return RootDeliverResult{Epoch: rep.Epoch, Folded: r.epoch}, nil
+	return nil
+}
+
+// Close checkpoints and closes the report log (a no-op for an
+// in-memory root). The root must not be used afterwards.
+func (r *Root) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.log == nil {
+		return nil
+	}
+	err := r.log.writeManifest(r.records, r.epoch)
+	if cerr := r.log.closeFile(); err == nil {
+		err = cerr
+	}
+	r.log = nil
+	return err
 }
 
 // foldReadyLocked reports whether every expected leaf has staged the

@@ -6,10 +6,13 @@ import (
 	"errors"
 	"math/rand"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"testing"
 	"time"
 
 	"neutrality/internal/measure"
+	"neutrality/internal/sweep"
 )
 
 // splitBySource deals a stream across leaves by source name, keeping
@@ -252,5 +255,144 @@ func TestShipperDrainsToRoot(t *testing.T) {
 
 	if got, want := root.VerdictJSON(), union.VerdictJSON(); !bytes.Equal(got, want) {
 		t.Fatalf("shipped tree verdict diverged from union:\ngot  %s\nwant %s", got, want)
+	}
+}
+
+// TestRootDurableRestart: a root with a report log survives a restart
+// mid-tree. Leaves that already acked (and dropped) their early epochs
+// keep shipping from their next unacked epoch — the resumed root's
+// per-leaf marks line up, nothing 409s, and the final verdict still
+// matches the union service.
+func TestRootDurableRestart(t *testing.T) {
+	const leaves, rounds = 2, 5
+	leafSvcs, union, _ := driveTree(t, leaves, rounds)
+	dir := t.TempDir()
+	cfg := RootConfig{Net: union.net, NetName: "figure4", Leaves: leaves, Dir: dir}
+
+	root, err := NewRoot(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queues := make([][]EpochReport, leaves)
+	for i, leaf := range leafSvcs {
+		queues[i] = leaf.Reports()
+	}
+	// Deliver the first three epochs from each leaf, acking as a real
+	// shipper would — the leaves drop those reports for good.
+	for e := 0; e < 3; e++ {
+		for i, leaf := range leafSvcs {
+			if _, err := root.Deliver(queues[i][e]); err != nil {
+				t.Fatalf("deliver leaf %d epoch %d: %v", i, e+1, err)
+			}
+			leaf.AckReports(e + 1)
+		}
+	}
+	if err := root.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The log refuses silent adoption and identity drift.
+	if _, err := NewRoot(cfg); !errors.Is(err, sweep.ErrValidation) {
+		t.Fatalf("adopting a root log without resume = %v, want validation error", err)
+	}
+	wrong := cfg
+	wrong.Leaves = leaves + 1
+	wrong.Resume = true
+	if _, err := NewRoot(wrong); !errors.Is(err, sweep.ErrValidation) {
+		t.Fatalf("resume under a different leaf count = %v, want validation error", err)
+	}
+
+	rcfg := cfg
+	rcfg.Resume = true
+	root2, err := NewRoot(rcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := root2.Status(); st.Epochs != 3 || st.Leaves != leaves {
+		t.Fatalf("resumed root at %+v, want 3 epochs over %d leaves", st, leaves)
+	}
+	// The leaves only hold epochs 4..rounds now; they must land clean.
+	for i, leaf := range leafSvcs {
+		for _, rep := range leaf.Reports() {
+			if _, err := root2.Deliver(rep); err != nil {
+				t.Fatalf("post-restart deliver leaf %d epoch %d: %v", i, rep.Epoch, err)
+			}
+		}
+	}
+	if got, want := root2.VerdictJSON(), union.VerdictJSON(); !bytes.Equal(got, want) {
+		t.Fatalf("verdict after durable restart diverged:\ngot  %s\nwant %s", got, want)
+	}
+	// Replayed epochs stay idempotent: a retry of a pre-restart
+	// delivery is a duplicate ack, not a gap or a refold.
+	res, err := root2.Deliver(queues[0][1])
+	if err != nil || !res.Duplicate {
+		t.Fatalf("retry of a replayed epoch = (%+v, %v), want duplicate ack", res, err)
+	}
+	if err := root2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRootLogDamageTaxonomy pins the report log's recovery classes: a
+// torn tail past the manifest claim is truncated silently (the leaf
+// was never acked and re-sends), while a flipped byte inside the claim
+// is unrecoverable corruption — the acked data exists nowhere else.
+func TestRootLogDamageTaxonomy(t *testing.T) {
+	leafSvcs, union, _ := driveTree(t, 1, 3)
+	dir := t.TempDir()
+	cfg := RootConfig{Net: union.net, NetName: "figure4", Leaves: 1, Dir: dir}
+	root, err := NewRoot(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rep := range leafSvcs[0].Reports() {
+		if _, err := root.Deliver(rep); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := root.Close(); err != nil {
+		t.Fatal(err)
+	}
+	logPath := filepath.Join(dir, "root.jsonl")
+	good, err := os.ReadFile(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Torn tail: garbage appended past the claim vanishes on resume.
+	if err := os.WriteFile(logPath, append(append([]byte{}, good...), "deadbeef torn"...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rcfg := cfg
+	rcfg.Resume = true
+	root2, err := NewRoot(rcfg)
+	if err != nil {
+		t.Fatalf("resume over a torn tail: %v", err)
+	}
+	if st := root2.Status(); st.Epochs != 3 {
+		t.Fatalf("torn-tail resume folded %d epochs, want 3", st.Epochs)
+	}
+	if got, want := root2.VerdictJSON(), union.VerdictJSON(); !bytes.Equal(got, want) {
+		t.Fatalf("torn-tail resume verdict diverged:\ngot  %s\nwant %s", got, want)
+	}
+	if err := root2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	after, err := os.ReadFile(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(after, good) {
+		t.Fatalf("torn tail not truncated: log is %d bytes, want %d", len(after), len(good))
+	}
+
+	// In-claim damage: every line is acked, so a flipped byte is final.
+	bad := append([]byte{}, good...)
+	bad[len(bad)/2] ^= 0x40
+	if err := os.WriteFile(logPath, bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewRoot(rcfg); !errors.Is(err, sweep.ErrCorrupt) {
+		t.Fatalf("resume over in-claim damage = %v, want corruption error", err)
 	}
 }

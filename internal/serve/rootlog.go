@@ -1,0 +1,267 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"neutrality/internal/sweep"
+)
+
+// The root's durable side: an append-only log of every accepted leaf
+// epoch report, so a restarted root resumes with its per-leaf epoch
+// high-water marks and fold state intact and running leaves simply
+// continue shipping from their next unacked epoch — no full-tree
+// restart, no permanent 409 wedge against leaves that already acked
+// and dropped their reports.
+//
+// The framing and damage taxonomy mirror the ingest journal: one
+// framed line per accepted report (crc32c header + canonical JSON,
+// sweep.FramePayload), and a manifest (root.json) whose line claim
+// advances BEFORE a delivery is acknowledged — the moment a leaf sees
+// 200 it may drop its only other copy, so every acked report must sit
+// inside the claim. Damage inside the claim is therefore ErrCorrupt
+// (the data exists nowhere else); lines past the claim were never
+// acked, so replay adopts them only while they extend the fold
+// cleanly and truncates the rest as torn tail (the leaf re-sends).
+//
+// Unlike the ingest journal the log has no compaction: it grows one
+// small aggregate line per leaf-epoch, orders of magnitude slower
+// than raw ingest, so snapshotting it is not worth the machinery yet.
+const (
+	rootLogName      = "root.jsonl"
+	rootManifestName = "root.json"
+	// rootLogVersion is the report-log format version, independent of
+	// the ingest journal's manifestVersion.
+	rootLogVersion = 1
+)
+
+// rootManifest is the report log's durability claim plus the
+// configuration identity a resume must match.
+type rootManifest struct {
+	Version    int     `json:"version"`
+	Net        string  `json:"net"`
+	Paths      int     `json:"paths"`
+	Leaves     int     `json:"leaves"`
+	Seed       int64   `json:"seed"`
+	LossThresh float64 `json:"loss_threshold"`
+	Normalize  bool    `json:"normalize"`
+	Smoothing  float64 `json:"smoothing"`
+	// Lines is the claimed durable line count — every acknowledged
+	// delivery is inside it. Records and Epochs echo the folded state
+	// at the claim for fast inspection.
+	Lines   int   `json:"lines"`
+	Records int64 `json:"records"`
+	Epochs  int   `json:"epochs"`
+}
+
+// rootIdentity derives the manifest identity block from the config.
+func rootIdentity(cfg RootConfig) rootManifest {
+	return rootManifest{
+		Version:    rootLogVersion,
+		Net:        cfg.NetName,
+		Paths:      cfg.Net.NumPaths(),
+		Leaves:     cfg.Leaves,
+		Seed:       cfg.Opts.Seed,
+		LossThresh: cfg.Opts.LossThreshold,
+		Normalize:  cfg.Opts.Normalize,
+		Smoothing:  cfg.Opts.Smoothing,
+	}
+}
+
+// rootLog is the append side of the report log.
+type rootLog struct {
+	dir   string
+	f     *os.File
+	lines int
+	ident rootManifest
+	// broken latches the first write failure: once disk may disagree
+	// with memory, no further delivery may be acked.
+	broken error
+}
+
+// rootLogRecovery is one recovered report line: the decoded report and
+// the byte offset its line ends at (the truncation point if adoption
+// stops before it).
+type rootLogRecovery struct {
+	reports []EpochReport
+	ends    []int64
+	claimed int
+}
+
+// openRootLog opens (or creates) the report log in cfg.Dir and returns
+// the append handle plus the frame-validated lines. Lines within the
+// manifest claim must verify — anything else is ErrCorrupt; past the
+// claim, lines are recovered until the first invalid one. The semantic
+// replay (and the final adoption/truncation decision) belongs to
+// NewRoot, which calls (*rootLog).adopt with the outcome.
+func openRootLog(cfg RootConfig) (*rootLog, *rootLogRecovery, error) {
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("serve: root log dir: %w", err)
+	}
+	ident := rootIdentity(cfg)
+
+	var m rootManifest
+	mExists := false
+	mdata, err := os.ReadFile(filepath.Join(cfg.Dir, rootManifestName))
+	switch {
+	case errors.Is(err, os.ErrNotExist):
+	case err != nil:
+		return nil, nil, fmt.Errorf("serve: reading root manifest: %w", err)
+	default:
+		mExists = true
+		if err := json.Unmarshal(mdata, &m); err != nil {
+			return nil, nil, errCorruptf("serve: root manifest does not parse: %v", err)
+		}
+		if m.Version != rootLogVersion {
+			return nil, nil, errValidationf("serve: root log format version %d, this build writes %d; the log cannot be adopted", m.Version, rootLogVersion)
+		}
+		if m.Net != ident.Net || m.Paths != ident.Paths || m.Leaves != ident.Leaves ||
+			m.Seed != ident.Seed || m.LossThresh != ident.LossThresh ||
+			m.Normalize != ident.Normalize || m.Smoothing != ident.Smoothing {
+			return nil, nil, errValidationf("serve: root log identity mismatch: log is (net=%q paths=%d leaves=%d seed=%d), config is (net=%q paths=%d leaves=%d seed=%d)",
+				m.Net, m.Paths, m.Leaves, m.Seed, ident.Net, ident.Paths, ident.Leaves, ident.Seed)
+		}
+		if m.Lines < 0 {
+			return nil, nil, errCorruptf("serve: root manifest claims %d lines", m.Lines)
+		}
+	}
+
+	data, err := os.ReadFile(filepath.Join(cfg.Dir, rootLogName))
+	if err != nil && !errors.Is(err, os.ErrNotExist) {
+		return nil, nil, fmt.Errorf("serve: reading root log: %w", err)
+	}
+	if (mExists || len(data) > 0) && !cfg.Resume {
+		return nil, nil, errValidationf("serve: %s already holds a root log; pass resume to adopt it", cfg.Dir)
+	}
+
+	rec := &rootLogRecovery{claimed: m.Lines}
+	off := int64(0)
+	for len(rec.reports) < m.Lines || off < int64(len(data)) {
+		nl := bytes.IndexByte(data[off:], '\n')
+		if nl < 0 {
+			if len(rec.reports) < m.Lines {
+				return nil, nil, errCorruptf("serve: root log truncated inside the claimed %d lines (%d survive)", m.Lines, len(rec.reports))
+			}
+			break
+		}
+		rep, perr := parseReportLine(data[off : off+int64(nl)])
+		if perr != nil {
+			if len(rec.reports) < m.Lines {
+				return nil, nil, errCorruptf("serve: root log line %d (within the claimed %d): %v", len(rec.reports)+1, m.Lines, perr)
+			}
+			break // torn tail: the adopt step truncates here
+		}
+		off += int64(nl) + 1
+		rec.reports = append(rec.reports, rep)
+		rec.ends = append(rec.ends, off)
+	}
+
+	f, err := os.OpenFile(filepath.Join(cfg.Dir, rootLogName), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("serve: opening root log: %w", err)
+	}
+	return &rootLog{dir: cfg.Dir, f: f, ident: ident}, rec, nil
+}
+
+// parseReportLine validates one framed report line: frame CRC,
+// decodable JSON, a verifying content seal, and byte-for-byte
+// canonical form.
+func parseReportLine(line []byte) (EpochReport, error) {
+	payload, err := sweep.UnframePayload(line)
+	if err != nil {
+		return EpochReport{}, err
+	}
+	var rep EpochReport
+	if err := json.Unmarshal(payload, &rep); err != nil {
+		return EpochReport{}, fmt.Errorf("report does not parse: %v", err)
+	}
+	canon, err := json.Marshal(rep)
+	if err != nil || !bytes.Equal(canon, payload) {
+		return EpochReport{}, fmt.Errorf("report is not in canonical form")
+	}
+	if !verifyReport(rep) {
+		return EpochReport{}, fmt.Errorf("report fails its content hash")
+	}
+	return rep, nil
+}
+
+// adopt finalizes recovery: the log is truncated to the byte offset of
+// the last semantically adopted line (dropping the torn tail), the
+// append side picks up from there, and the manifest claims everything
+// adopted — replayed state has mutated the fold, so from here the
+// adopted lines may be duplicate-acked and must be inside the claim.
+func (l *rootLog) adopt(rec *rootLogRecovery, adopted int, records int64, epochs int) error {
+	keep := int64(0)
+	if adopted > 0 {
+		keep = rec.ends[adopted-1]
+	}
+	if err := l.f.Truncate(keep); err != nil {
+		return fmt.Errorf("serve: dropping root log torn tail: %w", err)
+	}
+	if _, err := l.f.Seek(keep, io.SeekStart); err != nil {
+		return fmt.Errorf("serve: seeking root log: %w", err)
+	}
+	l.lines = adopted
+	return l.writeManifest(records, epochs)
+}
+
+// append writes one accepted report durably: the framed line, then the
+// manifest claiming it — both before the delivery is acknowledged.
+// Reports are rare (one per leaf-epoch), so the per-delivery manifest
+// rename is cheap. Any failure latches the log broken.
+func (l *rootLog) append(rep EpochReport, records int64, epochs int) error {
+	if l.broken != nil {
+		return l.broken
+	}
+	payload, err := json.Marshal(rep)
+	if err != nil {
+		return fmt.Errorf("serve: root log marshal: %w", err)
+	}
+	if _, err := l.f.Write(sweep.FramePayload(payload)); err != nil {
+		l.broken = fmt.Errorf("serve: root log write: %w", err)
+		return l.broken
+	}
+	l.lines++
+	if err := l.writeManifest(records, epochs); err != nil {
+		l.broken = err
+		return err
+	}
+	return nil
+}
+
+// writeManifest claims the current line count (temp file + rename, so
+// a kill leaves either the previous claim or the new one).
+func (l *rootLog) writeManifest(records int64, epochs int) error {
+	m := l.ident
+	m.Lines = l.lines
+	m.Records = records
+	m.Epochs = epochs
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("serve: root manifest marshal: %w", err)
+	}
+	data = append(data, '\n')
+	tmp := filepath.Join(l.dir, rootManifestName+".tmp")
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("serve: root manifest write: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(l.dir, rootManifestName)); err != nil {
+		return fmt.Errorf("serve: root manifest rename: %w", err)
+	}
+	return nil
+}
+
+// closeFile closes the log file handle.
+func (l *rootLog) closeFile() error {
+	if l.f == nil {
+		return nil
+	}
+	err := l.f.Close()
+	l.f = nil
+	return err
+}

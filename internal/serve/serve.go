@@ -268,6 +268,11 @@ type Service struct {
 	compactDue bool // a compaction cadence boundary passed; run when settled
 	replaying  bool // journal replay in progress: no compaction, no re-journal
 
+	// verdictMarshal is a test seam: when non-nil it replaces
+	// json.Marshal for the epoch verdict (simulating a marshal failure
+	// at publish time).
+	verdictMarshal func(EpochVerdict) ([]byte, error)
+
 	jr *journal // nil when running in-memory
 }
 
@@ -455,6 +460,18 @@ func (s *Service) replayShards(shards []shardRecovery) (keeps []int64, counts []
 	return keeps, counts, nil
 }
 
+// maxHoleRanges bounds the per-source hole set: a pathologically gappy
+// sender would otherwise grow the ranges — and the binary search on
+// every below-mark rejection, and every snapshot carrying them —
+// without limit. On overflow the two oldest ranges coalesce into one
+// spanning range. Sequence numbers between them were genuinely seen,
+// so a rejection landing in a coalesced span over-reports as
+// out-of-order rather than duplicate — the conservative direction: a
+// sender may be told it lost data it did not, never that lost data was
+// ingested. The merge depends only on the accepted-record sequence, so
+// replay and snapshot restore rebuild the identical set.
+const maxHoleRanges = 64
+
 // applyLocked folds one accepted record into the live state. The fold
 // is commutative (integer count increments), so within-epoch arrival
 // order cannot change the table the close sees. A record that jumps
@@ -463,7 +480,12 @@ func (s *Service) replayShards(shards []shardRecovery) (keeps []int64, counts []
 // duplicate.
 func (s *Service) applyLocked(r measure.StreamRecord) {
 	if hwm := s.seqs[r.Source]; r.Seq > hwm+1 {
-		s.holes[r.Source] = append(s.holes[r.Source], seqRange{Lo: hwm + 1, Hi: r.Seq - 1})
+		hs := append(s.holes[r.Source], seqRange{Lo: hwm + 1, Hi: r.Seq - 1})
+		if len(hs) > maxHoleRanges {
+			hs[1].Lo = hs[0].Lo
+			hs = hs[1:]
+		}
+		s.holes[r.Source] = hs
 	}
 	s.seqs[r.Source] = r.Seq
 	s.meas.EnsureIntervals(r.Interval+1, s.net.NumPaths())
@@ -707,33 +729,36 @@ func (s *Service) foldEpochLocked() *closeJob {
 // in epoch order (a later epoch's inference finishing first waits its
 // turn). Settled-state side effects — queueing the leaf report,
 // running due compaction — happen inside the publish critical section.
+//
+// Every path out of the critical section advances s.published and
+// broadcasts, including the verdict-marshal failure path: an early
+// return that skipped the advance would leave every later epoch's
+// publish (and Close) waiting on the condition forever.
 func (s *Service) finishClose(job *closeJob) error {
 	start := time.Now()
 	res := core.Infer(s.net, core.MeasurementObserver{Meas: job.meas, Opts: s.cfg.Opts}, s.inferConfig())
 	ms := float64(time.Since(start).Microseconds()) / 1000
 
 	ev := buildVerdict(res, job.epoch, job.records, job.intervals, job.sources, resolveMinGap(s.inferConfig()))
-	vb, err := json.Marshal(ev)
-	if err != nil {
-		return err
+	marshal := json.Marshal
+	if s.verdictMarshal != nil {
+		marshal = func(v any) ([]byte, error) { return s.verdictMarshal(v.(EpochVerdict)) }
 	}
-	summary := renderEpochSummary(ev, job.epochLoss, job.epochSk, job.cumLoss, job.cumSk)
+	vb, verr := marshal(ev)
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for s.published != job.epoch-1 {
 		s.pub.Wait()
 	}
-	s.verdict = vb
-	s.listing = append(s.listing, summary)
-	if len(s.listing) > maxSummaryBlocks {
-		s.dropped += len(s.listing) - maxSummaryBlocks
-		s.listing = s.listing[len(s.listing)-maxSummaryBlocks:]
-	}
+	s.published = job.epoch
+	defer s.pub.Broadcast()
 	s.counters.LastInferMillis = ms
 	s.counters.TotalInferMillis += ms
-	s.published = job.epoch
 	if job.report != nil {
+		// Queued even when the publish fails below: the report was
+		// sealed at fold time, and dropping it would open a permanent
+		// epoch gap in the leaf→root tree.
 		s.outbox = append(s.outbox, *job.report)
 		select {
 		case s.reportCh <- struct{}{}:
@@ -743,6 +768,18 @@ func (s *Service) finishClose(job *closeJob) error {
 	if s.cfg.CompactEvery > 0 && job.epoch%s.cfg.CompactEvery == 0 {
 		s.compactDue = true
 	}
+	if verr != nil {
+		// The served verdict stays at the previous epoch's bytes and the
+		// closing caller gets the error; compaction stays due and runs at
+		// the next settled publish.
+		return fmt.Errorf("serve: epoch %d verdict marshal: %w", job.epoch, verr)
+	}
+	s.verdict = vb
+	s.listing = append(s.listing, renderEpochSummary(ev, job.epochLoss, job.epochSk, job.cumLoss, job.cumSk))
+	if len(s.listing) > maxSummaryBlocks {
+		s.dropped += len(s.listing) - maxSummaryBlocks
+		s.listing = s.listing[len(s.listing)-maxSummaryBlocks:]
+	}
 	var cerr error
 	if s.compactDue && s.jr != nil && !s.replaying && s.published == s.epoch {
 		// Settled: every folded epoch is published, so the snapshot's
@@ -751,7 +788,6 @@ func (s *Service) finishClose(job *closeJob) error {
 			s.compactDue = false
 		}
 	}
-	s.pub.Broadcast()
 	return cerr
 }
 

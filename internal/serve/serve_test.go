@@ -2,10 +2,12 @@ package serve
 
 import (
 	"bytes"
+	"encoding/json"
 	"errors"
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 
 	"neutrality/internal/graph"
 	"neutrality/internal/measure"
@@ -313,6 +315,92 @@ func TestOutOfOrderRejects(t *testing.T) {
 	}
 	if res.OutOfOrder != 1 || res.Duplicates != 0 {
 		t.Fatalf("gap detection lost across restart: %+v", res)
+	}
+}
+
+// TestHoleRangesBounded: a sender that skips sequence numbers
+// relentlessly cannot grow the per-source hole set without limit — on
+// overflow the oldest ranges coalesce. Rejections landing in a
+// coalesced span over-report as out-of-order (never as an ingested
+// duplicate); recent gaps and duplicates still classify exactly.
+func TestHoleRangesBounded(t *testing.T) {
+	n, _ := testStream(2, 1, 1)
+	s := mustNew(t, Config{Net: n, EpochRecords: 0})
+	rec := func(seq int64) measure.StreamRecord {
+		return measure.StreamRecord{Source: "vp", Seq: seq, Interval: 0, Path: 0, Sent: 10, Lost: 1}
+	}
+	batch := make([]measure.StreamRecord, 0, 200)
+	for k := int64(1); k <= 200; k++ {
+		batch = append(batch, rec(2*k)) // every odd sequence skipped
+	}
+	if _, err := s.Ingest(batch); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(s.holes["vp"]); got > maxHoleRanges {
+		t.Fatalf("%d hole ranges retained after 200 gaps, cap is %d", got, maxHoleRanges)
+	}
+	res, err := s.Ingest([]measure.StreamRecord{rec(399), rec(400)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OutOfOrder != 1 || res.Duplicates != 1 {
+		t.Fatalf("recent gap + duplicate classified as %+v (want 1 out-of-order, 1 duplicate)", res)
+	}
+	// Sequence 2 was genuinely accepted, but it sits inside the
+	// coalesced oldest span: the conservative over-approximation
+	// reports it out-of-order rather than pretending exact knowledge.
+	res, err = s.Ingest([]measure.StreamRecord{rec(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OutOfOrder != 1 || res.Duplicates != 0 {
+		t.Fatalf("coalesced-span rejection classified as %+v (want out-of-order)", res)
+	}
+}
+
+// TestVerdictMarshalFailureDoesNotWedge: a verdict that fails to
+// marshal surfaces as an error from the close, leaves the previous
+// verdict served — and still advances the publish turn, so later
+// epochs and Close do not deadlock behind it.
+func TestVerdictMarshalFailureDoesNotWedge(t *testing.T) {
+	n, recs := testStream(20, 2, 3)
+	s := mustNew(t, Config{Net: n, EpochRecords: 0})
+	boom := errors.New("verdict marshal failed")
+	fail := true
+	s.verdictMarshal = func(ev EpochVerdict) ([]byte, error) {
+		if fail {
+			return nil, boom
+		}
+		return json.Marshal(ev)
+	}
+	if _, err := s.Ingest(recs[:10]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.CloseEpoch(); !errors.Is(err, boom) {
+		t.Fatalf("CloseEpoch with failing marshal = %v, want the injected failure", err)
+	}
+	if ev := decodeVerdict(t, s.VerdictJSON()); ev.Epoch != 0 {
+		t.Fatalf("failed publish installed a verdict: %+v", ev)
+	}
+	fail = false
+	if _, err := s.Ingest(recs[10:]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.CloseEpoch(); err != nil {
+		t.Fatal(err)
+	}
+	if ev := decodeVerdict(t, s.VerdictJSON()); ev.Epoch != 2 {
+		t.Fatalf("verdict after the failed epoch: %+v, want epoch 2", ev)
+	}
+	done := make(chan error, 1)
+	go func() { done <- s.Close() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Close hangs after a failed verdict publish")
 	}
 }
 

@@ -17,8 +17,10 @@ import (
 // window, or future folds depend on is here: the integer measurement
 // table, the per-source sequence high-water marks (and the holes below
 // them), the cumulative floating-point accumulators in their exact
-// wire form, the published verdict bytes, the summary window, and the
-// open epoch's pending records.
+// wire form, the published verdict bytes, the summary window, the
+// open epoch's pending records, and — in leaf mode — the unacked
+// report outbox (the only copy of snapshot-covered epochs the root has
+// not confirmed).
 //
 // Integrity: the manifest stores the snapshot's SHA-256, and open
 // refuses to trust a byte of a snapshot that does not hash to it. A
@@ -52,6 +54,13 @@ type snapWire struct {
 	// Pending are the open epoch's records (already folded into
 	// Sent/Lost), in arrival order.
 	Pending []measure.StreamRecord `json:"pending,omitempty"`
+	// Outbox is the leaf-mode report outbox: closed epochs not yet
+	// acked by the root, sealed exactly as foldEpochLocked queued them.
+	// Without it, compacting while the root is unreachable would strand
+	// snapshot-covered unshipped reports — journal replay only
+	// re-queues post-snapshot epochs, and the root's gap refusal would
+	// then wedge the tree permanently.
+	Outbox []EpochReport `json:"outbox,omitempty"`
 }
 
 // snapshotLocked captures the full service state as a snapshot
@@ -76,6 +85,9 @@ func (s *Service) snapshotLocked() ([]byte, error) {
 	}
 	if len(s.holes) > 0 {
 		w.Holes = s.holes
+	}
+	if len(s.outbox) > 0 {
+		w.Outbox = s.outbox
 	}
 	return json.Marshal(w)
 }
@@ -159,6 +171,19 @@ func (s *Service) restoreSnapshot(w *snapWire) error {
 			return errCorruptf("serve: snapshot pending record %d above its source's sequence mark", i)
 		}
 	}
+	prevEpoch := 0
+	for i, rep := range w.Outbox {
+		if !verifyReport(rep) {
+			return errCorruptf("serve: snapshot outbox report %d fails its content hash", i)
+		}
+		if rep.Leaf != s.cfg.Leaf {
+			return errCorruptf("serve: snapshot outbox report %d names leaf %q, config is %q", i, rep.Leaf, s.cfg.Leaf)
+		}
+		if rep.Epoch <= prevEpoch || rep.Epoch > w.Epoch {
+			return errCorruptf("serve: snapshot outbox epoch %d out of order at report %d", rep.Epoch, i)
+		}
+		prevEpoch = rep.Epoch
+	}
 
 	s.meas = meas
 	s.seqs = seqs
@@ -172,5 +197,12 @@ func (s *Service) restoreSnapshot(w *snapWire) error {
 	s.verdict = append([]byte(nil), w.Verdict...)
 	s.listing = w.Listing
 	s.dropped = w.Dropped
+	s.outbox = append([]EpochReport(nil), w.Outbox...)
+	if len(s.outbox) > 0 {
+		select {
+		case s.reportCh <- struct{}{}:
+		default:
+		}
+	}
 	return nil
 }

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bytes"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"os"
@@ -165,5 +166,76 @@ func TestCompactionBoundsDisk(t *testing.T) {
 	}
 	if len(snaps) != 1 {
 		t.Fatalf("steady state should hold exactly one snapshot, found %v", snaps)
+	}
+}
+
+// TestCompactionKeepsUnshippedReports: a leaf whose root is unreachable
+// accumulates closed-epoch reports in its outbox while compaction
+// truncates the journal lines those epochs were folded from. The
+// snapshot must carry the outbox, so a restart still holds every
+// unshipped report — otherwise the root's gap check would refuse the
+// leaf's next epoch forever and wedge the tree.
+func TestCompactionKeepsUnshippedReports(t *testing.T) {
+	n, recs := testStream(60, 4, 7)
+	dir := t.TempDir()
+	cfg := Config{
+		Net: n, EpochRecords: 48, Dir: dir,
+		Leaf: "east", JournalShards: 2, CompactEvery: 2,
+	}
+	s := mustNew(t, cfg)
+	for lo := 0; lo < len(recs); lo += 64 {
+		hi := lo + 64
+		if hi > len(recs) {
+			hi = len(recs)
+		}
+		if _, err := s.Ingest(recs[lo:hi]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s.CloseEpoch(); err != nil {
+		t.Fatal(err)
+	}
+	want := s.Reports()
+	wantVerdict := s.VerdictJSON()
+	if len(want) == 0 {
+		t.Fatal("stream too short to close any epoch")
+	}
+	kill(t, s)
+
+	rcfg := cfg
+	rcfg.Resume = true
+	s2 := mustNew(t, rcfg)
+	defer s2.Close()
+	if s2.jr.snapEpoch == 0 {
+		t.Fatal("no compaction ran; the test exercises nothing")
+	}
+	got := s2.Reports()
+	if len(got) != len(want) {
+		t.Fatalf("resume restored %d unshipped reports, want %d", len(got), len(want))
+	}
+	for i := range got {
+		gb, _ := json.Marshal(got[i])
+		wb, _ := json.Marshal(want[i])
+		if !bytes.Equal(gb, wb) {
+			t.Fatalf("restored report %d diverged:\ngot  %s\nwant %s", i, gb, wb)
+		}
+	}
+	if got[0].Epoch != 1 {
+		t.Fatalf("restored outbox starts at epoch %d, want 1 (snapshot-covered epochs lost)", got[0].Epoch)
+	}
+
+	// The restored outbox must satisfy a fresh root end to end: no gap
+	// refusals, and the tree verdict matches the leaf's own.
+	root, err := NewRoot(RootConfig{Net: n, Leaves: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rep := range got {
+		if _, err := root.Deliver(rep); err != nil {
+			t.Fatalf("deliver restored epoch %d: %v", rep.Epoch, err)
+		}
+	}
+	if gv := root.VerdictJSON(); !bytes.Equal(gv, wantVerdict) {
+		t.Fatalf("tree verdict from restored reports diverged:\ngot  %s\nwant %s", gv, wantVerdict)
 	}
 }
